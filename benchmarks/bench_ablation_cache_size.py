@@ -1,0 +1,38 @@
+"""Ablation: decode-cache byte budget sweep.
+
+Between the paper's Table 2 extremes (no cache / effectively infinite
+cache) lies a budget curve: decode work should fall monotonically-ish as
+the budget grows, then flatten once the working set fits.
+"""
+
+import pytest
+
+from repro.bench.runner import make_engine, run_test
+
+BUDGETS = [64 * 1024, 1024 * 1024, 16 * 1024 * 1024, 256 * 1024 * 1024]
+
+
+@pytest.mark.parametrize("budget", BUDGETS, ids=lambda b: f"{b // 1024}KiB")
+def test_ablation_cache_budget(benchmark, workload, budget):
+    result = {}
+
+    def run():
+        engine = make_engine("fpr", "B", workload=workload, cache_bytes=budget)
+        result["value"] = run_test("NN-NV", workload, "fpr", engine=engine)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result["value"].stats
+    benchmark.extra_info.update(
+        {
+            "budget": budget,
+            "decode_seconds": stats.decode_seconds,
+            "decoded_vertices": stats.decoded_vertices,
+            "hits": stats.cache_hits,
+            "misses": stats.cache_misses,
+        }
+    )
+    print(
+        f"\n[ablation-cache] NN-NV budget={budget // 1024:>7d}KiB "
+        f"decode={stats.decode_seconds:6.3f}s decoded_vertices={stats.decoded_vertices:>9d} "
+        f"hits={stats.cache_hits} misses={stats.cache_misses}"
+    )

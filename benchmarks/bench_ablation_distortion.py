@@ -1,0 +1,65 @@
+"""Ablation: rate-distortion of the PPVP chain (compression trade-off).
+
+For one nucleus and one vessel: per LOD, the serialized bytes needed to
+reach that LOD versus the sampled surface deviation from the original.
+The classic codec trade-off curve — more bytes, less distortion — and
+for a prune-only codec the deviation must be one-sided and monotone.
+"""
+
+from repro.analysis import lod_distortion_profile
+from repro.bench.reporting import format_table
+from repro.compression import PPVPEncoder, serialize_object, serialized_segment_sizes
+
+
+def test_ablation_rate_distortion(benchmark, workload):
+    objects = {
+        "nucleus": workload.raw["nuclei_a"][0],
+        "vessel": workload.raw["vessels"][0],
+    }
+    rows = []
+
+    def run():
+        encoder = PPVPEncoder(max_lods=6)
+        for name, mesh in objects.items():
+            compressed = encoder.encode(mesh)
+            profile = lod_distortion_profile(compressed, samples_per_face=2)
+            sizes = serialized_segment_sizes(serialize_object(compressed))
+            # Bytes needed to decode LOD k: header + base + the last
+            # k * rounds_per_lod round segments.
+            round_sizes = sizes["rounds"]
+            for record in profile:
+                reinserted = compressed.rounds_reinserted_at(record["lod"])
+                needed = (
+                    sizes["header"]
+                    + sizes["base"]
+                    + sum(round_sizes[len(round_sizes) - reinserted :])
+                )
+                rows.append(
+                    [
+                        name,
+                        record["lod"],
+                        record["faces"],
+                        needed,
+                        record["volume_ratio"],
+                        record["deviation"]["mean"],
+                    ]
+                )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["object", "lod", "faces", "bytes needed", "volume ratio", "mean deviation"],
+            rows,
+            title="[ablation-distortion] rate-distortion per LOD",
+        )
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # Shape: within each object, bytes grow and deviation shrinks with LOD.
+    for name in objects:
+        series = [r for r in rows if r[0] == name]
+        byte_counts = [r[3] for r in series]
+        deviations = [r[5] for r in series]
+        assert byte_counts == sorted(byte_counts)
+        assert deviations[-1] <= deviations[0] + 1e-12

@@ -1,0 +1,47 @@
+"""Ablation: kNN join cost versus k (the paper's kNN remark, Section 4.3).
+
+The FPR kNN keeps at least k entries in the candidate list; pruning
+weakens as k grows, so face-pair work should grow with k — but stay far
+below the FR cost at the same k.
+"""
+
+import pytest
+
+from repro.bench.runner import make_engine
+
+KS = [1, 2, 4]
+
+
+@pytest.mark.parametrize("k", KS)
+def test_ablation_knn(benchmark, workload, k):
+    result = {}
+
+    def run():
+        engine = make_engine("fpr", "B", workload=workload)
+        result["fpr"] = engine.knn_join("nuclei_a", "nuclei_b", k=k)
+        fr_engine = make_engine("fr", "B", workload=workload)
+        result["fr"] = fr_engine.knn_join("nuclei_a", "nuclei_b", k=k)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    fpr_stats = result["fpr"].stats
+    fr_stats = result["fr"].stats
+    benchmark.extra_info.update(
+        {
+            "k": k,
+            "fpr_seconds": fpr_stats.total_seconds,
+            "fr_seconds": fr_stats.total_seconds,
+            "fpr_face_pairs": fpr_stats.face_pairs_total,
+            "fr_face_pairs": fr_stats.face_pairs_total,
+        }
+    )
+    print(
+        f"\n[ablation-knn] k={k} fpr={fpr_stats.total_seconds:6.3f}s "
+        f"({fpr_stats.face_pairs_total} pairs)  "
+        f"fr={fr_stats.total_seconds:6.3f}s ({fr_stats.face_pairs_total} pairs)"
+    )
+    # The k-nearest sets must agree between paradigms.
+    for tid, fr_matches in result["fr"].pairs.items():
+        fr_ids = {sid for sid, _d, _e in fr_matches}
+        fpr_ids = {sid for sid, _d, _e in result["fpr"].pairs[tid]}
+        assert fr_ids == fpr_ids
+    assert fpr_stats.face_pairs_total <= fr_stats.face_pairs_total

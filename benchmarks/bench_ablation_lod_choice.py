@@ -1,0 +1,55 @@
+"""Ablation: LOD schedule choice (Section 4.4 rule vs naive schedules).
+
+Compares three FPR schedules on the nearest-neighbor nuclei-vessel test:
+
+* all LODs (refine at every level),
+* the profiled schedule from the Section 4.4 break-even rule,
+* top-only (degenerates to FR).
+
+The profiled schedule should never be slower than the worse of the two
+extremes — that is the entire point of the profiling step.
+"""
+
+import pytest
+
+from repro.bench.runner import make_engine, run_test
+from repro.core import choose_lod_list, profile_pruning
+
+SCHEDULES = ["all-lods", "profiled", "top-only"]
+
+
+@pytest.fixture(scope="module")
+def profiled_lods(workload):
+    engine = make_engine("fpr", "B", workload=workload)
+    profile = profile_pruning(engine, "nuclei_a", "vessels", "nn", sample_size=16)
+    return choose_lod_list(profile)
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES)
+def test_ablation_lod_schedule(benchmark, workload, schedule, profiled_lods):
+    result = {}
+
+    def run():
+        if schedule == "all-lods":
+            engine = make_engine("fpr", "B", workload=workload)
+        elif schedule == "profiled":
+            engine = make_engine("fpr", "B", workload=workload, lod_list=tuple(profiled_lods))
+        else:
+            engine = make_engine("fr", "B", workload=workload)
+        result["value"] = run_test("NN-NV", workload, engine.config.paradigm, engine=engine)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result["value"].stats
+    benchmark.extra_info.update(
+        {
+            "schedule": schedule,
+            "lods": list(profiled_lods) if schedule == "profiled" else schedule,
+            "seconds": stats.total_seconds,
+            "face_pairs": stats.face_pairs_total,
+        }
+    )
+    print(
+        f"\n[ablation-lod] NN-NV schedule={schedule:9s} "
+        f"lods={list(profiled_lods) if schedule == 'profiled' else schedule} "
+        f"time={stats.total_seconds:7.3f}s face_pairs={stats.face_pairs_total}"
+    )

@@ -1,0 +1,42 @@
+"""Ablation: quantization bit width versus size and geometric error.
+
+The serialization format quantizes coordinates over each object's MBB.
+Sweeping the bit width shows the size/error trade-off behind the
+paper's "adaptive quantization" remark in Section 6.2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.compression import deserialize_object, serialize_object
+
+BITS = [8, 12, 16, 20]
+
+
+def test_ablation_quantization(benchmark, workload):
+    objects = workload.datasets["nuclei_a"].objects[:10]
+    rows = []
+    report = {}
+
+    def sweep():
+        for bits in BITS:
+            total = 0
+            worst_err = 0.0
+            for obj in objects:
+                blob = serialize_object(obj, quant_bits=bits)
+                total += len(blob)
+                restored = deserialize_object(blob)
+                err = float(np.abs(restored.positions - obj.positions).max())
+                worst_err = max(worst_err, err)
+            rows.append([bits, total, worst_err])
+            report[bits] = (total, worst_err)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(["bits", "bytes (10 objects)", "max abs error"], rows, title="[ablation-quant] quantization sweep"))
+    benchmark.extra_info["rows"] = rows
+
+    sizes = [report[b][0] for b in BITS]
+    errors = [report[b][1] for b in BITS]
+    assert sizes == sorted(sizes)  # more bits, more bytes
+    assert errors == sorted(errors, reverse=True)  # more bits, less error

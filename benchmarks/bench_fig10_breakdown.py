@@ -1,0 +1,38 @@
+"""Fig. 10: execution-time breakdown (filter / decode / compute).
+
+The paper's stacked bars show filtering is a tiny sliver everywhere,
+decode dominating the intersection tests, and geometric computation
+dominating the distance-based tests — with the FPR paradigm shrinking
+both of the heavy phases.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_breakdown
+from repro.bench.runner import TESTS, run_test
+
+
+@pytest.mark.parametrize("paradigm", ["fr", "fpr"])
+@pytest.mark.parametrize("test_id", list(TESTS))
+def test_fig10_breakdown(benchmark, workload, test_id, paradigm):
+    result = {}
+
+    def run():
+        result["value"] = run_test(test_id, workload, paradigm, "B")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result["value"].stats
+    benchmark.extra_info.update(
+        {
+            "test": test_id,
+            "paradigm": paradigm,
+            "filter": stats.filter_seconds,
+            "decode": stats.decode_seconds,
+            "compute": stats.compute_seconds,
+            "total": stats.total_seconds,
+        }
+    )
+    print(f"\n[fig10] {test_id:7s} {paradigm.upper():3s}  {format_breakdown(stats)}")
+    # The paper's headline observation: filtering is a tiny share of the
+    # execution for every test (refinement dominates 3D query cost).
+    assert stats.filter_seconds < 0.5 * stats.total_seconds

@@ -1,0 +1,41 @@
+"""Fig. 11: remaining faces versus decimation rounds.
+
+The paper observes the face count roughly halving every two rounds
+(hence r = 2 with one LOD per two rounds) and nuclei bottoming out near
+10-40 faces after ~10 rounds.
+"""
+
+from repro.bench.reporting import format_table
+from repro.compression import PPVPEncoder
+
+
+def test_fig11_faces_vs_rounds(benchmark, workload):
+    nucleus = workload.raw["nuclei_a"][0]
+    vessel = workload.raw["vessels"][0]
+    encoder = PPVPEncoder(max_lods=6, rounds_per_lod=2)
+    encoded = {}
+
+    def encode_both():
+        encoded["nucleus"] = encoder.encode(nucleus)
+        encoded["vessel"] = encoder.encode(vessel)
+
+    benchmark.pedantic(encode_both, rounds=1, iterations=1)
+
+    rows = []
+    for name, obj in encoded.items():
+        # Reconstruct faces-after-round-k from the removal counts.
+        faces = obj.face_count_at_lod(obj.max_lod)
+        series = [faces]
+        for round_records in obj.rounds:
+            faces -= 2 * len(round_records)
+            series.append(faces)
+        for round_index, count in enumerate(series):
+            rows.append([name, round_index, count])
+        # Shape assertions: monotone decreasing, roughly halving per 2 rounds.
+        assert series == sorted(series, reverse=True)
+        if len(series) >= 3:
+            early_ratio = series[0] / max(series[2], 1)
+            assert early_ratio > 1.5  # close to the paper's r = 2
+
+    print("\n" + format_table(["object", "rounds", "faces"], rows, title="[fig11] faces vs decimation rounds"))
+    benchmark.extra_info["series"] = rows

@@ -1,0 +1,73 @@
+"""Fig. 13: PostGIS-like versus 3DPro (FR and FPR), single-threaded.
+
+As in the paper's Section 6.6 methodology: one cuboid worth of data,
+brute-force geometry (no AABB-tree / partition / GPU), the nearest
+neighbor query given a precomputed buffer distance for the PostGIS-like
+engine. Expected shape: PostGIS-like slowest by a wide margin, 3DPro-FR
+in the middle, 3DPro-FPR fastest.
+"""
+
+import pytest
+
+from repro.baselines import PostGISLikeEngine
+from repro.bench.runner import make_engine, run_test
+
+CASES = ["INT-NN", "WN-NN", "NN-NN"]
+
+
+def _subset(workload, n=16):
+    """One-cuboid-sized slice of the raw meshes."""
+    return {
+        "nuclei_a": workload.raw["nuclei_a"][:n],
+        "nuclei_b": workload.raw["nuclei_b"][:n],
+    }
+
+
+@pytest.mark.parametrize("test_id", CASES)
+def test_fig13_postgis_like(benchmark, workload, test_id):
+    raw = _subset(workload)
+    engine = PostGISLikeEngine(raw["nuclei_a"], raw["nuclei_b"])
+    distance = workload.within_nn
+    result = {}
+
+    def run():
+        if test_id == "INT-NN":
+            result["value"] = engine.intersection_join()
+        elif test_id == "WN-NN":
+            result["value"] = engine.within_join(distance)
+        else:
+            # Buffer = the largest nucleus pair spacing; generous bound.
+            result["value"] = engine.nn_join(buffer_distance=4.0)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _pairs, stats = result["value"]
+    benchmark.extra_info.update({"engine": "postgis-like", "seconds": stats.total_seconds})
+    print(f"\n[fig13] {test_id:7s} postgis-like  time={stats.total_seconds:8.3f}s")
+
+
+@pytest.mark.parametrize("paradigm", ["fr", "fpr"])
+@pytest.mark.parametrize("test_id", CASES)
+def test_fig13_3dpro(benchmark, workload, test_id, paradigm):
+    from repro.storage import Dataset
+    from repro.compression import PPVPEncoder
+
+    raw = _subset(workload)
+    encoder = PPVPEncoder(max_lods=6)
+    datasets = {
+        name: Dataset.from_polyhedra(name, meshes, encoder)
+        for name, meshes in raw.items()
+    }
+    result = {}
+
+    def run():
+        engine = make_engine(paradigm, "B", datasets=datasets)
+        result["value"] = run_test(test_id, workload, paradigm, engine=engine)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result["value"].stats
+    benchmark.extra_info.update(
+        {"engine": f"3dpro-{paradigm}", "seconds": stats.total_seconds}
+    )
+    print(
+        f"\n[fig13] {test_id:7s} 3dpro-{paradigm:3s}  time={stats.total_seconds:8.3f}s"
+    )

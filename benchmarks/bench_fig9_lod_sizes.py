@@ -1,0 +1,56 @@
+"""Fig. 9: portion of compressed bytes taken by each LOD increment.
+
+Serializes every workload object, groups segment sizes by LOD (one LOD
+= two removal rounds), and prints the share of the total each level
+contributes — the paper shows the base (LOD0) taking a small share with
+increments growing toward the top LOD.
+"""
+
+from repro.bench.reporting import format_table
+from repro.compression import serialize_object, serialized_segment_sizes
+
+
+def test_fig9_lod_size_portions(benchmark, workload):
+    blobs = {}
+
+    def serialize_all():
+        blobs["all"] = [
+            serialize_object(obj)
+            for name in ("nuclei_a", "vessels")
+            for obj in workload.datasets[name].objects
+        ]
+
+    benchmark.pedantic(serialize_all, rounds=1, iterations=1)
+
+    # Aggregate segment bytes into LOD buckets (2 rounds per LOD).
+    base_total = 0
+    header_total = 0
+    lod_totals: dict[int, int] = {}
+    for blob in blobs["all"]:
+        sizes = serialized_segment_sizes(blob)
+        header_total += sizes["header"]
+        base_total += sizes["base"]
+        rounds = sizes["rounds"]
+        # rounds[i] was encode round i; decode applies them from the back,
+        # so the LAST two rounds belong to LOD1, the first two to the top.
+        for i, nbytes in enumerate(rounds):
+            lod = (len(rounds) - i + 1) // 2  # 1-based LOD increments
+            lod_totals[lod] = lod_totals.get(lod, 0) + nbytes
+
+    total = header_total + base_total + sum(lod_totals.values())
+    rows = [["header", header_total, 100.0 * header_total / total]]
+    rows.append(["LOD0 (base)", base_total, 100.0 * base_total / total])
+    for lod in sorted(lod_totals):
+        rows.append(
+            [f"LOD{lod} increment", lod_totals[lod], 100.0 * lod_totals[lod] / total]
+        )
+    print("\n" + format_table(["segment", "bytes", "share %"], rows, title="[fig9] compressed space by LOD"))
+
+    benchmark.extra_info.update(
+        {
+            "total_bytes": total,
+            "base_share": base_total / total,
+        }
+    )
+    # The base must be a modest fraction: most bytes sit in increments.
+    assert base_total / total < 0.6

@@ -1,0 +1,82 @@
+"""Section 6.2 statistics: protruding portions, compression ratio, cost.
+
+The paper reports ~99% protruding vertices for nuclei, ~75% for vessels
+(~92% overall), a compressed size that fits comfortably in memory
+(1.15TB -> 18.4GB on their data), and per-object compression costs of
+0.4ms (nucleus) / 36.3ms (vessel) in C++. We reproduce the portions and
+the ratio's direction at our scale and record the Python codec costs.
+"""
+
+import time
+
+from repro.bench.reporting import format_table
+from repro.compression import PPVPEncoder, protruding_fraction, serialize_object
+
+
+def test_protruding_portions(benchmark, workload):
+    fractions = {}
+
+    def classify():
+        for name, sample in (("nuclei", workload.raw["nuclei_a"][:12]),
+                             ("vessels", workload.raw["vessels"][:2])):
+            values = [protruding_fraction(mesh) for mesh in sample]
+            fractions[name] = sum(values) / len(values)
+
+    benchmark.pedantic(classify, rounds=1, iterations=1)
+    rows = [[name, 100.0 * frac] for name, frac in fractions.items()]
+    print("\n" + format_table(["dataset", "protruding %"], rows, title="[stats] protruding vertices (paper: nuclei ~99%, vessels ~75%)"))
+    benchmark.extra_info.update(fractions)
+    # Shape: nuclei overwhelmingly protruding, vessels clearly lower.
+    assert fractions["nuclei"] > 0.9
+    assert fractions["vessels"] < fractions["nuclei"]
+    assert fractions["vessels"] > 0.3
+
+
+def test_compression_ratio_and_cost(benchmark, workload):
+    report = {}
+
+    def compress_and_measure():
+        flat_bytes = 0
+        compressed_bytes = 0
+        for name in ("nuclei_a", "vessels"):
+            for obj, mesh in zip(
+                workload.datasets[name].objects, workload.raw[name]
+            ):
+                full = mesh.compacted()
+                flat_bytes += full.num_vertices * 24 + full.num_faces * 12
+                compressed_bytes += len(serialize_object(obj, quant_bits=14))
+        report["ratio"] = flat_bytes / compressed_bytes
+        report["flat"] = flat_bytes
+        report["compressed"] = compressed_bytes
+
+    benchmark.pedantic(compress_and_measure, rounds=1, iterations=1)
+    print(
+        f"\n[stats] flat={report['flat']:,}B compressed={report['compressed']:,}B "
+        f"ratio={report['ratio']:.2f}x (paper: ~62x with aggressive quantization)"
+    )
+    benchmark.extra_info.update(report)
+    assert report["ratio"] > 1.5  # multi-LOD storage still beats flat storage
+
+
+def test_compression_cost_per_object(benchmark, workload):
+    encoder = PPVPEncoder(max_lods=6)
+    nucleus = workload.raw["nuclei_a"][0]
+    vessel = workload.raw["vessels"][0]
+    costs = {}
+
+    def encode_both():
+        start = time.perf_counter()
+        encoder.encode(nucleus)
+        costs["nucleus_ms"] = 1000 * (time.perf_counter() - start)
+        start = time.perf_counter()
+        encoder.encode(vessel)
+        costs["vessel_ms"] = 1000 * (time.perf_counter() - start)
+
+    benchmark.pedantic(encode_both, rounds=1, iterations=1)
+    print(
+        f"\n[stats] encode nucleus={costs['nucleus_ms']:.1f}ms "
+        f"vessel={costs['vessel_ms']:.1f}ms "
+        f"(paper C++: 0.4ms / 36.3ms; same nucleus<<vessel shape)"
+    )
+    benchmark.extra_info.update(costs)
+    assert costs["vessel_ms"] > costs["nucleus_ms"]

@@ -1,0 +1,19 @@
+"""Shared benchmark fixtures.
+
+The workload (scene generation + PPVP encoding) is built once per
+session at the scale selected by ``REPRO_BENCH_SCALE`` (default
+``tiny``). Every benchmark prints the rows/series of the paper artifact
+it reproduces, so running ``pytest benchmarks/ --benchmark-only -s``
+regenerates the evaluation section.
+"""
+
+import pytest
+
+from repro.bench.workloads import get_workload
+
+
+@pytest.fixture(scope="session")
+def workload():
+    wl = get_workload()
+    print(f"\n[workload] {wl.summary}")
+    return wl

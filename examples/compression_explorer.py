@@ -1,0 +1,72 @@
+"""Explore PPVP compression: LODs, guarantees, sizes, persistence.
+
+Walks through what the codec actually produces for one nucleus and one
+vessel: face counts per LOD, the progressive-approximation guarantee
+(volume never shrinks as LOD rises... it *grows*), protruding-vertex
+statistics, serialized segment sizes (the paper's Fig. 9), and the
+cuboid-file save/load round trip.
+
+Run with:  python examples/compression_explorer.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import Dataset, PPVPEncoder
+from repro.compression import (
+    protruding_fraction,
+    serialize_object,
+    serialized_segment_sizes,
+)
+from repro.datagen import make_nucleus, make_vessel
+from repro.datagen.vessels import VesselSpec
+from repro.mesh import mesh_volume
+from repro.storage import load_dataset, save_dataset
+
+
+def explore(name, mesh):
+    print(f"\n=== {name}: {mesh.num_faces} faces, "
+          f"{100 * protruding_fraction(mesh):.1f}% protruding vertices ===")
+    encoder = PPVPEncoder(max_lods=6, rounds_per_lod=2)
+    obj = encoder.encode(mesh)
+
+    print(f"  encoded: {obj.num_rounds} decimation rounds, LODs 0..{obj.max_lod}")
+    print("  LOD  faces  volume (subset guarantee: monotone)")
+    for lod in obj.lods:
+        decoded = obj.decode(lod)
+        print(f"  {lod:3d}  {decoded.num_faces:5d}  {mesh_volume(decoded):10.4f}")
+
+    blob = serialize_object(obj, quant_bits=16)
+    sizes = serialized_segment_sizes(blob)
+    flat = mesh.num_vertices * 24 + mesh.num_faces * 12
+    print(f"  serialized: {len(blob)} bytes vs {flat} flat "
+          f"({flat / len(blob):.2f}x), base segment {sizes['base']}B, "
+          f"{len(sizes['rounds'])} round segments")
+    return obj
+
+
+def main():
+    rng = np.random.default_rng(3)
+    nucleus = make_nucleus(rng, subdivisions=2)
+    vessel = make_vessel(
+        rng, spec=VesselSpec(bifurcations=3, points_per_branch=5, segments=8)
+    )
+
+    explore("nucleus", nucleus)
+    explore("vessel", vessel)
+
+    print("\n=== persistence: cuboid files ===")
+    dataset = Dataset.from_polyhedra("demo", [nucleus, vessel], PPVPEncoder())
+    with tempfile.TemporaryDirectory() as tmp:
+        summary = save_dataset(dataset, tmp)
+        print(f"  saved {len(dataset)} objects into "
+              f"{len(summary['files'])} cuboid files, {summary['total_bytes']} bytes")
+        loaded = load_dataset(tmp)
+        restored = loaded.objects[0].decode(loaded.objects[0].max_lod)
+        print(f"  reloaded '{loaded.name}': object 0 decodes to "
+              f"{restored.num_faces} faces (quantized grid, structure exact)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""End-to-end pipeline on mesh files: ingest -> compress -> query -> export.
+
+Shows the workflow a user with real reconstructed meshes follows:
+write/collect OFF or STL files, compress them into a persisted dataset,
+query it, and export decoded LODs for rendering. (Here the "real" files
+are generated first so the example is self-contained.)
+
+Run with:  python examples/mesh_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import EngineConfig, ThreeDPro
+from repro.compression import PPVPEncoder
+from repro.datagen import make_nucleus, make_vessel
+from repro.datagen.vessels import VesselSpec
+from repro.io import read_off, write_off, write_stl
+from repro.storage import Dataset, load_dataset, save_dataset
+
+import numpy as np
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        rng = np.random.default_rng(12)
+
+        print("1. 'Reconstruction' produces mesh files (OFF + STL)...")
+        mesh_files = []
+        for i in range(6):
+            path = root / f"nucleus_{i}.off"
+            write_off(path, make_nucleus(rng, center=(i * 4.0, 0, 0), subdivisions=1))
+            mesh_files.append(path)
+        vessel_path = root / "vessel.stl"
+        write_stl(
+            vessel_path,
+            make_vessel(
+                rng,
+                start=(10, 8, 0),
+                spec=VesselSpec(bifurcations=2, points_per_branch=4, segments=6),
+            ),
+        )
+        print(f"   wrote {len(mesh_files)} OFF files + 1 STL")
+
+        print("2. Ingest and compress into persisted datasets...")
+        encoder = PPVPEncoder(max_lods=5)
+        nuclei = Dataset.from_polyhedra(
+            "nuclei", [read_off(p) for p in mesh_files], encoder
+        )
+        from repro.io import read_stl
+
+        vessels = Dataset.from_polyhedra("vessels", [read_stl(vessel_path)], encoder)
+        for dataset in (nuclei, vessels):
+            summary = save_dataset(dataset, root / dataset.name)
+            print(f"   {dataset.name}: {summary['total_bytes']} bytes on disk")
+
+        print("3. Reload and query...")
+        engine = ThreeDPro(EngineConfig(paradigm="fpr"))
+        engine.load_dataset(load_dataset(root / "nuclei"))
+        engine.load_dataset(load_dataset(root / "vessels"))
+        result = engine.nn_join("nuclei", "vessels")
+        print(f"   {result.stats.summary()}")
+        for nucleus_id, [(vessel_id, dist, exact)] in sorted(result.pairs.items()):
+            marker = "=" if exact else "<="
+            print(f"   nucleus {nucleus_id} -> vessel {vessel_id} (distance {marker} {dist:.2f})")
+
+        print("4. Export a decoded LOD for rendering...")
+        obj = engine._get("vessels").dataset.objects[0]
+        coarse = obj.decode(0).compacted()
+        out = root / "vessel_lod0.off"
+        write_off(out, coarse)
+        print(f"   vessel at LOD0: {coarse.num_faces} faces "
+              f"(full: {obj.face_count_at_lod(obj.max_lod)}) -> {out.name}")
+
+
+if __name__ == "__main__":
+    main()

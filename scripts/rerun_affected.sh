@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Re-append the chunks affected by the NN-pruning-attribution fix and
+# the PostGIS row-materialization fix.
+set -u
+cd "$(dirname "$0")/.."
+for target in \
+    benchmarks/bench_fig12_pruning.py \
+    benchmarks/bench_fig13_postgis.py \
+    benchmarks/bench_ablation_lod_choice.py \
+    benchmarks/bench_ablation_knn.py \
+    benchmarks/bench_table1.py; do
+  echo "=== $target ===" | tee -a bench_output.txt
+  python3 -m pytest "$target" --benchmark-only -q -s 2>&1 | tee -a bench_output.txt
+done

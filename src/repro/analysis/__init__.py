@@ -1,0 +1,18 @@
+"""Mesh and compression analysis tools.
+
+Quality metrics for triangle meshes and distortion profiles for
+compressed LOD chains. The paper's compression-related work evaluates
+codecs by compression rate *and* distortion rate; this package provides
+the measurement side: sampled surface deviation, volume loss, and
+triangle-quality statistics per LOD.
+"""
+
+from repro.analysis.distortion import lod_distortion_profile, sampled_surface_deviation
+from repro.analysis.quality import MeshQualityReport, mesh_quality
+
+__all__ = [
+    "lod_distortion_profile",
+    "sampled_surface_deviation",
+    "MeshQualityReport",
+    "mesh_quality",
+]

@@ -1,0 +1,85 @@
+"""Triangle-mesh quality statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry._fast import cross3
+
+__all__ = ["MeshQualityReport", "mesh_quality"]
+
+
+@dataclass(frozen=True)
+class MeshQualityReport:
+    """Summary statistics of a mesh's triangle quality.
+
+    ``aspect_ratio`` is longest-edge over twice-inradius (1.15.. for an
+    equilateral triangle, growing without bound for slivers);
+    ``min_angle_deg`` is the smallest interior angle across all faces.
+    """
+
+    num_faces: int
+    mean_edge_length: float
+    min_edge_length: float
+    max_edge_length: float
+    mean_area: float
+    min_area: float
+    mean_aspect_ratio: float
+    worst_aspect_ratio: float
+    min_angle_deg: float
+
+    def as_dict(self) -> dict:
+        return {
+            "num_faces": self.num_faces,
+            "mean_edge_length": self.mean_edge_length,
+            "min_edge_length": self.min_edge_length,
+            "max_edge_length": self.max_edge_length,
+            "mean_area": self.mean_area,
+            "min_area": self.min_area,
+            "mean_aspect_ratio": self.mean_aspect_ratio,
+            "worst_aspect_ratio": self.worst_aspect_ratio,
+            "min_angle_deg": self.min_angle_deg,
+        }
+
+
+def mesh_quality(polyhedron) -> MeshQualityReport:
+    """Compute quality statistics over all faces of ``polyhedron``."""
+    tris = polyhedron.triangles
+    if len(tris) == 0:
+        raise ValueError("mesh has no faces")
+
+    edges = np.stack(
+        [tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 1], tris[:, 0] - tris[:, 2]],
+        axis=1,
+    )
+    lengths = np.sqrt((edges * edges).sum(axis=2))  # (n, 3)
+    normals = cross3(tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 0])
+    areas = np.sqrt((normals * normals).sum(axis=1)) / 2.0
+
+    semi = lengths.sum(axis=1) / 2.0
+    safe_semi = np.where(semi > 0, semi, 1.0)
+    inradius = areas / safe_semi
+    safe_inradius = np.where(inradius > 1e-300, inradius, 1e-300)
+    aspect = lengths.max(axis=1) / (2.0 * np.sqrt(3.0) * safe_inradius) * np.sqrt(3.0)
+
+    # Interior angles via the law of cosines on each corner.
+    a2 = (lengths**2)[:, [1, 2, 0]]
+    b2 = (lengths**2)[:, [2, 0, 1]]
+    c2 = lengths**2
+    denom = 2.0 * np.sqrt(a2 * b2)
+    cos_angles = np.clip((a2 + b2 - c2) / np.where(denom > 0, denom, 1.0), -1.0, 1.0)
+    angles = np.degrees(np.arccos(cos_angles))
+
+    return MeshQualityReport(
+        num_faces=len(tris),
+        mean_edge_length=float(lengths.mean()),
+        min_edge_length=float(lengths.min()),
+        max_edge_length=float(lengths.max()),
+        mean_area=float(areas.mean()),
+        min_area=float(areas.min()),
+        mean_aspect_ratio=float(aspect.mean()),
+        worst_aspect_ratio=float(aspect.max()),
+        min_angle_deg=float(angles.min()),
+    )

@@ -1,0 +1,15 @@
+"""Reference and comparator engines.
+
+* :mod:`repro.baselines.naive` — a deliberately simple full-resolution
+  engine used as ground truth by the test suite (no index, no LODs, no
+  tricks: every answer is computed by exhaustive geometry).
+* :mod:`repro.baselines.postgis` — a PostGIS-like comparator for the
+  paper's Section 6.6: MBB pre-filter, full-resolution geometry only,
+  no compression / multi-LOD / intra-object indexing, and the nearest
+  neighbor implemented via the buffer trick the paper describes.
+"""
+
+from repro.baselines.naive import NaiveEngine
+from repro.baselines.postgis import PostGISLikeEngine
+
+__all__ = ["NaiveEngine", "PostGISLikeEngine"]

@@ -1,0 +1,116 @@
+"""Ground-truth engine: exhaustive full-resolution evaluation.
+
+No filtering, no LODs, no early exits — every object pair is evaluated
+with complete face-pair kernels on the original meshes. Quadratic and
+slow by design; the test suite compares every 3DPro configuration
+against these answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.distance import tri_tri_distance_batch
+from repro.geometry.raycast import point_in_polyhedron
+from repro.geometry.tritri import tri_tri_intersect_batch
+from repro.mesh.polyhedron import Polyhedron
+
+__all__ = ["NaiveEngine"]
+
+
+def _cross_pairs(tris_a: np.ndarray, tris_b: np.ndarray):
+    ii, jj = np.meshgrid(np.arange(len(tris_a)), np.arange(len(tris_b)), indexing="ij")
+    return tris_a[ii.ravel()], tris_b[jj.ravel()]
+
+
+class NaiveEngine:
+    """Exhaustive reference implementation of the three join types.
+
+    ``prefilter=True`` skips pairs that provably cannot match using MBB
+    distance bounds (box MINDIST lower-bounds the true distance, box
+    overlap is necessary for intersection). This never changes answers —
+    it only makes ground-truth computation affordable in tests.
+    """
+
+    def __init__(
+        self,
+        targets: list[Polyhedron],
+        sources: list[Polyhedron],
+        prefilter: bool = False,
+    ):
+        self.targets = targets
+        self.sources = sources
+        self.prefilter = prefilter
+
+    # -- pair predicates -------------------------------------------------------
+
+    @staticmethod
+    def meshes_intersect(a: Polyhedron, b: Polyhedron) -> bool:
+        """Surface intersection or full containment, both directions."""
+        pa, pb = _cross_pairs(a.triangles, b.triangles)
+        if bool(tri_tri_intersect_batch(pa, pb).any()):
+            return True
+        # Disjoint surfaces: check containment either way.
+        if point_in_polyhedron(b.vertices[b.faces[0, 0]], a.triangles):
+            return True
+        return bool(point_in_polyhedron(a.vertices[a.faces[0, 0]], b.triangles))
+
+    @staticmethod
+    def mesh_distance(a: Polyhedron, b: Polyhedron) -> float:
+        pa, pb = _cross_pairs(a.triangles, b.triangles)
+        return float(tri_tri_distance_batch(pa, pb).min())
+
+    # -- joins -------------------------------------------------------------------
+
+    def intersection_join(self) -> dict[int, list[int]]:
+        out: dict[int, list[int]] = {}
+        for tid, target in enumerate(self.targets):
+            matches = []
+            for sid, source in enumerate(self.sources):
+                if self.prefilter and not target.aabb.intersects(source.aabb):
+                    continue  # disjoint boxes cannot intersect
+                if self.meshes_intersect(target, source):
+                    matches.append(sid)
+            if matches:
+                out[tid] = matches
+        return out
+
+    def within_join(self, distance: float) -> dict[int, list[int]]:
+        out: dict[int, list[int]] = {}
+        for tid, target in enumerate(self.targets):
+            matches = []
+            for sid, source in enumerate(self.sources):
+                if self.prefilter and target.aabb.mindist(source.aabb) > distance:
+                    continue  # box MINDIST lower-bounds the true distance
+                if self.mesh_distance(target, source) <= distance:
+                    matches.append(sid)
+            if matches:
+                out[tid] = matches
+        return out
+
+    def nn_join(self) -> dict[int, tuple[int, float]]:
+        out = self.knn_join(1)
+        return {tid: matches[0] for tid, matches in out.items() if matches}
+
+    def knn_join(self, k: int) -> dict[int, list[tuple[int, float]]]:
+        out: dict[int, list[tuple[int, float]]] = {}
+        for tid, target in enumerate(self.targets):
+            if not self.sources:
+                continue
+            order = range(len(self.sources))
+            if self.prefilter:
+                # Evaluate in ascending box-MINDIST order and stop once the
+                # bound exceeds the current k-th best exact distance.
+                order = sorted(
+                    order, key=lambda sid: target.aabb.mindist(self.sources[sid].aabb)
+                )
+            best: list[tuple[float, int]] = []
+            for sid in order:
+                bound = target.aabb.mindist(self.sources[sid].aabb)
+                if self.prefilter and len(best) >= k and bound > best[k - 1][0]:
+                    break
+                dist = self.mesh_distance(target, self.sources[sid])
+                best.append((dist, sid))
+                best.sort()
+            out[tid] = [(sid, d) for d, sid in best[:k]]
+        return out

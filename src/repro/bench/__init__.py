@@ -1,0 +1,22 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite.
+
+* :mod:`repro.bench.workloads` — deterministic scene construction at the
+  scale selected by ``REPRO_BENCH_SCALE``, cached per process;
+* :mod:`repro.bench.runner` — the five paper tests (INT-NN, WN-NN,
+  WN-NV, NN-NN, NN-NV) as named runnables over any engine configuration;
+* :mod:`repro.bench.reporting` — ASCII tables and paper-number
+  references for EXPERIMENTS.md.
+"""
+
+from repro.bench.runner import TESTS, make_engine, run_test
+from repro.bench.workloads import bench_scale, get_workload
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "TESTS",
+    "make_engine",
+    "run_test",
+    "bench_scale",
+    "get_workload",
+    "format_table",
+]

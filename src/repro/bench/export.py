@@ -1,0 +1,60 @@
+"""Export benchmark results into EXPERIMENTS-ready tables.
+
+``pytest benchmarks/ --benchmark-only --benchmark-json=out.json`` dumps
+machine-readable results; this module turns that file into the Table 1
+matrix (measured vs paper) and per-figure series, for pasting into
+EXPERIMENTS.md or downstream analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.reporting import PAPER_TABLE1, format_table
+
+__all__ = ["load_benchmark_json", "table1_matrix", "render_table1"]
+
+
+def load_benchmark_json(path) -> list[dict]:
+    """The ``benchmarks`` records of a pytest-benchmark JSON file."""
+    payload = json.loads(Path(path).read_text())
+    return payload.get("benchmarks", [])
+
+
+def table1_matrix(records: list[dict]) -> dict[tuple[str, str, str], dict]:
+    """Collect Table 1 cells: (test, paradigm, accel) -> measurements."""
+    out: dict[tuple[str, str, str], dict] = {}
+    for record in records:
+        extra = record.get("extra_info", {})
+        if {"test", "paradigm", "accel", "seconds"} <= set(extra):
+            key = (extra["test"], extra["paradigm"], extra["accel"])
+            out[key] = {
+                "seconds": extra["seconds"],
+                "face_pairs": extra.get("face_pairs"),
+                "matches": extra.get("matches"),
+                "paper_seconds": PAPER_TABLE1.get(key),
+            }
+    return out
+
+
+def render_table1(matrix: dict[tuple[str, str, str], dict]) -> str:
+    """An EXPERIMENTS-style text table of measured vs paper seconds."""
+    rows = []
+    for (test, paradigm, accel) in sorted(matrix):
+        cell = matrix[(test, paradigm, accel)]
+        paper = cell.get("paper_seconds")
+        rows.append(
+            [
+                test,
+                f"{paradigm.upper()}/{accel}",
+                cell["seconds"],
+                paper if paper is not None else "n/a",
+                cell.get("face_pairs", ""),
+            ]
+        )
+    return format_table(
+        ["test", "config", "measured s", "paper s", "face pairs"],
+        rows,
+        title="Table 1 (measured vs paper)",
+    )

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``generate`` — synthesize a tissue scene and persist its datasets;
+* ``compress`` — ingest OFF/STL mesh files into a compressed dataset;
+* ``inspect``  — summarize a dataset directory (objects, LODs, bytes);
+* ``decode``   — export one object at one LOD to OFF or STL;
+* ``query``    — run a join between two dataset directories;
+* ``profile``  — print the Section 6.5 LOD-schedule profile for a join.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.compression.ppvp import PPVPEncoder
+from repro.compression.serialize import serialized_segment_sizes, serialize_object
+from repro.core.config import Accel, EngineConfig
+from repro.core.engine import ThreeDPro
+from repro.core.lod_select import choose_lod_list, profile_pruning
+from repro.storage.store import Dataset, load_dataset, save_dataset
+
+__all__ = ["main", "build_parser"]
+
+_ACCEL = {
+    "none": Accel(),
+    "partition": Accel(partition=True),
+    "aabb": Accel(aabbtree=True),
+    "gpu": Accel(gpu=True),
+    "partition+gpu": Accel(partition=True, gpu=True),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="3DPro: progressive 3D spatial queries (EDBT 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a tissue scene into datasets")
+    gen.add_argument("output", type=Path, help="output directory")
+    gen.add_argument("--nuclei", type=int, default=100)
+    gen.add_argument("--vessels", type=int, default=2)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--region", type=float, default=120.0)
+    gen.add_argument("--subdivisions", type=int, default=1)
+
+    comp = sub.add_parser("compress", help="ingest OFF/STL meshes into a dataset")
+    comp.add_argument("meshes", type=Path, nargs="+", help="input .off/.stl files")
+    comp.add_argument("--output", "-o", type=Path, required=True)
+    comp.add_argument("--name", default="dataset")
+    comp.add_argument("--max-lods", type=int, default=6)
+    comp.add_argument("--quant-bits", type=int, default=16)
+
+    ins = sub.add_parser("inspect", help="summarize a dataset directory")
+    ins.add_argument("dataset", type=Path)
+
+    dec = sub.add_parser("decode", help="export one object at one LOD")
+    dec.add_argument("dataset", type=Path)
+    dec.add_argument("--object", type=int, default=0)
+    dec.add_argument("--lod", type=int, default=None, help="default: highest")
+    dec.add_argument("--output", "-o", type=Path, required=True, help=".off or .stl")
+
+    qry = sub.add_parser("query", help="run a spatial join between two datasets")
+    qry.add_argument("target", type=Path)
+    qry.add_argument("source", type=Path)
+    qry.add_argument("--query", choices=["intersection", "within", "nn", "knn"], default="nn")
+    qry.add_argument("--distance", type=float, default=None, help="within threshold")
+    qry.add_argument("-k", type=int, default=2, help="neighbors for knn")
+    qry.add_argument("--paradigm", choices=["fr", "fpr"], default="fpr")
+    qry.add_argument("--accel", choices=sorted(_ACCEL), default="none")
+    qry.add_argument("--limit", type=int, default=10, help="result rows to print")
+
+    prof = sub.add_parser("profile", help="profile the LOD schedule for a join")
+    prof.add_argument("target", type=Path)
+    prof.add_argument("source", type=Path)
+    prof.add_argument("--query", choices=["intersection", "within", "nn"], default="nn")
+    prof.add_argument("--distance", type=float, default=None)
+    prof.add_argument("--sample", type=int, default=16)
+    return parser
+
+
+def _load_mesh(path: Path):
+    from repro.io.off import read_off
+    from repro.io.stl import read_stl
+
+    suffix = path.suffix.lower()
+    if suffix == ".off":
+        return read_off(path)
+    if suffix == ".stl":
+        return read_stl(path)
+    raise SystemExit(f"unsupported mesh format: {path} (use .off or .stl)")
+
+
+def _cmd_generate(args) -> int:
+    from repro.datagen.scenes import make_tissue_scene
+
+    scene = make_tissue_scene(
+        n_nuclei=args.nuclei,
+        n_vessels=args.vessels,
+        seed=args.seed,
+        region=args.region,
+        nucleus_subdivisions=args.subdivisions,
+    )
+    encoder = PPVPEncoder()
+    for name, meshes in (
+        ("nuclei_a", scene.nuclei_a),
+        ("nuclei_b", scene.nuclei_b),
+        ("vessels", scene.vessels),
+    ):
+        if not meshes:
+            continue
+        dataset = Dataset.from_polyhedra(name, meshes, encoder)
+        summary = save_dataset(dataset, args.output / name)
+        print(f"{name}: {len(dataset)} objects, {summary['total_bytes']} bytes "
+              f"-> {args.output / name}")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    encoder = PPVPEncoder(max_lods=args.max_lods)
+    meshes = [_load_mesh(path) for path in args.meshes]
+    dataset = Dataset.from_polyhedra(args.name, meshes, encoder)
+    summary = save_dataset(dataset, args.output, quant_bits=args.quant_bits)
+    flat = sum(m.num_vertices * 24 + m.num_faces * 12 for m in meshes)
+    print(f"compressed {len(meshes)} meshes: {flat} flat bytes -> "
+          f"{summary['total_bytes']} ({flat / max(summary['total_bytes'], 1):.2f}x)")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    dataset = load_dataset(args.dataset)
+    print(f"dataset {dataset.name!r}: {len(dataset)} objects")
+    total_faces = dataset.total_faces()
+    print(f"  faces at top LOD: {total_faces}")
+    for obj_id, obj in enumerate(dataset.objects[:8]):
+        blob = serialize_object(obj)
+        sizes = serialized_segment_sizes(blob)
+        faces = [obj.face_count_at_lod(lod) for lod in obj.lods]
+        print(f"  object {obj_id}: lods={list(obj.lods)} faces={faces} "
+              f"bytes={sizes['total']}")
+    if len(dataset) > 8:
+        print(f"  ... and {len(dataset) - 8} more")
+    return 0
+
+
+def _cmd_decode(args) -> int:
+    from repro.io.off import write_off
+    from repro.io.stl import write_stl
+
+    dataset = load_dataset(args.dataset)
+    if not 0 <= args.object < len(dataset):
+        raise SystemExit(f"object must be in [0, {len(dataset) - 1}]")
+    obj = dataset.objects[args.object]
+    lod = obj.max_lod if args.lod is None else args.lod
+    mesh = obj.decode(lod).compacted()
+    suffix = args.output.suffix.lower()
+    if suffix == ".off":
+        write_off(args.output, mesh)
+    elif suffix == ".stl":
+        write_stl(args.output, mesh)
+    else:
+        raise SystemExit(f"unsupported output format: {args.output}")
+    print(f"object {args.object} @ LOD {lod}: {mesh.num_faces} faces -> {args.output}")
+    return 0
+
+
+def _make_engine(args) -> tuple[ThreeDPro, str, str]:
+    engine = ThreeDPro(EngineConfig(paradigm=getattr(args, "paradigm", "fpr"),
+                                    accel=_ACCEL[getattr(args, "accel", "none")]))
+    target = load_dataset(args.target)
+    source = load_dataset(args.source)
+    engine.load_dataset(target)
+    engine.load_dataset(source)
+    return engine, target.name, source.name
+
+
+def _cmd_query(args) -> int:
+    engine, target, source = _make_engine(args)
+    if args.query == "intersection":
+        result = engine.intersection_join(target, source)
+    elif args.query == "within":
+        if args.distance is None:
+            raise SystemExit("--distance is required for within queries")
+        result = engine.within_join(target, source, args.distance)
+    elif args.query == "nn":
+        result = engine.nn_join(target, source)
+    else:
+        result = engine.knn_join(target, source, k=args.k)
+    print(result.stats.summary())
+    shown = 0
+    for tid in sorted(result.pairs):
+        if shown >= args.limit:
+            print(f"... and {len(result.pairs) - shown} more targets")
+            break
+        print(f"  target {tid}: {result.pairs[tid]}")
+        shown += 1
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    engine = ThreeDPro(EngineConfig(paradigm="fpr"))
+    target = load_dataset(args.target)
+    source = load_dataset(args.source)
+    engine.load_dataset(target)
+    engine.load_dataset(source)
+    profile = profile_pruning(
+        engine, target.name, source.name, args.query,
+        sample_size=args.sample, distance=args.distance,
+    )
+    print(f"query={args.query} r={profile.face_growth:.2f}")
+    for lod in profile.lods:
+        print(f"  LOD {lod}: evaluated={profile.evaluated.get(lod, 0)} "
+              f"pruned={profile.pruned.get(lod, 0)} "
+              f"fraction={profile.pruned_fraction(lod):.2f} "
+              f"break-even={profile.break_even_at(lod):.2f}")
+    print(f"chosen lod_list: {choose_lod_list(profile)}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "compress": _cmd_compress,
+    "inspect": _cmd_inspect,
+    "decode": _cmd_decode,
+    "query": _cmd_query,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

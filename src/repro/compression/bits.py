@@ -1,0 +1,84 @@
+"""Minimal MSB-first bit stream reader/writer.
+
+Used for fixed-width packing of quantized vertex coordinates and for the
+Huffman coder's code emission.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte buffer."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self._accum = 0
+        self._nbits = 0
+
+    def write(self, value: int, width: int) -> None:
+        """Append the ``width`` low bits of ``value``."""
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        if value < 0 or (width < 64 and value >> width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._accum = (self._accum << width) | value
+        self._nbits += width
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._buffer.append((self._accum >> self._nbits) & 0xFF)
+        self._accum &= (1 << self._nbits) - 1
+
+    def write_bit(self, bit: int) -> None:
+        self.write(1 if bit else 0, 1)
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padding the last byte) and return the stream."""
+        if self._nbits:
+            pad = 8 - self._nbits
+            return bytes(self._buffer) + bytes(
+                [(self._accum << pad) & 0xFF]
+            )
+        return bytes(self._buffer)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._buffer) * 8 + self._nbits
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte buffer."""
+
+    def __init__(self, data: bytes, offset_bits: int = 0):
+        self._data = data
+        self._pos = offset_bits
+
+    def read(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        end = self._pos + width
+        if end > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        value = 0
+        pos = self._pos
+        remaining = width
+        while remaining:
+            byte_index, bit_index = divmod(pos, 8)
+            take = min(8 - bit_index, remaining)
+            chunk = self._data[byte_index]
+            chunk >>= 8 - bit_index - take
+            chunk &= (1 << take) - 1
+            value = (value << take) | chunk
+            pos += take
+            remaining -= take
+        self._pos = end
+        return value
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos

@@ -1,0 +1,129 @@
+"""Canonical Huffman entropy coding over byte streams.
+
+The serialized object format entropy-codes each segment independently
+(so per-LOD sizes stay measurable for the paper's Fig. 9). A canonical
+code needs only the 256 code lengths as a header; codes are assigned in
+(length, symbol) order on both sides.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+
+from repro.compression.bits import BitReader, BitWriter
+from repro.compression.varint import read_uvarint, write_uvarint
+
+__all__ = ["huffman_encode", "huffman_decode", "code_lengths"]
+
+_MAX_CODE_LEN = 32
+
+
+def code_lengths(data: bytes) -> dict[int, int]:
+    """Huffman code length per symbol for ``data`` (canonical package)."""
+    freq = Counter(data)
+    if not freq:
+        return {}
+    if len(freq) == 1:
+        return {next(iter(freq)): 1}
+
+    # Standard Huffman tree; entries are (weight, tiebreak, symbols...).
+    heap: list[tuple[int, int, tuple[int, ...]]] = [
+        (count, symbol, (symbol,)) for symbol, count in freq.items()
+    ]
+    heapq.heapify(heap)
+    depths: dict[int, int] = dict.fromkeys(freq, 0)
+    tiebreak = 256
+    while len(heap) > 1:
+        w1, _t1, s1 = heapq.heappop(heap)
+        w2, _t2, s2 = heapq.heappop(heap)
+        for symbol in s1 + s2:
+            depths[symbol] += 1
+        heapq.heappush(heap, (w1 + w2, tiebreak, s1 + s2))
+        tiebreak += 1
+    if max(depths.values()) > _MAX_CODE_LEN:
+        raise ValueError("Huffman code exceeds supported length")
+    return depths
+
+
+def _canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Map symbol -> (code, length), assigned in canonical order."""
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for symbol, length in ordered:
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+def huffman_encode(data: bytes) -> bytes:
+    """Encode ``data``; output is self-describing (lengths header + bits)."""
+    header = bytearray()
+    write_uvarint(header, len(data))
+    lengths = code_lengths(data)
+    present = sorted(lengths)
+    write_uvarint(header, len(present))
+    for symbol in present:
+        header.append(symbol)
+        header.append(lengths[symbol])
+    if not data:
+        return bytes(header)
+
+    codes = _canonical_codes(lengths)
+    writer = BitWriter()
+    for byte in data:
+        code, length = codes[byte]
+        writer.write(code, length)
+    return bytes(header) + writer.getvalue()
+
+
+def huffman_decode(blob: bytes) -> bytes:
+    """Inverse of :func:`huffman_encode`."""
+    size, offset = read_uvarint(blob, 0)
+    nsymbols, offset = read_uvarint(blob, offset)
+    lengths: dict[int, int] = {}
+    for _ in range(nsymbols):
+        if offset + 2 > len(blob):
+            raise EOFError("truncated Huffman header")
+        lengths[blob[offset]] = blob[offset + 1]
+        offset += 2
+    if size == 0:
+        return b""
+    if not lengths:
+        raise ValueError("non-empty payload with empty code table")
+
+    codes = _canonical_codes(lengths)
+    # Canonical decoding tables: for each length, the first code value and
+    # the symbols in canonical order.
+    by_length: dict[int, list[int]] = {}
+    first_code: dict[int, int] = {}
+    for symbol, (code, length) in sorted(
+        codes.items(), key=lambda item: (item[1][1], item[1][0])
+    ):
+        if length not in by_length:
+            by_length[length] = []
+            first_code[length] = code
+        by_length[length].append(symbol)
+
+    reader = BitReader(blob, offset * 8)
+    out = bytearray()
+    max_len = max(by_length)
+    for _ in range(size):
+        code = 0
+        length = 0
+        while True:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            symbols = by_length.get(length)
+            if symbols is not None:
+                index = code - first_code[length]
+                if 0 <= index < len(symbols):
+                    out.append(symbols[index])
+                    break
+            if length > max_len:
+                raise ValueError("corrupt Huffman stream")
+    return bytes(out)

@@ -1,0 +1,35 @@
+"""PPMC-style baseline codec (paper reference [38], Section 2.3).
+
+Identical machinery to the PPVP encoder except that *any* removable
+vertex may be pruned — protruding or recessing. The resulting LODs are
+neither progressive nor conservative approximations of the original
+object, which is exactly the limitation the paper's Section 3 sets out
+to fix; the test suite demonstrates the broken query properties on this
+codec, and the benchmarks use it to show why the FPR paradigm needs
+PPVP.
+"""
+
+from __future__ import annotations
+
+from repro.compression.ppvp import PPVPEncoder
+
+__all__ = ["PPMCEncoder"]
+
+
+class PPMCEncoder(PPVPEncoder):
+    """Progressive codec without the protruding-vertex constraint."""
+
+    def __init__(
+        self,
+        max_lods: int = 6,
+        rounds_per_lod: int = 2,
+        min_faces: int = 16,
+        max_ring: int = 16,
+    ):
+        super().__init__(
+            max_lods=max_lods,
+            rounds_per_lod=rounds_per_lod,
+            min_faces=min_faces,
+            max_ring=max_ring,
+            protruding_only=False,
+        )

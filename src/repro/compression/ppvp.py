@@ -1,0 +1,281 @@
+"""PPVP: Progressive Protruding-Vertex Pruning compression (Section 3.2).
+
+The encoder runs rounds of decimation. In each round it sweeps the live
+vertices in deterministic order and removes every vertex that
+
+* still has a removable star (a single closed fan),
+* is not marked irremovable (no two removed vertices may share an edge
+  within a round, so the surface simplifies evenly — Section 2.3), and
+* is **protruding** for some valid fan re-triangulation of its ring,
+
+recording, per removal, just the vertex id, its ordered ring, and which
+ring rotation served as the fan apex — enough to reconstruct both the
+deleted star and the inserted patch. Because pruning only ever cuts
+solid tetrahedra off the surface, the mesh after any number of rounds
+covers a subset of the original volume, and therefore (paper Section 3.2):
+
+1. if two objects intersect at a lower LOD they intersect at every
+   higher LOD, and
+2. the distance between two objects at a lower LOD upper-bounds their
+   distance at every higher LOD.
+
+Decoding is progressive: a :class:`ProgressiveDecoder` starts from the
+base (coarsest) mesh and replays removal records in reverse, one round
+at a time, which is exactly the access pattern of the
+Filter-Progressive-Refine query engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from math import ceil
+
+import numpy as np
+
+from repro.compression.classify import patch_is_embedded, patch_is_protruding
+from repro.geometry.aabb import AABB
+from repro.mesh.editable import EditableMesh, VertexPatch
+from repro.mesh.polyhedron import Polyhedron
+
+__all__ = ["RemovalRecord", "CompressedObject", "PPVPEncoder", "ProgressiveDecoder"]
+
+
+@dataclass(frozen=True)
+class RemovalRecord:
+    """A compact, reconstructible record of one vertex removal.
+
+    The deleted star is always the full fan ``(vertex, ring[i],
+    ring[i+1])``; the inserted patch is the fan of the ring rotated so
+    ``ring[apex_offset]`` comes first. Storing only ``(vertex, ring,
+    apex_offset)`` therefore reproduces the entire surgery.
+    """
+
+    vertex: int
+    ring: tuple[int, ...]
+    apex_offset: int
+
+    def star_faces(self) -> tuple[tuple[int, int, int], ...]:
+        k = len(self.ring)
+        return tuple(
+            (self.vertex, self.ring[i], self.ring[(i + 1) % k]) for i in range(k)
+        )
+
+    def patch_faces(self) -> tuple[tuple[int, int, int], ...]:
+        loop = self.ring[self.apex_offset :] + self.ring[: self.apex_offset]
+        apex = loop[0]
+        return tuple((apex, loop[j], loop[j + 1]) for j in range(1, len(loop) - 1))
+
+    def as_vertex_patch(self) -> VertexPatch:
+        return VertexPatch(self.vertex, self.ring, self.star_faces(), self.patch_faces())
+
+    @staticmethod
+    def from_vertex_patch(patch: VertexPatch) -> "RemovalRecord":
+        apex = patch.patch_faces[0][0] if patch.patch_faces else patch.ring[0]
+        return RemovalRecord(patch.vertex, tuple(patch.ring), patch.ring.index(apex))
+
+
+@dataclass(frozen=True)
+class CompressedObject:
+    """A 3D object compressed into a base mesh plus removal rounds.
+
+    ``rounds[0]`` is the first round applied during encoding (removals
+    closest to the original surface); ``rounds[-1]`` produced the base
+    mesh. Decoding reinserts rounds from the back of the list forward.
+    All face records index into the single shared ``positions`` table,
+    which includes removed vertices — vertex ids are stable across LODs.
+    """
+
+    positions: np.ndarray
+    base_faces: np.ndarray
+    rounds: tuple[tuple[RemovalRecord, ...], ...]
+    rounds_per_lod: int = 2
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.rounds_per_lod < 1:
+            raise ValueError("rounds_per_lod must be >= 1")
+        self.positions.setflags(write=False)
+        self.base_faces.setflags(write=False)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def max_lod(self) -> int:
+        """Highest LOD index; LOD 0 is the base, ``max_lod`` the original."""
+        return ceil(self.num_rounds / self.rounds_per_lod)
+
+    @property
+    def lods(self) -> range:
+        """All decodable LODs, ascending (coarse to fine)."""
+        return range(self.max_lod + 1)
+
+    def rounds_reinserted_at(self, lod: int) -> int:
+        """How many rounds must be decoded (reinserted) to reach ``lod``."""
+        if lod < 0 or lod > self.max_lod:
+            raise ValueError(f"lod must be in [0, {self.max_lod}], got {lod}")
+        return min(self.num_rounds, lod * self.rounds_per_lod)
+
+    @cached_property
+    def aabb(self) -> AABB:
+        """MBB of the original (highest-LOD) object.
+
+        PPVP only prunes, so this also bounds every lower LOD; it is the
+        box registered in the global R-tree without decoding anything.
+        """
+        stored = self.metadata.get("aabb")
+        if stored is not None:
+            return stored
+        return AABB.of_points(self.positions)
+
+    def face_count_at_lod(self, lod: int) -> int:
+        """Face count at ``lod`` in O(#rounds): each reinsertion adds 2 faces."""
+        reinserted = self.rounds_reinserted_at(lod)
+        restored = self.rounds[self.num_rounds - reinserted :]
+        return len(self.base_faces) + 2 * sum(len(r) for r in restored)
+
+    def decoder(self) -> "ProgressiveDecoder":
+        return ProgressiveDecoder(self)
+
+    def decode(self, lod: int) -> Polyhedron:
+        """One-shot decode to ``lod`` (use a decoder for progressive access)."""
+        decoder = self.decoder()
+        decoder.advance_to(lod)
+        return decoder.polyhedron()
+
+
+class ProgressiveDecoder:
+    """Stateful coarse-to-fine decoder over a :class:`CompressedObject`.
+
+    Decoding is monotone: LODs can only increase (matching the FPR
+    refinement loop). ``vertices_reinserted`` tallies the decode work
+    performed, which the engine uses for cost accounting.
+    """
+
+    def __init__(self, compressed: CompressedObject):
+        self.compressed = compressed
+        self._mesh = EditableMesh(
+            compressed.positions, map(tuple, compressed.base_faces.tolist())
+        )
+        self._rounds_reinserted = 0
+        self.current_lod = 0
+        self.vertices_reinserted = 0
+
+    def advance_to(self, lod: int) -> int:
+        """Reinsert rounds until ``lod`` is reached; returns vertices added."""
+        target = self.compressed.rounds_reinserted_at(lod)
+        if lod < self.current_lod:
+            raise ValueError(
+                f"decoder is at LOD {self.current_lod}; cannot go back to {lod}"
+            )
+        added = 0
+        rounds = self.compressed.rounds
+        while self._rounds_reinserted < target:
+            # Rounds reinsert in reverse encode order.
+            round_records = rounds[len(rounds) - 1 - self._rounds_reinserted]
+            for record in round_records:
+                self._mesh.reinsert(record.as_vertex_patch())
+            added += len(round_records)
+            self._rounds_reinserted += 1
+        self.current_lod = lod
+        self.vertices_reinserted += added
+        return added
+
+    def polyhedron(self) -> Polyhedron:
+        """Snapshot of the mesh at the current LOD (shares the vertex table)."""
+        return self._mesh.to_polyhedron()
+
+    def face_array(self) -> np.ndarray:
+        return self._mesh.face_array()
+
+
+class PPVPEncoder:
+    """Encoder for PPVP compression.
+
+    Parameters mirror the paper's experimental setup: 6 LODs, one LOD
+    level per two rounds of decimation, and decimation stops when the
+    mesh reaches ``min_faces`` or a round removes nothing.
+    """
+
+    def __init__(
+        self,
+        max_lods: int = 6,
+        rounds_per_lod: int = 2,
+        min_faces: int = 16,
+        max_ring: int = 16,
+        protruding_only: bool = True,
+    ):
+        if max_lods < 1:
+            raise ValueError("max_lods must be >= 1")
+        if rounds_per_lod < 1:
+            raise ValueError("rounds_per_lod must be >= 1")
+        if min_faces < 4:
+            raise ValueError("min_faces must be >= 4 (closed mesh lower bound)")
+        self.max_lods = max_lods
+        self.rounds_per_lod = rounds_per_lod
+        self.min_faces = min_faces
+        self.max_ring = max_ring
+        self.protruding_only = protruding_only
+
+    @property
+    def max_rounds(self) -> int:
+        return (self.max_lods - 1) * self.rounds_per_lod
+
+    def encode(self, polyhedron: Polyhedron) -> CompressedObject:
+        """Compress ``polyhedron`` into a base mesh plus removal rounds."""
+        positions = np.asarray(polyhedron.vertices, dtype=np.float64)
+        mesh = EditableMesh.from_polyhedron(polyhedron)
+        aabb = polyhedron.aabb
+
+        accept = None
+        if self.protruding_only:
+
+            def accept(vertex, patch):
+                # Cheap halfspace test first; the embedding guard (which
+                # keeps the tetrahedron-cut argument geometrically valid
+                # on saddle rings) only runs for vertices that pass it.
+                if not patch_is_protruding(positions, vertex, patch):
+                    return False
+                ring_vertices = {index for face in patch for index in face}
+                guard: set = set()
+                for u in ring_vertices:
+                    guard.update(mesh.star(u))
+                return patch_is_embedded(positions, patch, guard)
+
+        rounds: list[tuple[RemovalRecord, ...]] = []
+        for _round_index in range(self.max_rounds):
+            if mesh.num_faces <= self.min_faces:
+                break
+            removed = self._decimation_round(mesh, accept)
+            if not removed:
+                break
+            rounds.append(removed)
+
+        return CompressedObject(
+            positions=positions.copy(),
+            base_faces=mesh.face_array(),
+            rounds=tuple(rounds),
+            rounds_per_lod=self.rounds_per_lod,
+            metadata={"aabb": aabb, "original_faces": polyhedron.num_faces},
+        )
+
+    def _decimation_round(self, mesh, accept) -> tuple[RemovalRecord, ...]:
+        """One round: remove an independent set of (protruding) vertices."""
+        irremovable: set[int] = set()
+        removed: list[RemovalRecord] = []
+        for vertex in sorted(mesh.live_vertices):
+            if vertex in irremovable:
+                continue
+            if mesh.num_faces - 2 < self.min_faces:
+                break
+            star_size = len(mesh.star(vertex))
+            if star_size < 3 or star_size > self.max_ring:
+                continue
+            patch = mesh.try_remove_vertex(vertex, accept=accept)
+            if patch is None:
+                continue
+            irremovable.update(patch.ring)
+            removed.append(RemovalRecord.from_vertex_patch(patch))
+        return tuple(removed)

@@ -1,0 +1,61 @@
+"""LEB128 variable-length integers with zigzag signed coding."""
+
+from __future__ import annotations
+
+__all__ = [
+    "write_uvarint",
+    "read_uvarint",
+    "write_svarint",
+    "read_svarint",
+    "zigzag_encode",
+    "zigzag_decode",
+]
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise ValueError("uvarint requires a non-negative value")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
+    """Read an unsigned varint at ``offset``; returns (value, new_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise EOFError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise ValueError("varint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    return (value << 1) if value >= 0 else (((-value) << 1) - 1)
+
+
+def zigzag_decode(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def write_svarint(out: bytearray, value: int) -> None:
+    """Append a zigzag-coded signed varint."""
+    write_uvarint(out, (value << 1) if value >= 0 else (((-value) << 1) - 1))
+
+
+def read_svarint(data: bytes, offset: int) -> tuple[int, int]:
+    raw, offset = read_uvarint(data, offset)
+    return zigzag_decode(raw), offset

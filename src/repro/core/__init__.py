@@ -1,0 +1,34 @@
+"""The 3DPro query engine (the paper's primary contribution).
+
+:class:`~repro.core.engine.ThreeDPro` executes spatial joins —
+intersection, within, nearest-neighbor, and kNN — over datasets of
+PPVP-compressed objects under either query paradigm:
+
+* **FR** (Filter-Refine): filter with the global R-tree, then decode
+  every candidate to the highest LOD and refine; the classical baseline.
+* **FPR** (Filter-Progressive-Refine): refine candidates progressively
+  from low LODs, returning results early whenever the
+  progressive-approximation properties allow (Algorithms 1-3).
+
+Acceleration methods (AABB-trees, skeleton partitioning, simulated-GPU
+batching) compose with both paradigms, as in the paper's Table 1.
+"""
+
+from repro.core.config import Accel, EngineConfig
+from repro.core.engine import JoinResult, ThreeDPro
+from repro.core.errors import DatasetNotLoadedError, EngineConfigError
+from repro.core.lod_select import LODProfile, choose_lod_list, profile_pruning
+from repro.core.stats import QueryStats
+
+__all__ = [
+    "Accel",
+    "EngineConfig",
+    "JoinResult",
+    "ThreeDPro",
+    "DatasetNotLoadedError",
+    "EngineConfigError",
+    "LODProfile",
+    "choose_lod_list",
+    "profile_pruning",
+    "QueryStats",
+]

@@ -1,0 +1,98 @@
+"""Engine configuration.
+
+One :class:`EngineConfig` captures a full experimental cell of the
+paper's Table 1: the query paradigm (FR or FPR) plus the acceleration
+methods applied. ``Accel`` mirrors the table's columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import EngineConfigError
+
+__all__ = ["Accel", "EngineConfig"]
+
+
+@dataclass(frozen=True)
+class Accel:
+    """Acceleration methods (paper Section 5.1).
+
+    ``aabbtree`` — per-object AABB-trees on decoded faces;
+    ``partition`` — skeleton-based sub-object decomposition with
+    per-part boxes in the global index;
+    ``gpu`` — fused mega-batch kernel execution (simulated GPU).
+
+    ``partition`` and ``gpu`` compose (the paper's Partition+GPU column);
+    ``aabbtree`` is an alternative to ``gpu`` batching and to partition
+    filtering, exactly as in Table 1, so combining it with the others is
+    rejected.
+    """
+
+    aabbtree: bool = False
+    partition: bool = False
+    gpu: bool = False
+
+    def validate(self) -> None:
+        if self.aabbtree and (self.partition or self.gpu):
+            raise EngineConfigError(
+                "AABB-tree acceleration does not combine with partition/GPU "
+                "(Table 1 evaluates them as alternatives)"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short label matching the paper's Fig. 10 x-axis (B/P/A/G)."""
+        if self.aabbtree:
+            return "A"
+        if self.partition and self.gpu:
+            return "P+G"
+        if self.partition:
+            return "P"
+        if self.gpu:
+            return "G"
+        return "B"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Complete engine configuration (one Table 1 cell)."""
+
+    paradigm: str = "fpr"  # "fr" | "fpr"
+    accel: Accel = field(default_factory=Accel)
+    lod_list: tuple[int, ...] | None = None  # None: all LODs (fpr) / top (fr)
+    partition_parts: int = 8
+    partition_min_faces: int = 400  # only decompose complex objects
+    cache_bytes: int = 256 * 1024 * 1024
+    cache_enabled: bool = True
+    tree_leaf_size: int = 8
+    cpu_block: int = 48
+    gpu_block: int = 4096
+    workers: int = 1
+    # FPR may settle a nearest neighbor before its exact distance is
+    # known (the result carries an upper bound). Setting this forces a
+    # final top-LOD distance evaluation for the reported neighbors -
+    # costlier, but every returned distance is exact.
+    exact_nn_distances: bool = False
+
+    def __post_init__(self):
+        if self.paradigm not in ("fr", "fpr"):
+            raise EngineConfigError(f"paradigm must be 'fr' or 'fpr', got {self.paradigm!r}")
+        if self.partition_parts < 1:
+            raise EngineConfigError("partition_parts must be >= 1")
+        if self.lod_list is not None:
+            if not self.lod_list:
+                raise EngineConfigError("lod_list must be non-empty when given")
+            if list(self.lod_list) != sorted(set(self.lod_list)):
+                raise EngineConfigError("lod_list must be strictly ascending")
+            if any(lod < 0 for lod in self.lod_list):
+                raise EngineConfigError("lod_list entries must be >= 0")
+        self.accel.validate()
+
+    @property
+    def label(self) -> str:
+        """e.g. ``FPR/P+G`` — paradigm plus acceleration, as in Table 1."""
+        return f"{self.paradigm.upper()}/{self.accel.label}"
+
+    def with_paradigm(self, paradigm: str) -> "EngineConfig":
+        return replace(self, paradigm=paradigm)

@@ -1,0 +1,402 @@
+"""The 3DPro engine: dataset loading, filtering, and spatial joins.
+
+The engine owns (Fig. 8 of the paper):
+
+* a **global index** — one R-tree per loaded dataset over object MBBs
+  (or sub-object boxes when partition acceleration is on);
+* an **object decoder** behind a shared LRU decode cache;
+* a **geometry computer** — the batched face-pair kernel executor;
+* the **query processor** — the join drivers below, which batch target
+  objects cuboid by cuboid for cache locality and delegate per-target
+  work to the progressive refinement of :mod:`repro.core.refine`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.compression.ppvp import PPVPEncoder
+from repro.core.config import EngineConfig
+from repro.core.errors import DatasetNotLoadedError, EngineConfigError
+from repro.core.refine import (
+    NNCandidate,
+    RefineContext,
+    refine_intersection,
+    refine_nn,
+    refine_within,
+)
+from repro.core.stats import QueryStats
+from repro.geometry.aabb import AABB
+from repro.index.rtree import RTree, RTreeEntry
+from repro.mesh.polyhedron import Polyhedron
+from repro.parallel.executor import Device, GeometryComputer
+from repro.parallel.tasks import TaskScheduler
+from repro.partition.partitioner import partition_faces
+from repro.storage.cache import DecodeCache, DecodedObjectProvider
+from repro.storage.store import Dataset
+
+__all__ = ["ThreeDPro", "JoinResult"]
+
+
+@dataclass
+class JoinResult:
+    """Join output: per-target matches plus execution statistics.
+
+    ``pairs`` maps each target object id to its matches — a sorted list
+    of source ids for intersection/within joins, or a list of
+    ``(source_id, distance, exact)`` triples for NN/kNN joins (when the
+    FPR paradigm settles a nearest neighbor early, ``distance`` is the
+    best known upper bound and ``exact`` is False).
+    """
+
+    pairs: dict
+    stats: QueryStats
+
+    @property
+    def total_matches(self) -> int:
+        return sum(len(v) for v in self.pairs.values())
+
+
+class _LoadedDataset:
+    """Engine-side state for one dataset."""
+
+    def __init__(self, dataset: Dataset, provider: DecodedObjectProvider, rtree: RTree, partitions: dict):
+        self.dataset = dataset
+        self.provider = provider
+        self.rtree = rtree
+        self.partitions = partitions
+
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+
+class ThreeDPro:
+    """The progressive 3D spatial query engine."""
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        self.cache = DecodeCache(
+            capacity_bytes=self.config.cache_bytes, enabled=self.config.cache_enabled
+        )
+        device = Device.GPU if self.config.accel.gpu else Device.CPU
+        self.computer = GeometryComputer(
+            device=device,
+            cpu_block=self.config.cpu_block,
+            gpu_block=self.config.gpu_block,
+            scheduler=TaskScheduler(workers=self.config.workers),
+        )
+        self._datasets: dict[str, _LoadedDataset] = {}
+
+    # -- loading ---------------------------------------------------------------
+
+    def load_dataset(self, dataset: Dataset) -> None:
+        """Register a dataset: build its provider, partitions, and R-tree."""
+        provider = DecodedObjectProvider(
+            dataset.name,
+            dataset.objects,
+            self.cache,
+            tree_leaf_size=self.config.tree_leaf_size,
+        )
+        partitions: dict[int, object] = {}
+        entries: list[RTreeEntry] = []
+        for obj_id, obj in enumerate(dataset.objects):
+            if (
+                self.config.accel.partition
+                and obj.face_count_at_lod(obj.max_lod) >= self.config.partition_min_faces
+            ):
+                full = obj.decode(obj.max_lod)
+                partition = partition_faces(full, self.config.partition_parts)
+                partitions[obj_id] = partition
+                entries.extend(
+                    RTreeEntry(sub.aabb, (obj_id, sub.index))
+                    for sub in partition.sub_objects
+                )
+            else:
+                entries.append(RTreeEntry(obj.aabb, (obj_id, None)))
+        self._datasets[dataset.name] = _LoadedDataset(
+            dataset, provider, RTree(entries), partitions
+        )
+
+    def load_polyhedra(
+        self, name: str, polyhedra: list[Polyhedron], encoder: PPVPEncoder | None = None
+    ) -> Dataset:
+        """Convenience ingest: compress raw meshes and load them."""
+        dataset = Dataset.from_polyhedra(name, polyhedra, encoder=encoder)
+        self.load_dataset(dataset)
+        return dataset
+
+    def _get(self, name: str) -> _LoadedDataset:
+        loaded = self._datasets.get(name)
+        if loaded is None:
+            raise DatasetNotLoadedError(name)
+        return loaded
+
+    @property
+    def dataset_names(self) -> list[str]:
+        return sorted(self._datasets)
+
+    # -- LOD scheduling ----------------------------------------------------------
+
+    def _lod_schedule(self, target: _LoadedDataset, source: _LoadedDataset) -> tuple[int, ...]:
+        top = 0
+        for loaded in (target, source):
+            for obj in loaded.dataset.objects:
+                top = max(top, obj.max_lod)
+        if self.config.paradigm == "fr":
+            return (top,)
+        if self.config.lod_list is None:
+            return tuple(range(top + 1))
+        lods = sorted({min(lod, top) for lod in self.config.lod_list} | {top})
+        return tuple(lods)
+
+    # -- candidate gathering -------------------------------------------------------
+
+    @staticmethod
+    def _merge_payloads(payloads) -> dict:
+        """Collapse (obj, part) payloads into obj -> candidate part set."""
+        merged: dict[int, object] = {}
+        for obj_id, part in payloads:
+            if part is None:
+                merged[obj_id] = None
+            else:
+                existing = merged.get(obj_id, set())
+                if existing is not None:
+                    existing = set(existing)
+                    existing.add(part)
+                    merged[obj_id] = existing
+        return merged
+
+    def _refine_context(self, target: _LoadedDataset, source: _LoadedDataset, stats: QueryStats, lods) -> RefineContext:
+        return RefineContext(
+            computer=self.computer,
+            stats=stats,
+            target_provider=target.provider,
+            source_provider=source.provider,
+            target_partitions=target.partitions,
+            source_partitions=source.partitions,
+            lods=lods,
+            use_tree=self.config.accel.aabbtree,
+            exact_nn_distances=self.config.exact_nn_distances,
+        )
+
+    def _new_stats(self, query: str) -> QueryStats:
+        stats = QueryStats(query=query, config_label=self.config.label)
+        stats.cache_hits = -self.cache.hits
+        stats.cache_misses = -self.cache.misses
+        return stats
+
+    def _finish_stats(self, stats: QueryStats, started: float, providers) -> None:
+        stats.total_seconds = time.perf_counter() - started
+        stats.cache_hits += self.cache.hits
+        stats.cache_misses += self.cache.misses
+        decode = sum(p.decode_seconds for p in providers) - stats.decode_seconds_base
+        stats.decode_seconds = decode
+        stats.compute_seconds = max(0.0, stats.compute_seconds - decode)
+        stats.decoded_vertices = sum(p.decoded_vertices for p in providers)
+
+    # -- joins ----------------------------------------------------------------------
+
+    def intersection_join(self, target_name: str, source_name: str) -> JoinResult:
+        """For every target object, the source objects intersecting it."""
+        target, source = self._get(target_name), self._get(source_name)
+        lods = self._lod_schedule(target, source)
+        stats = self._new_stats("intersection_join")
+        stats.decode_seconds_base = sum(
+            p.decode_seconds for p in (target.provider, source.provider)
+        )
+        ctx = self._refine_context(target, source, stats, lods)
+        started = time.perf_counter()
+
+        pairs: dict[int, list[int]] = {}
+        for batch in target.dataset.cuboid_batches():
+            for tid in batch:
+                stats.targets += 1
+                box = target.dataset.objects[tid].aabb
+                with stats.clock("filter"):
+                    payloads = source.rtree.query_intersecting(box)
+                    candidates = self._merge_payloads(payloads)
+                stats.candidates += len(candidates)
+                with stats.clock("compute"):
+                    matches = refine_intersection(ctx, tid, candidates)
+                if matches:
+                    pairs[tid] = sorted(matches)
+                    stats.results += len(matches)
+        self._finish_stats(stats, started, (target.provider, source.provider))
+        return JoinResult(pairs, stats)
+
+    def within_join(
+        self, target_name: str, source_name: str, distance: float
+    ) -> JoinResult:
+        """For every target object, the source objects within ``distance``."""
+        if distance < 0:
+            raise EngineConfigError("distance must be >= 0")
+        target, source = self._get(target_name), self._get(source_name)
+        lods = self._lod_schedule(target, source)
+        stats = self._new_stats("within_join")
+        stats.decode_seconds_base = sum(
+            p.decode_seconds for p in (target.provider, source.provider)
+        )
+        ctx = self._refine_context(target, source, stats, lods)
+        started = time.perf_counter()
+
+        pairs: dict[int, list[int]] = {}
+        for batch in target.dataset.cuboid_batches():
+            for tid in batch:
+                stats.targets += 1
+                box = target.dataset.objects[tid].aabb
+                with stats.clock("filter"):
+                    found = source.rtree.query_within(box, distance)
+                    definite = self._merge_payloads(found.definite)
+                    candidates = self._merge_payloads(
+                        p for p in found.candidates if p[0] not in definite
+                    )
+                stats.candidates += len(candidates)
+                with stats.clock("compute"):
+                    matches = set(definite) | set(
+                        refine_within(ctx, tid, candidates, distance)
+                    )
+                if matches:
+                    pairs[tid] = sorted(matches)
+                    stats.results += len(matches)
+        self._finish_stats(stats, started, (target.provider, source.provider))
+        return JoinResult(pairs, stats)
+
+    def nn_join(self, target_name: str, source_name: str) -> JoinResult:
+        """All-nearest-neighbor join (ANN): the closest source per target."""
+        return self.knn_join(target_name, source_name, k=1)
+
+    def knn_join(self, target_name: str, source_name: str, k: int = 1) -> JoinResult:
+        """The ``k`` nearest source objects per target object."""
+        if k < 1:
+            raise EngineConfigError("k must be >= 1")
+        target, source = self._get(target_name), self._get(source_name)
+        lods = self._lod_schedule(target, source)
+        stats = self._new_stats("nn_join" if k == 1 else f"knn_join(k={k})")
+        stats.decode_seconds_base = sum(
+            p.decode_seconds for p in (target.provider, source.provider)
+        )
+        ctx = self._refine_context(target, source, stats, lods)
+        started = time.perf_counter()
+
+        pairs: dict[int, list[tuple[int, float, bool]]] = {}
+        for batch in target.dataset.cuboid_batches():
+            for tid in batch:
+                stats.targets += 1
+                box = target.dataset.objects[tid].aabb
+                with stats.clock("filter"):
+                    # For k = 1 the part-level bound is already the
+                    # object-level bound: an object whose every part has
+                    # MINDIST above the smallest part MAXDIST is farther
+                    # than the nearest object, and the part realizing an
+                    # object's distance always survives. For k > 1, k
+                    # objects may own up to k * partition_parts of the
+                    # smallest part ranges, so keep that many.
+                    k_entries = k if k == 1 else k * (
+                        self.config.partition_parts if source.partitions else 1
+                    )
+                    raw = source.rtree.query_nn_candidates(box, k=k_entries)
+                    candidates = self._merge_nn_payloads(raw)
+                stats.candidates += len(candidates)
+                with stats.clock("compute"):
+                    nearest = refine_nn(ctx, tid, candidates, k=k)
+                if nearest:
+                    pairs[tid] = [(c.sid, c.maxdist, c.exact) for c in nearest]
+                    stats.results += len(nearest)
+        self._finish_stats(stats, started, (target.provider, source.provider))
+        return JoinResult(pairs, stats)
+
+    @staticmethod
+    def _merge_nn_payloads(raw) -> list[NNCandidate]:
+        """Collapse per-part NN candidates into per-object distance ranges."""
+        merged: dict[int, NNCandidate] = {}
+        for (obj_id, part), mind, maxd in raw:
+            cand = merged.get(obj_id)
+            if cand is None:
+                parts = None if part is None else {part}
+                merged[obj_id] = NNCandidate(obj_id, mind, maxd, parts)
+                continue
+            cand.mindist = min(cand.mindist, mind)
+            cand.maxdist = min(cand.maxdist, maxd)
+            if cand.parts is not None and part is not None:
+                cand.parts.add(part)
+            else:
+                cand.parts = None if part is None else cand.parts
+        return list(merged.values())
+
+    # -- single-object queries ---------------------------------------------------
+
+    def intersection_query(self, source_name: str, probe: Polyhedron) -> list[int]:
+        """Source objects intersecting an ad-hoc probe polyhedron."""
+        return self._probe_join(source_name, probe, "intersection")
+
+    def within_query(
+        self, source_name: str, probe: Polyhedron, distance: float
+    ) -> list[int]:
+        """Source objects within ``distance`` of a probe polyhedron."""
+        return self._probe_join(source_name, probe, "within", distance=distance)
+
+    def nn_query(self, source_name: str, probe: Polyhedron) -> tuple[int, float, bool] | None:
+        """The nearest source object to a probe polyhedron."""
+        matches = self._probe_join(source_name, probe, "nn")
+        return matches[0] if matches else None
+
+    def containment_query(self, source_name: str, point) -> tuple[list[int], QueryStats]:
+        """Source objects containing ``point``, with progressive early accept.
+
+        The paper notes (Section 4.1) that point-in-polyhedron checks also
+        benefit from the FPR paradigm: a point inside a lower-LOD mesh is
+        inside the original (the LOD is a spatial subset), so containment
+        can often be confirmed without decoding further. Only the top LOD
+        can *exclude* a candidate.
+        """
+        from repro.geometry.raycast import point_in_polyhedron
+
+        source = self._get(source_name)
+        stats = self._new_stats("containment_query")
+        stats.decode_seconds_base = source.provider.decode_seconds
+        started = time.perf_counter()
+        point = tuple(float(v) for v in point)
+        probe = AABB(point, point)
+
+        with stats.clock("filter"):
+            payloads = source.rtree.query_intersecting(probe)
+            candidates = sorted({obj_id for obj_id, _part in payloads})
+        stats.candidates = len(candidates)
+
+        top = max((source.provider.max_lod(sid) for sid in candidates), default=0)
+        lods = (top,) if self.config.paradigm == "fr" else tuple(range(top + 1))
+        matches: list[int] = []
+        with stats.clock("compute"):
+            survivors = list(candidates)
+            for lod in lods:
+                if not survivors:
+                    break
+                stats.pairs_evaluated_by_lod[lod] += len(survivors)
+                remaining = []
+                for sid in survivors:
+                    dec = source.provider.get(sid, min(lod, source.provider.max_lod(sid)))
+                    if point_in_polyhedron(point, dec.triangles):
+                        matches.append(sid)  # inside a subset => inside
+                    elif lod < top:
+                        remaining.append(sid)
+                stats.pairs_pruned_by_lod[lod] += len(survivors) - len(remaining)
+                survivors = remaining
+        stats.results = len(matches)
+        self._finish_stats(stats, started, (source.provider,))
+        return sorted(matches), stats
+
+    def _probe_join(self, source_name, probe, kind, distance=None):
+        probe_dataset = Dataset.from_polyhedra("__probe__", [probe])
+        self.load_dataset(probe_dataset)
+        try:
+            if kind == "intersection":
+                result = self.intersection_join("__probe__", source_name)
+            elif kind == "within":
+                result = self.within_join("__probe__", source_name, distance)
+            else:
+                result = self.nn_join("__probe__", source_name)
+            return result.pairs.get(0, [])
+        finally:
+            del self._datasets["__probe__"]

@@ -1,0 +1,15 @@
+"""Engine error types."""
+
+__all__ = ["EngineError", "EngineConfigError", "DatasetNotLoadedError"]
+
+
+class EngineError(Exception):
+    """Base class for engine failures."""
+
+
+class EngineConfigError(EngineError, ValueError):
+    """Raised for invalid or unsupported configuration combinations."""
+
+
+class DatasetNotLoadedError(EngineError, KeyError):
+    """Raised when a query references a dataset name that is not loaded."""

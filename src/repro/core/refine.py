@@ -1,0 +1,326 @@
+"""Progressive refinement: the paper's Algorithms 1, 2, and 3.
+
+Each function refines one target object against its filtered candidates
+over an ascending LOD schedule, settling (pruning) candidates as early
+as the progressive-approximation properties allow:
+
+* intersection — an intersecting face pair at any LOD settles the pair
+  as a result (property 1); containment is checked at the top LOD;
+* within — a distance ≤ D at any LOD settles the pair as a result
+  (property 2: low-LOD distance upper-bounds the true distance);
+* nearest neighbor — each LOD tightens every candidate's MAXDIST, and
+  candidates whose MINDIST exceeds the global MINMAXDIST are dropped;
+  the range collapses to the exact distance at the top LOD.
+
+Under the FR paradigm the same functions run with a single-entry LOD
+schedule (the top LOD), which reduces them to classical refinement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.raycast import point_in_polyhedron
+from repro.parallel.executor import Device
+
+__all__ = ["RefineContext", "NNCandidate", "refine_intersection", "refine_within", "refine_nn"]
+
+_ALL_PARTS = None  # candidate part sentinel: evaluate every face
+
+
+@dataclass
+class NNCandidate:
+    """A nearest-neighbor candidate with its evolving distance range."""
+
+    sid: int
+    mindist: float
+    maxdist: float
+    parts: object = _ALL_PARTS
+    exact: bool = False
+
+
+@dataclass
+class RefineContext:
+    """Everything a refinement pass needs for one (target, source) join."""
+
+    computer: object  # GeometryComputer
+    stats: object  # QueryStats
+    target_provider: object  # DecodedObjectProvider
+    source_provider: object
+    target_partitions: dict = field(default_factory=dict)
+    source_partitions: dict = field(default_factory=dict)
+    lods: tuple[int, ...] = ()
+    use_tree: bool = False
+    exact_nn_distances: bool = False
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode_target(self, obj_id: int, lod: int):
+        return self.target_provider.get(
+            obj_id, min(lod, self.target_provider.max_lod(obj_id))
+        )
+
+    def decode_source(self, obj_id: int, lod: int):
+        return self.source_provider.get(
+            obj_id, min(lod, self.source_provider.max_lod(obj_id))
+        )
+
+    # -- face selection (partition acceleration) -------------------------------
+
+    def source_faces(self, dec, obj_id: int, parts):
+        """Triangles of a source object, restricted to candidate parts."""
+        partition = self.source_partitions.get(obj_id)
+        if parts is _ALL_PARTS or partition is None:
+            return dec.triangles
+        groups = dec.groups(partition)
+        mask = np.isin(groups, np.fromiter(parts, dtype=np.int64))
+        return dec.triangles[mask]
+
+    # -- pair kernels -----------------------------------------------------------
+
+    def pair_intersects(self, dec_t, dec_s, sid: int, parts, lod: int) -> bool:
+        kernel_stats: dict = {}
+        if self.use_tree:
+            hit = self.computer.intersects(
+                dec_t.triangles,
+                dec_s.triangles,
+                tree_a=dec_t.tree,
+                tree_b=dec_s.tree,
+                stats=kernel_stats,
+            )
+        else:
+            tris_s = self.source_faces(dec_s, sid, parts)
+            hit = (
+                self.computer.intersects(dec_t.triangles, tris_s, stats=kernel_stats)
+                if len(tris_s)
+                else False
+            )
+        self.stats.face_pairs_by_lod[lod] += kernel_stats.get("pairs", 0)
+        return hit
+
+    def pair_min_distance(
+        self, dec_t, dec_s, sid: int, parts, lod: int, stop_below: float = 0.0
+    ) -> float:
+        kernel_stats: dict = {}
+        if self.use_tree:
+            dist = self.computer.min_distance(
+                dec_t.triangles,
+                dec_s.triangles,
+                tree_a=dec_t.tree,
+                tree_b=dec_s.tree,
+                stop_below=stop_below,
+                stats=kernel_stats,
+            )
+        else:
+            tris_s = self.source_faces(dec_s, sid, parts)
+            dist = (
+                self.computer.min_distance(
+                    dec_t.triangles, tris_s, stop_below=stop_below, stats=kernel_stats
+                )
+                if len(tris_s)
+                else math.inf
+            )
+        self.stats.face_pairs_by_lod[lod] += kernel_stats.get("pairs", 0)
+        return dist
+
+    def batch_min_distances(
+        self, dec_t, survivors: list, lod: int, stop_below: float = 0.0
+    ) -> list[float]:
+        """Distances from the target to many candidates at one LOD.
+
+        On the GPU device, *exhaustive* evaluations (NN: every pair's
+        exact distance is needed) are fused into saturating batches;
+        early-exit evaluations (within: a threshold settles pairs) run
+        per candidate so the exit can actually fire.
+        """
+        if self.use_tree or self.computer.device is not Device.GPU or stop_below > 0.0:
+            out = []
+            for sid, parts in survivors:
+                dec_s = self.decode_source(sid, lod)
+                out.append(
+                    self.pair_min_distance(
+                        dec_t, dec_s, sid, parts, lod, stop_below=stop_below
+                    )
+                )
+            return out
+        jobs = []
+        for sid, parts in survivors:
+            dec_s = self.decode_source(sid, lod)
+            tris_s = self.source_faces(dec_s, sid, parts)
+            jobs.append((dec_t.triangles, tris_s))
+        kernel_stats: dict = {}
+        nonempty = [(i, job) for i, job in enumerate(jobs) if len(job[1])]
+        dists = self.computer.pairwise_min_distances(
+            [job for _i, job in nonempty], stats=kernel_stats
+        )
+        self.stats.face_pairs_by_lod[lod] += kernel_stats.get("pairs", 0)
+        out = [math.inf] * len(jobs)
+        for (i, _job), dist in zip(nonempty, dists):
+            out[i] = dist
+        return out
+
+
+# -- Algorithm 1: intersection -------------------------------------------------
+
+
+def refine_intersection(ctx: RefineContext, target_id: int, candidates: dict) -> list[int]:
+    """Source ids that truly intersect the target (Algorithm 1)."""
+    results: list[int] = []
+    survivors = dict(candidates)
+    top_lod = ctx.lods[-1]
+    for lod in ctx.lods:
+        if not survivors:
+            break
+        dec_t = ctx.decode_target(target_id, lod)
+        ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+        settled = []
+        for sid, parts in survivors.items():
+            dec_s = ctx.decode_source(sid, lod)
+            if ctx.pair_intersects(dec_t, dec_s, sid, parts, lod):
+                results.append(sid)
+                settled.append(sid)
+        for sid in settled:
+            del survivors[sid]
+        ctx.stats.pairs_pruned_by_lod[lod] += len(settled)
+
+    # Containment stage (Algorithm 1 steps 8-12): no face pair intersects,
+    # but one object may contain the other entirely.
+    if survivors:
+        dec_t = ctx.decode_target(target_id, top_lod)
+        t_box = _faces_aabb(dec_t)
+        for sid in survivors:
+            dec_s = ctx.decode_source(sid, top_lod)
+            s_box = _faces_aabb(dec_s)
+            if _box_contains(t_box, s_box):
+                probe = dec_s.triangles[0, 0]
+                if point_in_polyhedron(probe, dec_t.triangles):
+                    results.append(sid)
+                    continue
+            if _box_contains(s_box, t_box):
+                probe = dec_t.triangles[0, 0]
+                if point_in_polyhedron(probe, dec_s.triangles):
+                    results.append(sid)
+        ctx.stats.pairs_pruned_by_lod[top_lod] += len(survivors)
+    return results
+
+
+def _faces_aabb(dec) -> tuple[np.ndarray, np.ndarray]:
+    tris = dec.triangles
+    return tris.min(axis=(0, 1)), tris.max(axis=(0, 1))
+
+
+def _box_contains(outer, inner) -> bool:
+    return bool((outer[0] <= inner[0]).all() and (inner[1] <= outer[1]).all())
+
+
+# -- Algorithm 2: within ---------------------------------------------------------
+
+
+def refine_within(
+    ctx: RefineContext, target_id: int, candidates: dict, distance: float
+) -> list[int]:
+    """Source ids truly within ``distance`` of the target (Algorithm 2)."""
+    results: list[int] = []
+    survivors = list(candidates.items())
+    top_lod = ctx.lods[-1]
+    for lod in ctx.lods:
+        if not survivors:
+            break
+        dec_t = ctx.decode_target(target_id, lod)
+        ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+        dists = ctx.batch_min_distances(dec_t, survivors, lod, stop_below=distance)
+        remaining = []
+        settled = 0
+        for (sid, parts), dist in zip(survivors, dists):
+            if dist <= distance:
+                results.append(sid)
+                settled += 1
+            else:
+                remaining.append((sid, parts))
+        if lod == top_lod:
+            settled += len(remaining)  # exact distances exclude the rest
+            remaining = []
+        ctx.stats.pairs_pruned_by_lod[lod] += settled
+        survivors = remaining
+    return results
+
+
+# -- Algorithm 3: nearest neighbor ----------------------------------------------
+
+
+def refine_nn(
+    ctx: RefineContext, target_id: int, candidates: list[NNCandidate], k: int = 1
+) -> list[NNCandidate]:
+    """The ``k`` nearest candidates with tightened ranges (Algorithm 3).
+
+    Candidates enter with their MBB-based [MINDIST, MAXDIST] ranges. Each
+    LOD's measured distance replaces MAXDIST (a valid upper bound, by
+    property 2) and the global pruning bound is the k-th smallest
+    MAXDIST. At the top LOD ranges collapse and the result is exact; if
+    pruning leaves only ``k`` candidates earlier, they are returned with
+    their ranges still open (``exact=False``) — the early return that
+    gives FPR its nearest-neighbor speedups.
+    """
+    if not candidates:
+        return []
+    survivors = sorted(candidates, key=lambda c: c.mindist)
+    top_lod = ctx.lods[-1]
+
+    # Initial prune from the MBB-based ranges alone (before any decoding).
+    minmax = _kth_smallest((c.maxdist for c in survivors), k)
+    survivors = [c for c in survivors if c.mindist <= minmax]
+
+    for lod in ctx.lods:
+        if len(survivors) <= k and lod != top_lod:
+            # Early NN determination without decoding further LODs.
+            break
+
+        dec_t = ctx.decode_target(target_id, lod)
+        ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+        dists = ctx.batch_min_distances(
+            dec_t, [(c.sid, c.parts) for c in survivors], lod
+        )
+        for cand, dist in zip(survivors, dists):
+            if lod == top_lod:
+                # Collapse the range to the exact distance. Do NOT keep a
+                # previously-tightened MAXDIST here: kernel summation
+                # order differs between LODs, so an earlier bound can sit
+                # an ulp *below* the exact value, leaving mindist >
+                # maxdist and pruning the true nearest neighbor away.
+                cand.maxdist = float(dist)
+                cand.mindist = float(dist)
+                cand.exact = True
+            else:
+                cand.maxdist = min(cand.maxdist, float(dist))
+
+        # Prune with the ranges this LOD just tightened, crediting the
+        # prune to this LOD (Section 4.4's "pairs pruned by refining at
+        # LOD i" — the quantity the schedule profiling feeds on).
+        minmax = _kth_smallest((c.maxdist for c in survivors), k)
+        kept = [c for c in survivors if c.mindist <= minmax]
+        ctx.stats.pairs_pruned_by_lod[lod] += len(survivors) - len(kept)
+        survivors = kept
+
+    if ctx.exact_nn_distances:
+        pending = [c for c in survivors if not c.exact]
+        if pending:
+            dec_t = ctx.decode_target(target_id, top_lod)
+            dists = ctx.batch_min_distances(
+                dec_t, [(c.sid, c.parts) for c in pending], top_lod
+            )
+            for cand, dist in zip(pending, dists):
+                cand.maxdist = cand.mindist = float(dist)
+                cand.exact = True
+
+    survivors.sort(key=lambda c: (c.maxdist, c.sid))
+    return survivors[:k]
+
+
+def _kth_smallest(values, k: int) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return math.inf
+    return ordered[min(k, len(ordered)) - 1]

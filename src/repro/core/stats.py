@@ -1,0 +1,136 @@
+"""Per-query execution statistics and time accounting.
+
+Every join returns a :class:`QueryStats` whose fields are the raw
+material of the paper's evaluation artifacts:
+
+* the filter / decode / compute time split (Fig. 10),
+* object pairs evaluated and pruned per LOD (Fig. 12 and the Section 4.4
+  LOD-selection rule),
+* face-pair kernel counts and cache hit/miss counters (Table 2).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Counters and timers for one query or join execution."""
+
+    query: str = ""
+    config_label: str = ""
+
+    filter_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    targets: int = 0
+    candidates: int = 0
+    results: int = 0
+
+    # Object-pair flow per LOD (Fig. 12): evaluated[l] pairs were refined
+    # at LOD l; pruned[l] of them were settled (result or discard) there.
+    pairs_evaluated_by_lod: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    pairs_pruned_by_lod: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    # Face-pair kernel work, per LOD.
+    face_pairs_by_lod: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    decoded_vertices: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # Snapshot of the providers' cumulative decode time taken when the
+    # query starts; the engine uses it to attribute decode deltas.
+    decode_seconds_base: float = 0.0
+
+    @contextmanager
+    def clock(self, phase: str):
+        """Accumulate wall time into ``<phase>_seconds``."""
+        attr = f"{phase}_seconds"
+        if not hasattr(self, attr):
+            raise AttributeError(f"unknown phase {phase!r}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            setattr(self, attr, getattr(self, attr) + time.perf_counter() - start)
+
+    @property
+    def face_pairs_total(self) -> int:
+        return sum(self.face_pairs_by_lod.values())
+
+    @property
+    def other_seconds(self) -> float:
+        """Wall time not attributed to filter/decode/compute."""
+        return max(
+            0.0,
+            self.total_seconds
+            - self.filter_seconds
+            - self.decode_seconds
+            - self.compute_seconds,
+        )
+
+    def pruned_fraction(self, lod: int) -> float:
+        """Fraction of pairs refined at ``lod`` that were settled there."""
+        evaluated = self.pairs_evaluated_by_lod.get(lod, 0)
+        if not evaluated:
+            return 0.0
+        return self.pairs_pruned_by_lod.get(lod, 0) / evaluated
+
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another stats object into this one (multi-batch joins)."""
+        self.filter_seconds += other.filter_seconds
+        self.decode_seconds += other.decode_seconds
+        self.compute_seconds += other.compute_seconds
+        self.total_seconds += other.total_seconds
+        self.targets += other.targets
+        self.candidates += other.candidates
+        self.results += other.results
+        self.decoded_vertices += other.decoded_vertices
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        for lod, count in other.pairs_evaluated_by_lod.items():
+            self.pairs_evaluated_by_lod[lod] += count
+        for lod, count in other.pairs_pruned_by_lod.items():
+            self.pairs_pruned_by_lod[lod] += count
+        for lod, count in other.face_pairs_by_lod.items():
+            self.face_pairs_by_lod[lod] += count
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "config": self.config_label,
+            "total_seconds": self.total_seconds,
+            "filter_seconds": self.filter_seconds,
+            "decode_seconds": self.decode_seconds,
+            "compute_seconds": self.compute_seconds,
+            "other_seconds": self.other_seconds,
+            "targets": self.targets,
+            "candidates": self.candidates,
+            "results": self.results,
+            "face_pairs_total": self.face_pairs_total,
+            "pairs_evaluated_by_lod": dict(self.pairs_evaluated_by_lod),
+            "pairs_pruned_by_lod": dict(self.pairs_pruned_by_lod),
+            "decoded_vertices": self.decoded_vertices,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.query or 'query'} [{self.config_label}] "
+            f"total={self.total_seconds:.3f}s "
+            f"(filter={self.filter_seconds:.3f} decode={self.decode_seconds:.3f} "
+            f"compute={self.compute_seconds:.3f}) "
+            f"targets={self.targets} candidates={self.candidates} "
+            f"results={self.results} face_pairs={self.face_pairs_total}"
+        )

@@ -1,0 +1,29 @@
+"""Synthetic datasets standing in for the paper's brain-tissue data.
+
+The paper evaluates on ~10M reconstructed nuclei (regular, near-convex,
+~300 faces) and ~50K bifurcated vessels (~30K faces, ~5 bifurcations).
+Those datasets are proprietary; this package procedurally generates the
+same *shape classes* deterministically by seed:
+
+* nuclei — radially perturbed, anisotropically scaled icospheres placed
+  on a jittered grid so objects in one dataset never intersect;
+* vessels — unions of capped tubes swept along the branches of a random
+  bifurcating tree.
+
+Scales are configurable so the benchmarks can run paper-shaped workloads
+at pure-Python-friendly sizes.
+"""
+
+from repro.datagen.nuclei import make_nucleus, nuclei_dataset, paired_nuclei_datasets
+from repro.datagen.scenes import TissueScene, make_tissue_scene
+from repro.datagen.vessels import make_vessel, vessel_dataset
+
+__all__ = [
+    "make_nucleus",
+    "nuclei_dataset",
+    "paired_nuclei_datasets",
+    "TissueScene",
+    "make_tissue_scene",
+    "make_vessel",
+    "vessel_dataset",
+]

@@ -1,0 +1,26 @@
+"""Deterministic randomness helpers for the data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_unit_vectors", "random_rotation"]
+
+
+def random_unit_vectors(rng: np.random.Generator, n: int) -> np.ndarray:
+    """``n`` uniformly distributed unit vectors, shape (n, 3)."""
+    v = rng.normal(size=(n, 3))
+    norms = np.linalg.norm(v, axis=1, keepdims=True)
+    # Degenerate draws are astronomically unlikely; guard anyway.
+    norms[norms < 1e-12] = 1.0
+    return v / norms
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random 3x3 rotation matrix (QR of a Gaussian)."""
+    m = rng.normal(size=(3, 3))
+    q, r = np.linalg.qr(m)
+    q *= np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 2] = -q[:, 2]
+    return q

@@ -1,0 +1,156 @@
+"""Vessel generation: large bifurcated tube structures.
+
+A vessel is grown as a random binary tree of centerline branches; each
+branch is swept into a capped tube and the tubes are concatenated into
+one polyhedron (a closed mesh with multiple components that overlap at
+the joints — the union covers a connected bifurcated volume). Joints and
+tapering create plenty of recessing geometry, matching the paper's ~75%
+protruding statistic for vessels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.rng import random_unit_vectors
+from repro.mesh.polyhedron import Polyhedron
+from repro.mesh.primitives import tube_along_path
+
+__all__ = ["VesselSpec", "make_vessel", "vessel_dataset", "merge_polyhedra"]
+
+
+@dataclass(frozen=True)
+class VesselSpec:
+    """Knobs controlling one vessel's size and complexity.
+
+    Defaults produce ~5 bifurcations and a few thousand faces; raise
+    ``points_per_branch`` / ``segments`` toward the paper's ~30K faces.
+    """
+
+    bifurcations: int = 5
+    points_per_branch: int = 8
+    segments: int = 10
+    trunk_radius: float = 1.0
+    radius_decay: float = 0.75
+    branch_length: float = 8.0
+    meander: float = 0.35
+    spread: float = 0.8
+
+
+def merge_polyhedra(parts: list[Polyhedron]) -> Polyhedron:
+    """Concatenate closed meshes into one polyhedron (offsetting indices)."""
+    if not parts:
+        raise ValueError("nothing to merge")
+    vertices = []
+    faces = []
+    offset = 0
+    for part in parts:
+        vertices.append(part.vertices)
+        faces.append(part.faces + offset)
+        offset += part.num_vertices
+    return Polyhedron(np.vstack(vertices), np.vstack(faces), copy=False)
+
+
+def _grow_branch(rng, start, direction, spec, radius, depth, tubes):
+    """Recursively grow a branch and its children; appends tube meshes."""
+    direction = direction / np.linalg.norm(direction)
+    length = spec.branch_length * (spec.radius_decay**depth)
+    step = length / spec.points_per_branch
+
+    points = [np.asarray(start, dtype=np.float64)]
+    heading = direction.copy()
+    for _ in range(spec.points_per_branch):
+        heading = heading + spec.meander * rng.normal(size=3)
+        heading /= np.linalg.norm(heading)
+        points.append(points[-1] + heading * step)
+    path = np.asarray(points)
+
+    end_radius = radius * spec.radius_decay
+    radii = np.linspace(radius, end_radius, len(path))
+    tubes.append(tube_along_path(path, radii, segments=spec.segments))
+
+    if depth >= spec.bifurcations:
+        return
+    # Bifurcate: two children leaving the branch tip at spread angles.
+    ortho = random_unit_vectors(rng, 1)[0]
+    ortho -= heading * float(ortho @ heading)
+    ortho /= np.linalg.norm(ortho)
+    for sign in (1.0, -1.0):
+        child_dir = heading + sign * spec.spread * ortho
+        _grow_branch(
+            rng,
+            path[-1],
+            child_dir,
+            spec,
+            end_radius,
+            depth + 1,
+            tubes,
+        )
+
+
+def make_vessel(
+    rng: np.random.Generator,
+    start=(0.0, 0.0, 0.0),
+    direction=(0.0, 0.0, 1.0),
+    spec: VesselSpec | None = None,
+) -> Polyhedron:
+    """One bifurcated vessel mesh.
+
+    The returned polyhedron has ``2**(bifurcations+1) - 1`` branch tubes
+    (a full binary tree when every level bifurcates once per side is
+    pruned to one split per depth level here: each depth adds 2 children
+    per branch, bounded by ``spec.bifurcations`` levels).
+    """
+    spec = spec or VesselSpec()
+    tubes: list[Polyhedron] = []
+    _grow_branch(
+        rng,
+        np.asarray(start, dtype=np.float64),
+        np.asarray(direction, dtype=np.float64),
+        spec,
+        spec.trunk_radius,
+        0,
+        tubes,
+    )
+    return merge_polyhedra(tubes)
+
+
+def vessel_dataset(
+    count: int,
+    seed: int = 0,
+    region_low=(0.0, 0.0, 0.0),
+    region_high=(100.0, 100.0, 100.0),
+    spec: VesselSpec | None = None,
+) -> list[Polyhedron]:
+    """``count`` vessels spread over a region on a jittered lattice."""
+    spec = spec or VesselSpec()
+    rng = np.random.default_rng(seed)
+    low = np.asarray(region_low, dtype=np.float64)
+    high = np.asarray(region_high, dtype=np.float64)
+    # Footprint of one vessel: total tree height plus lateral wander.
+    # Cells are two reaches wide so neighbouring vessels cannot touch.
+    reach = spec.branch_length * sum(
+        spec.radius_decay**d for d in range(spec.bifurcations + 1)
+    )
+    n_axis = max(1, int(np.floor(min(high - low) / max(2.0 * reach, 1e-9))))
+    if n_axis**3 < count:
+        raise ValueError(
+            f"region fits only {n_axis ** 3} vessels of reach {reach:.1f}; "
+            f"asked for {count}"
+        )
+    cells = rng.choice(n_axis**3, size=count, replace=False)
+    i = cells // (n_axis * n_axis)
+    j = (cells // n_axis) % n_axis
+    k = cells % n_axis
+    spacing = (high - low) / n_axis
+    centers = low + (np.stack([i, j, k], axis=1) + 0.5) * spacing
+
+    vessels = []
+    for center in centers:
+        direction = random_unit_vectors(rng, 1)[0]
+        vessels.append(
+            make_vessel(rng, start=tuple(center), direction=tuple(direction), spec=spec)
+        )
+    return vessels

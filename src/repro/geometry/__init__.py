@@ -1,0 +1,54 @@
+"""Geometric substrate for 3DPro.
+
+This package provides the low-level computational geometry that the rest
+of the system is built on: axis-aligned bounding boxes with the distance
+ranges used by the paper's index traversals (MINDIST / MAXDIST /
+MINMAXDIST), scalar and batched triangle-triangle intersection tests,
+triangle-triangle distance computation, and ray casting for
+point-in-polyhedron queries.
+
+Everything is implemented from scratch on top of numpy; there is no
+dependency on CGAL, trimesh, or any other geometry library.
+"""
+
+from repro.geometry.aabb import (
+    AABB,
+    box_maxdist,
+    box_mindist,
+    box_union_diagonal,
+    boxes_intersect,
+    boxes_mindist_batch,
+)
+from repro.geometry.distance import (
+    point_triangle_distance,
+    segment_segment_distance,
+    tri_tri_distance,
+    tri_tri_distance_batch,
+)
+from repro.geometry.raycast import point_in_polyhedron, ray_triangle_intersect
+from repro.geometry.triangle import (
+    triangle_area,
+    triangle_centroid,
+    triangle_normal,
+)
+from repro.geometry.tritri import tri_tri_intersect, tri_tri_intersect_batch
+
+__all__ = [
+    "AABB",
+    "box_maxdist",
+    "box_mindist",
+    "box_union_diagonal",
+    "boxes_intersect",
+    "boxes_mindist_batch",
+    "point_triangle_distance",
+    "segment_segment_distance",
+    "tri_tri_distance",
+    "tri_tri_distance_batch",
+    "point_in_polyhedron",
+    "ray_triangle_intersect",
+    "triangle_area",
+    "triangle_centroid",
+    "triangle_normal",
+    "tri_tri_intersect",
+    "tri_tri_intersect_batch",
+]

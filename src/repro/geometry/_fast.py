@@ -1,0 +1,23 @@
+"""Low-overhead numpy helpers for hot kernels.
+
+``np.cross`` pays heavy per-call Python overhead (axis normalization,
+moveaxis) that dominates small-batch geometry kernels; ``cross3`` is the
+same product hand-written for trailing-axis-3 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cross3"]
+
+
+def cross3(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Cross product over the trailing axis (length 3) of two arrays."""
+    u0, u1, u2 = u[..., 0], u[..., 1], u[..., 2]
+    v0, v1, v2 = v[..., 0], v[..., 1], v[..., 2]
+    out = np.empty(np.broadcast_shapes(u.shape, v.shape), dtype=np.float64)
+    out[..., 0] = u1 * v2 - u2 * v1
+    out[..., 1] = u2 * v0 - u0 * v2
+    out[..., 2] = u0 * v1 - u1 * v0
+    return out

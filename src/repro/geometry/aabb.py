@@ -1,0 +1,199 @@
+"""Axis-aligned bounding boxes and the distance ranges used by 3DPro.
+
+The paper's filter step estimates the distance between two objects with a
+range ``[MINDIST, MAXDIST]`` computed from their minimum bounding boxes
+(Section 4.2):
+
+* ``MINDIST`` is the smallest possible distance between any two points of
+  the boxes (0 if they overlap);
+* ``MAXDIST`` is the length of the diagonal of the box that unions the two
+  boxes — an upper bound on the distance between any pair of points drawn
+  from the two boxes, hence an upper bound on the object distance.
+
+Both are provided as scalar functions and as batched numpy kernels so the
+R-tree traversals can score many nodes at once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "AABB",
+    "aabb_of_points",
+    "box_mindist",
+    "box_maxdist",
+    "box_union_diagonal",
+    "boxes_intersect",
+    "boxes_mindist_batch",
+    "boxes_maxdist_batch",
+    "boxes_intersect_batch",
+]
+
+
+@dataclass(frozen=True)
+class AABB:
+    """An axis-aligned 3D bounding box with inclusive bounds.
+
+    ``low`` and ``high`` are length-3 tuples; an AABB is considered valid
+    when ``low[i] <= high[i]`` on every axis. Degenerate boxes (zero
+    extent on one or more axes) are valid and show up naturally as the
+    bounds of single points or axis-aligned faces.
+    """
+
+    low: tuple[float, float, float]
+    high: tuple[float, float, float]
+
+    @staticmethod
+    def of_points(points: np.ndarray) -> "AABB":
+        """Build the tight bounding box of an ``(n, 3)`` point array."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3 or points.shape[0] == 0:
+            raise ValueError("expected a non-empty (n, 3) point array")
+        low = points.min(axis=0)
+        high = points.max(axis=0)
+        return AABB(tuple(low.tolist()), tuple(high.tolist()))
+
+    @staticmethod
+    def empty() -> "AABB":
+        """A canonical 'nothing' box that unions as the identity."""
+        inf = math.inf
+        return AABB((inf, inf, inf), (-inf, -inf, -inf))
+
+    @property
+    def is_empty(self) -> bool:
+        return any(lo > hi for lo, hi in zip(self.low, self.high))
+
+    @property
+    def center(self) -> tuple[float, float, float]:
+        return tuple((lo + hi) / 2.0 for lo, hi in zip(self.low, self.high))
+
+    @property
+    def extents(self) -> tuple[float, float, float]:
+        return tuple(hi - lo for lo, hi in zip(self.low, self.high))
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the main diagonal (0 for empty boxes)."""
+        if self.is_empty:
+            return 0.0
+        return math.sqrt(sum((hi - lo) ** 2 for lo, hi in zip(self.low, self.high)))
+
+    @property
+    def volume(self) -> float:
+        if self.is_empty:
+            return 0.0
+        ex, ey, ez = self.extents
+        return ex * ey * ez
+
+    def union(self, other: "AABB") -> "AABB":
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        low = tuple(min(a, b) for a, b in zip(self.low, other.low))
+        high = tuple(max(a, b) for a, b in zip(self.high, other.high))
+        return AABB(low, high)
+
+    def expanded(self, margin: float) -> "AABB":
+        """Grow the box by ``margin`` on all sides (used by within-queries)."""
+        low = tuple(v - margin for v in self.low)
+        high = tuple(v + margin for v in self.high)
+        return AABB(low, high)
+
+    def intersects(self, other: "AABB") -> bool:
+        """Closed-interval overlap test (touching boxes intersect)."""
+        return all(
+            self.low[i] <= other.high[i] and other.low[i] <= self.high[i]
+            for i in range(3)
+        )
+
+    def contains_box(self, other: "AABB") -> bool:
+        return all(
+            self.low[i] <= other.low[i] and other.high[i] <= self.high[i]
+            for i in range(3)
+        )
+
+    def contains_point(self, point) -> bool:
+        return all(self.low[i] <= point[i] <= self.high[i] for i in range(3))
+
+    def mindist(self, other: "AABB") -> float:
+        """Smallest distance between any two points of the boxes."""
+        return box_mindist(self, other)
+
+    def maxdist(self, other: "AABB") -> float:
+        """The paper's MAXDIST: diagonal of the union of the two boxes."""
+        return box_maxdist(self, other)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.low, dtype=np.float64),
+            np.asarray(self.high, dtype=np.float64),
+        )
+
+
+def aabb_of_points(points: np.ndarray) -> AABB:
+    """Module-level alias of :meth:`AABB.of_points`."""
+    return AABB.of_points(points)
+
+
+def box_mindist(a: AABB, b: AABB) -> float:
+    """Minimum distance between two boxes (0 when they overlap/touch)."""
+    total = 0.0
+    for i in range(3):
+        gap = max(a.low[i] - b.high[i], b.low[i] - a.high[i], 0.0)
+        total += gap * gap
+    return math.sqrt(total)
+
+
+def box_maxdist(a: AABB, b: AABB) -> float:
+    """The paper's MAXDIST: the diagonal of the union of the two MBBs.
+
+    This is the supremum of distances between any pair of points covered
+    by the two boxes, so the true object distance never exceeds it.
+    """
+    return a.union(b).diagonal
+
+
+def box_union_diagonal(a: AABB, b: AABB) -> float:
+    """Synonym for :func:`box_maxdist`, named after its construction."""
+    return box_maxdist(a, b)
+
+
+def boxes_intersect(a: AABB, b: AABB) -> bool:
+    return a.intersects(b)
+
+
+def _split(boxes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    boxes = np.asarray(boxes, dtype=np.float64)
+    if boxes.ndim != 2 or boxes.shape[1] != 6:
+        raise ValueError("expected an (n, 6) array of [low, high] boxes")
+    return boxes[:, :3], boxes[:, 3:]
+
+
+def boxes_mindist_batch(boxes: np.ndarray, query: AABB) -> np.ndarray:
+    """MINDIST from one query box to ``n`` boxes packed as ``(n, 6)``."""
+    low, high = _split(boxes)
+    qlow, qhigh = query.as_arrays()
+    gap = np.maximum(np.maximum(low - qhigh, qlow - high), 0.0)
+    return np.sqrt((gap * gap).sum(axis=1))
+
+
+def boxes_maxdist_batch(boxes: np.ndarray, query: AABB) -> np.ndarray:
+    """Paper-style MAXDIST from one query box to ``n`` boxes."""
+    low, high = _split(boxes)
+    qlow, qhigh = query.as_arrays()
+    ulow = np.minimum(low, qlow)
+    uhigh = np.maximum(high, qhigh)
+    diag = uhigh - ulow
+    return np.sqrt((diag * diag).sum(axis=1))
+
+
+def boxes_intersect_batch(boxes: np.ndarray, query: AABB) -> np.ndarray:
+    """Boolean mask of boxes whose closed extents overlap ``query``."""
+    low, high = _split(boxes)
+    qlow, qhigh = query.as_arrays()
+    return np.all((low <= qhigh) & (qlow <= high), axis=1)

@@ -1,0 +1,120 @@
+"""Ray casting and point-in-polyhedron tests.
+
+Used by the intersection query's containment stage (Algorithm 1, steps
+8-12): after no intersecting face pair is found, an object may still be
+fully contained in the other, which is decided by casting a ray from one
+of its vertices and counting surface crossings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry._fast import cross3
+
+__all__ = ["ray_triangle_intersect", "ray_triangles_hits", "point_in_polyhedron"]
+
+_EPS = 1e-12
+
+# Deterministic, irrational-looking fallback directions: if a cast grazes
+# an edge or vertex the parity count is unreliable, so we re-cast along
+# the next direction instead of jittering randomly.
+_RAY_DIRECTIONS = (
+    (0.5366563145999495, 0.2683281572999747, 0.7999999999999999),
+    (0.8017837257372732, 0.2672612419124244, 0.5345224838248488),
+    (0.1690308509457033, 0.8451542547285166, 0.5070925528371099),
+    (0.3015113445777636, 0.3015113445777636, 0.9045340337332909),
+    (0.7427813527082074, 0.5570860145311556, 0.3713906763541037),
+)
+
+
+def ray_triangle_intersect(origin, direction, tri) -> float | None:
+    """Möller-Trumbore ray/triangle test.
+
+    Returns the ray parameter ``t >= 0`` of the hit, or None if the ray
+    misses (or runs parallel to) the triangle.
+    """
+    origin = np.asarray(origin, dtype=np.float64)
+    direction = np.asarray(direction, dtype=np.float64)
+    tri = np.asarray(tri, dtype=np.float64)
+
+    edge1 = tri[1] - tri[0]
+    edge2 = tri[2] - tri[0]
+    pvec = cross3(direction, edge2)
+    det = float(edge1 @ pvec)
+    if abs(det) < _EPS:
+        return None
+    inv_det = 1.0 / det
+    tvec = origin - tri[0]
+    u = float(tvec @ pvec) * inv_det
+    if u < 0.0 or u > 1.0:
+        return None
+    qvec = cross3(tvec, edge1)
+    v = float(direction @ qvec) * inv_det
+    if v < 0.0 or u + v > 1.0:
+        return None
+    t = float(edge2 @ qvec) * inv_det
+    if t < 0.0:
+        return None
+    return t
+
+
+def ray_triangles_hits(
+    origin: np.ndarray, direction: np.ndarray, tris: np.ndarray
+) -> tuple[int, bool]:
+    """Count forward crossings of a ray with a triangle soup.
+
+    Returns ``(count, reliable)``. ``reliable`` is False when any hit is
+    numerically close to a triangle edge/vertex or to the ray origin —
+    those casts must be retried along a different direction because the
+    parity may be wrong (a grazing ray can be counted twice or missed).
+    """
+    origin = np.asarray(origin, dtype=np.float64)
+    direction = np.asarray(direction, dtype=np.float64)
+    tris = np.asarray(tris, dtype=np.float64)
+    if tris.ndim != 3 or tris.shape[1:] != (3, 3):
+        raise ValueError("expected an (n, 3, 3) triangle array")
+
+    edge1 = tris[:, 1] - tris[:, 0]
+    edge2 = tris[:, 2] - tris[:, 0]
+    pvec = cross3(direction[None, :], edge2)
+    det = (edge1 * pvec).sum(axis=1)
+    parallel = np.abs(det) < _EPS
+    safe_det = np.where(parallel, 1.0, det)
+    inv_det = 1.0 / safe_det
+
+    tvec = origin[None, :] - tris[:, 0]
+    u = (tvec * pvec).sum(axis=1) * inv_det
+    qvec = cross3(tvec, edge1)
+    v = (direction[None, :] * qvec).sum(axis=1) * inv_det
+    t = (edge2 * qvec).sum(axis=1) * inv_det
+
+    inside = (~parallel) & (u >= 0.0) & (v >= 0.0) & (u + v <= 1.0) & (t >= 0.0)
+    count = int(inside.sum())
+
+    margin = 1e-9
+    grazing = inside & (
+        (u < margin) | (v < margin) | (u + v > 1.0 - margin) | (t < margin)
+    )
+    # A parallel triangle whose plane contains the origin is also suspect.
+    coplanar_parallel = parallel & (np.abs((tvec * cross3(edge1, edge2)).sum(axis=1)) < _EPS)
+    reliable = not bool(grazing.any() or coplanar_parallel.any())
+    return count, reliable
+
+
+def point_in_polyhedron(point, tris: np.ndarray) -> bool:
+    """Parity ray-cast containment test against a closed triangle mesh.
+
+    ``tris`` is the ``(n, 3, 3)`` face array of a closed polyhedron. Casts
+    along a fixed direction and retries with alternates when the cast is
+    numerically unreliable; points on the surface may be classified either
+    way, as usual for parity tests.
+    """
+    point = np.asarray(point, dtype=np.float64)
+    count = 0
+    for direction in _RAY_DIRECTIONS:
+        count, reliable = ray_triangles_hits(point, np.asarray(direction), tris)
+        if reliable:
+            return count % 2 == 1
+    # All directions grazed something; fall back to the last parity.
+    return count % 2 == 1

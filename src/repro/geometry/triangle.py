@@ -1,0 +1,61 @@
+"""Scalar triangle utilities: normals, areas, centroids, degeneracy tests.
+
+Faces throughout the code base follow the paper's convention: vertices in
+counter-clockwise order when viewed from outside the polyhedron, so the
+right-hand rule gives the outward normal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry._fast import cross3
+
+__all__ = [
+    "triangle_normal",
+    "triangle_unit_normal",
+    "triangle_area",
+    "triangle_centroid",
+    "is_degenerate_triangle",
+]
+
+_DEGENERATE_AREA_EPS = 1e-14
+
+
+def _as_triangle(tri) -> np.ndarray:
+    tri = np.asarray(tri, dtype=np.float64)
+    if tri.shape != (3, 3):
+        raise ValueError(f"expected a (3, 3) triangle, got shape {tri.shape}")
+    return tri
+
+
+def triangle_normal(tri) -> np.ndarray:
+    """Unnormalized outward normal ``(b - a) x (c - a)``.
+
+    Its magnitude equals twice the triangle area, so callers that need
+    both the direction and the area can take this once.
+    """
+    tri = _as_triangle(tri)
+    return cross3(tri[1] - tri[0], tri[2] - tri[0])
+
+
+def triangle_unit_normal(tri) -> np.ndarray:
+    """Outward unit normal; raises for degenerate triangles."""
+    normal = triangle_normal(tri)
+    length = float(np.linalg.norm(normal))
+    if length < _DEGENERATE_AREA_EPS:
+        raise ValueError("degenerate triangle has no well-defined normal")
+    return normal / length
+
+
+def triangle_area(tri) -> float:
+    return float(np.linalg.norm(triangle_normal(tri))) / 2.0
+
+
+def triangle_centroid(tri) -> np.ndarray:
+    return _as_triangle(tri).mean(axis=0)
+
+
+def is_degenerate_triangle(tri, area_eps: float = _DEGENERATE_AREA_EPS) -> bool:
+    """True when the triangle has (numerically) zero area."""
+    return triangle_area(tri) < area_eps

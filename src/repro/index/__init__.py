@@ -1,0 +1,15 @@
+"""Spatial indexes.
+
+Two index families from the paper:
+
+* a **global R-tree** over object MBBs (filter step, Section 4) with the
+  distance-range traversals for within and nearest-neighbor queries, and
+* a per-object **AABB-tree** over decoded mesh faces (Section 5.1) that
+  accelerates intra-geometry intersection tests and distance computation
+  between two decoded polyhedra.
+"""
+
+from repro.index.aabbtree import TriangleAABBTree
+from repro.index.rtree import RTree, RTreeEntry, WithinResult
+
+__all__ = ["TriangleAABBTree", "RTree", "RTreeEntry", "WithinResult"]

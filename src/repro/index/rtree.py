@@ -1,0 +1,311 @@
+"""An R-tree over object bounding boxes (the paper's global index).
+
+The tree is bulk-loaded with the Sort-Tile-Recursive (STR) packing
+algorithm and supports the three traversals the query engine needs:
+
+* ``query_intersecting`` — MBB overlap filtering (intersection joins);
+* ``query_within`` — the Section 4.2 traversal with distance ranges:
+  subtrees farther than the threshold (MINDIST > D) are skipped,
+  subtrees entirely within it (MAXDIST <= D) are reported wholesale
+  without refinement, and only the ambiguous leaf entries become
+  candidates;
+* ``query_nn_candidates`` — the Section 4.3 traversal: best-first
+  descent by MINDIST with MINMAXDIST pruning, returning every object
+  whose distance range overlaps the best candidate's range.
+
+MAXDIST follows the paper's definition: the diagonal of the union of
+the two MBBs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.aabb import AABB, boxes_maxdist_batch, boxes_mindist_batch
+
+__all__ = ["RTree", "RTreeEntry", "WithinResult"]
+
+
+@dataclass(frozen=True)
+class RTreeEntry:
+    """A leaf entry: one object's MBB plus an opaque payload (object id)."""
+
+    aabb: AABB
+    payload: object
+
+
+@dataclass
+class WithinResult:
+    """Outcome of a within traversal.
+
+    ``definite`` payloads are guaranteed within the threshold (their
+    MAXDIST was already small enough); ``candidates`` need refinement.
+    """
+
+    definite: list
+    candidates: list
+
+
+class _Node:
+    __slots__ = ("boxes", "children", "is_leaf")
+
+    def __init__(self, boxes: np.ndarray, children: list, is_leaf: bool):
+        self.boxes = boxes  # (k, 6): child AABBs as [low, high]
+        self.children = children  # _Node list or RTreeEntry list
+        self.is_leaf = is_leaf
+
+    @property
+    def aabb(self) -> AABB:
+        low = self.boxes[:, :3].min(axis=0)
+        high = self.boxes[:, 3:].max(axis=0)
+        return AABB(tuple(low.tolist()), tuple(high.tolist()))
+
+
+def _pack(aabbs: list[AABB]) -> np.ndarray:
+    return np.asarray([list(b.low) + list(b.high) for b in aabbs], dtype=np.float64)
+
+
+class RTree:
+    """STR bulk-loaded R-tree with least-enlargement dynamic insertion."""
+
+    def __init__(self, entries: list[RTreeEntry], leaf_capacity: int = 16):
+        if leaf_capacity < 2:
+            raise ValueError("leaf_capacity must be >= 2")
+        self.leaf_capacity = leaf_capacity
+        self._size = len(entries)
+        self._root = self._bulk_load(list(entries)) if entries else None
+
+    # -- dynamic insertion -----------------------------------------------------
+
+    def insert(self, entry: RTreeEntry) -> None:
+        """Insert one entry (Guttman-style: least enlargement + split).
+
+        Bulk loading remains the preferred construction path; insertion
+        exists for incremental ingest (e.g. streaming new objects into a
+        loaded dataset's index).
+        """
+        self._size += 1
+        if self._root is None:
+            self._root = _Node(_pack([entry.aabb]), [entry], is_leaf=True)
+            return
+        split = self._insert_into(self._root, entry)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(
+                _pack([old_root.aabb, split.aabb]), [old_root, split], is_leaf=False
+            )
+
+    def _insert_into(self, node: _Node, entry: RTreeEntry) -> "_Node | None":
+        """Insert recursively; returns a new sibling when ``node`` splits."""
+        if node.is_leaf:
+            node.children.append(entry)
+            node.boxes = np.vstack([node.boxes, _pack([entry.aabb])])
+        else:
+            index = self._least_enlargement(node, entry.aabb)
+            child = node.children[index]
+            split = self._insert_into(child, entry)
+            node.boxes[index] = _pack([child.aabb])[0]
+            if split is not None:
+                node.children.append(split)
+                node.boxes = np.vstack([node.boxes, _pack([split.aabb])])
+        if len(node.children) > self.leaf_capacity:
+            return self._split(node)
+        return None
+
+    @staticmethod
+    def _least_enlargement(node: _Node, box: AABB) -> int:
+        qlow, qhigh = box.as_arrays()
+        low = np.minimum(node.boxes[:, :3], qlow)
+        high = np.maximum(node.boxes[:, 3:], qhigh)
+        grown = np.prod(high - low, axis=1)
+        current = np.prod(node.boxes[:, 3:] - node.boxes[:, :3], axis=1)
+        enlargement = grown - current
+        # Tie-break on smaller current volume (Guttman).
+        return int(np.lexsort((current, enlargement))[0])
+
+    def _split(self, node: _Node) -> _Node:
+        """Linear split: separate along the axis with the widest spread."""
+        centers = (node.boxes[:, :3] + node.boxes[:, 3:]) / 2.0
+        axis = int(np.argmax(centers.max(axis=0) - centers.min(axis=0)))
+        order = np.argsort(centers[:, axis], kind="stable")
+        half = len(order) // 2
+        keep_ids, move_ids = order[:half], order[half:]
+
+        moved = _Node(
+            node.boxes[move_ids].copy(),
+            [node.children[i] for i in move_ids],
+            node.is_leaf,
+        )
+        node.children = [node.children[i] for i in keep_ids]
+        node.boxes = node.boxes[keep_ids].copy()
+        return moved
+
+    @classmethod
+    def from_boxes(cls, boxes: list[AABB], leaf_capacity: int = 16) -> "RTree":
+        """Build with payloads 0..n-1 (the common object-id indexing)."""
+        return cls(
+            [RTreeEntry(box, i) for i, box in enumerate(boxes)],
+            leaf_capacity=leaf_capacity,
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        node, height = self._root, 0
+        while node is not None:
+            height += 1
+            node = None if node.is_leaf else node.children[0]
+        return height
+
+    # -- construction --------------------------------------------------------
+
+    def _bulk_load(self, entries: list[RTreeEntry]) -> _Node:
+        centers = np.asarray(
+            [e.aabb.center for e in entries], dtype=np.float64
+        )
+        order = self._str_order(centers, len(entries))
+        leaves: list[_Node] = []
+        for start in range(0, len(entries), self.leaf_capacity):
+            chunk = [entries[i] for i in order[start : start + self.leaf_capacity]]
+            leaves.append(_Node(_pack([e.aabb for e in chunk]), chunk, is_leaf=True))
+
+        level = leaves
+        while len(level) > 1:
+            centers = np.asarray([n.aabb.center for n in level], dtype=np.float64)
+            order = self._str_order(centers, len(level))
+            parents: list[_Node] = []
+            for start in range(0, len(level), self.leaf_capacity):
+                chunk = [level[i] for i in order[start : start + self.leaf_capacity]]
+                parents.append(
+                    _Node(_pack([n.aabb for n in chunk]), chunk, is_leaf=False)
+                )
+            level = parents
+        return level[0]
+
+    def _str_order(self, centers: np.ndarray, count: int) -> list[int]:
+        """Sort-Tile-Recursive ordering of ``count`` boxes by center."""
+        capacity = self.leaf_capacity
+        n_nodes = max(1, -(-count // capacity))
+        n_slabs = max(1, round(n_nodes ** (1.0 / 3.0)))
+        slab_size = -(-count // n_slabs) * capacity if n_slabs > 1 else count
+
+        by_x = np.argsort(centers[:, 0], kind="stable")
+        order: list[int] = []
+        for sx in range(0, count, max(slab_size, capacity)):
+            slab = by_x[sx : sx + max(slab_size, capacity)]
+            by_y = slab[np.argsort(centers[slab, 1], kind="stable")]
+            column_size = max(
+                capacity, -(-len(slab) // max(1, round((len(slab) / capacity) ** 0.5)))
+            )
+            for sy in range(0, len(by_y), column_size):
+                column = by_y[sy : sy + column_size]
+                by_z = column[np.argsort(centers[column, 2], kind="stable")]
+                order.extend(by_z.tolist())
+        return order
+
+    # -- traversals ----------------------------------------------------------
+
+    def query_intersecting(self, query: AABB) -> list:
+        """Payloads of all entries whose MBB intersects ``query``."""
+        if self._root is None:
+            return []
+        out: list = []
+        stack = [self._root]
+        qlow, qhigh = query.as_arrays()
+        while stack:
+            node = stack.pop()
+            hits = np.nonzero(
+                np.all(
+                    (node.boxes[:, :3] <= qhigh) & (qlow <= node.boxes[:, 3:]), axis=1
+                )
+            )[0]
+            if node.is_leaf:
+                out.extend(node.children[i].payload for i in hits)
+            else:
+                stack.extend(node.children[i] for i in hits)
+        return out
+
+    def query_within(self, query: AABB, distance: float) -> WithinResult:
+        """Section 4.2 within traversal with [MINDIST, MAXDIST] pruning."""
+        result = WithinResult(definite=[], candidates=[])
+        if self._root is None:
+            return result
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            mind = boxes_mindist_batch(node.boxes, query)
+            maxd = boxes_maxdist_batch(node.boxes, query)
+            for i in range(len(node.children)):
+                if mind[i] > distance:
+                    continue  # entire subtree too far
+                if maxd[i] <= distance:
+                    self._collect_all(node.children[i], node.is_leaf, result.definite)
+                    continue
+                if node.is_leaf:
+                    result.candidates.append(node.children[i].payload)
+                else:
+                    stack.append(node.children[i])
+        return result
+
+    def _collect_all(self, child, from_leaf: bool, out: list) -> None:
+        if from_leaf:
+            out.append(child.payload)
+            return
+        stack = [child]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.extend(entry.payload for entry in node.children)
+            else:
+                stack.extend(node.children)
+
+    def query_nn_candidates(self, query: AABB, k: int = 1) -> list[tuple[object, float, float]]:
+        """Section 4.3 NN traversal, generalized to k neighbors.
+
+        Returns ``(payload, mindist, maxdist)`` for every object whose
+        distance range to ``query`` can still contain one of the ``k``
+        nearest neighbors: an object survives when its MINDIST does not
+        exceed the k-th smallest leaf MAXDIST seen (MINMAXDIST pruning).
+        The true k nearest neighbors are always among the candidates.
+        """
+        if self._root is None:
+            return []
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        # Max-heap (negated) of the k smallest leaf MAXDIST values.
+        worst_k: list[float] = []
+
+        def minmax_k() -> float:
+            return -worst_k[0] if len(worst_k) >= k else np.inf
+
+        candidates: list[tuple[object, float, float]] = []
+        counter = 0  # heap tiebreak
+        heap: list[tuple[float, int, _Node]] = [(0.0, counter, self._root)]
+        while heap:
+            mind_node, _tie, node = heapq.heappop(heap)
+            if mind_node > minmax_k():
+                continue
+            mind = boxes_mindist_batch(node.boxes, query)
+            maxd = boxes_maxdist_batch(node.boxes, query)
+            for i in range(len(node.children)):
+                if mind[i] > minmax_k():
+                    continue
+                if node.is_leaf:
+                    if len(worst_k) < k:
+                        heapq.heappush(worst_k, -float(maxd[i]))
+                    elif float(maxd[i]) < -worst_k[0]:
+                        heapq.heapreplace(worst_k, -float(maxd[i]))
+                    candidates.append(
+                        (node.children[i].payload, float(mind[i]), float(maxd[i]))
+                    )
+                else:
+                    counter += 1
+                    heapq.heappush(heap, (float(mind[i]), counter, node.children[i]))
+        # Final prune with the tightest k-th MINMAXDIST.
+        bound = minmax_k()
+        return [c for c in candidates if c[1] <= bound]

@@ -1,0 +1,13 @@
+"""Mesh file I/O.
+
+Readers and writers for the two interchange formats most 3D pipelines
+speak — OFF (the format CGAL-era tools, and hence the paper's data
+pipeline, commonly exchange) and binary STL — so real reconstructed
+objects can be ingested into 3DPro datasets and decoded LODs exported
+for rendering.
+"""
+
+from repro.io.off import read_off, write_off
+from repro.io.stl import read_stl, write_stl
+
+__all__ = ["read_off", "write_off", "read_stl", "write_stl"]

@@ -1,0 +1,92 @@
+"""OFF (Object File Format) reader/writer.
+
+Supports the ASCII OFF dialect: optional comments, an ``OFF`` header,
+counts line, vertex lines, and polygonal face lines. Non-triangular
+faces are fan-triangulated on read (preserving orientation), so any
+closed polygonal OFF loads as a valid 3DPro polyhedron.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.polyhedron import Polyhedron
+
+__all__ = ["read_off", "write_off", "OFFFormatError"]
+
+
+class OFFFormatError(ValueError):
+    """Raised for malformed OFF content."""
+
+
+def _meaningful_lines(text: str):
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield line
+
+
+def read_off(path) -> Polyhedron:
+    """Read an ASCII OFF file into a polyhedron."""
+    lines = _meaningful_lines(Path(path).read_text())
+    try:
+        header = next(lines)
+    except StopIteration:
+        raise OFFFormatError(f"{path}: empty file") from None
+
+    if header.upper().startswith("OFF"):
+        rest = header[3:].strip()
+        counts_line = rest if rest else next(lines, None)
+    else:
+        counts_line = header  # headerless dialect
+    if counts_line is None:
+        raise OFFFormatError(f"{path}: missing counts line")
+
+    parts = counts_line.split()
+    if len(parts) < 2:
+        raise OFFFormatError(f"{path}: bad counts line {counts_line!r}")
+    try:
+        n_vertices, n_faces = int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise OFFFormatError(f"{path}: bad counts line {counts_line!r}") from exc
+
+    vertices = np.empty((n_vertices, 3), dtype=np.float64)
+    for i in range(n_vertices):
+        line = next(lines, None)
+        if line is None:
+            raise OFFFormatError(f"{path}: expected {n_vertices} vertices, got {i}")
+        coords = line.split()
+        if len(coords) < 3:
+            raise OFFFormatError(f"{path}: bad vertex line {line!r}")
+        vertices[i] = [float(c) for c in coords[:3]]
+
+    faces: list[tuple[int, int, int]] = []
+    for i in range(n_faces):
+        line = next(lines, None)
+        if line is None:
+            raise OFFFormatError(f"{path}: expected {n_faces} faces, got {i}")
+        fields = line.split()
+        arity = int(fields[0])
+        if arity < 3 or len(fields) < 1 + arity:
+            raise OFFFormatError(f"{path}: bad face line {line!r}")
+        loop = [int(v) for v in fields[1 : 1 + arity]]
+        if any(v < 0 or v >= n_vertices for v in loop):
+            raise OFFFormatError(f"{path}: face index out of range in {line!r}")
+        # Fan-triangulate polygons, preserving winding order.
+        for j in range(1, arity - 1):
+            faces.append((loop[0], loop[j], loop[j + 1]))
+
+    return Polyhedron(vertices, np.asarray(faces, dtype=np.int64), copy=False)
+
+
+def write_off(path, polyhedron: Polyhedron, precision: int = 9) -> None:
+    """Write a polyhedron as ASCII OFF (triangles only)."""
+    out = ["OFF", f"{polyhedron.num_vertices} {polyhedron.num_faces} 0"]
+    fmt = f"{{:.{precision}g}}"
+    for x, y, z in polyhedron.vertices.tolist():
+        out.append(f"{fmt.format(x)} {fmt.format(y)} {fmt.format(z)}")
+    for a, b, c in polyhedron.faces.tolist():
+        out.append(f"3 {a} {b} {c}")
+    Path(path).write_text("\n".join(out) + "\n")

@@ -1,0 +1,72 @@
+"""Binary STL reader/writer.
+
+STL stores an unindexed triangle soup; the reader welds identical
+vertex coordinates back into an indexed polyhedron (exact-match welding
+— STL files written by this module or other indexed exporters weld
+losslessly). Orientation is taken from the triangle winding; the stored
+normals are ignored on read, as is conventional.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry._fast import cross3
+from repro.mesh.polyhedron import Polyhedron
+
+__all__ = ["read_stl", "write_stl", "STLFormatError"]
+
+_HEADER = 80
+
+
+class STLFormatError(ValueError):
+    """Raised for malformed binary STL content."""
+
+
+def read_stl(path) -> Polyhedron:
+    """Read a binary STL file into an indexed polyhedron."""
+    data = Path(path).read_bytes()
+    if len(data) < _HEADER + 4:
+        raise STLFormatError(f"{path}: too short for binary STL")
+    (count,) = struct.unpack_from("<I", data, _HEADER)
+    expected = _HEADER + 4 + count * 50
+    if len(data) < expected:
+        raise STLFormatError(
+            f"{path}: header promises {count} triangles "
+            f"({expected} bytes) but file has {len(data)}"
+        )
+
+    raw = np.frombuffer(data, dtype=np.uint8, count=count * 50, offset=_HEADER + 4)
+    records = raw.reshape(count, 50)
+    # Each record: normal (3 f32), 3 vertices (9 f32), attribute (u16).
+    floats = records[:, :48].copy().view(np.float32).reshape(count, 12)
+    corners = floats[:, 3:12].astype(np.float64).reshape(count, 3, 3)
+
+    flat = corners.reshape(-1, 3)
+    vertices, inverse = np.unique(flat, axis=0, return_inverse=True)
+    faces = inverse.reshape(count, 3).astype(np.int64)
+    return Polyhedron(vertices, faces, copy=False)
+
+
+def write_stl(path, polyhedron: Polyhedron, header: bytes = b"") -> None:
+    """Write a polyhedron as binary STL with computed facet normals."""
+    tris = polyhedron.triangles.astype(np.float32)
+    normals = cross3(
+        tris[:, 1].astype(np.float64) - tris[:, 0].astype(np.float64),
+        tris[:, 2].astype(np.float64) - tris[:, 0].astype(np.float64),
+    )
+    lengths = np.sqrt((normals * normals).sum(axis=1, keepdims=True))
+    normals = (normals / np.where(lengths > 0, lengths, 1.0)).astype(np.float32)
+
+    count = len(tris)
+    buf = bytearray()
+    buf += header.ljust(_HEADER, b"\0")[:_HEADER]
+    buf += struct.pack("<I", count)
+    records = np.zeros((count, 50), dtype=np.uint8)
+    floats = np.concatenate([normals, tris.reshape(count, 9)], axis=1).astype(np.float32)
+    records[:, :48] = floats.view(np.uint8).reshape(count, 48)
+    buf += records.tobytes()
+    Path(path).write_bytes(bytes(buf))

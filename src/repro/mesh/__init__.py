@@ -1,0 +1,33 @@
+"""Polygonal mesh substrate: polyhedra, adjacency, editing, validation.
+
+A 3D object is represented as a closed, orientable triangle mesh — the
+paper's polyhedron. This package provides the immutable
+:class:`~repro.mesh.polyhedron.Polyhedron` value type used across the
+system, the editable half-structure used by the codec to remove and
+reinsert vertices, connectivity/validation helpers, and procedural mesh
+primitives used by the data generators.
+"""
+
+from repro.mesh.adjacency import MeshAdjacency
+from repro.mesh.editable import EditableMesh, VertexPatch
+from repro.mesh.measures import mesh_surface_area, mesh_volume
+from repro.mesh.polyhedron import Polyhedron
+from repro.mesh.primitives import box_mesh, icosphere, tetrahedron, tube_along_path
+from repro.mesh.subdivide import subdivide_midpoint
+from repro.mesh.validate import MeshValidationError, validate_polyhedron
+
+__all__ = [
+    "MeshAdjacency",
+    "EditableMesh",
+    "VertexPatch",
+    "mesh_surface_area",
+    "mesh_volume",
+    "Polyhedron",
+    "box_mesh",
+    "icosphere",
+    "tetrahedron",
+    "tube_along_path",
+    "subdivide_midpoint",
+    "MeshValidationError",
+    "validate_polyhedron",
+]

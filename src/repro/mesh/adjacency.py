@@ -1,0 +1,96 @@
+"""Connectivity queries over a face list: edges, stars, one-ring loops.
+
+The codec needs, for every vertex, the ordered loop of its one-ring
+neighbours (the hole boundary left behind when the vertex and its star
+are removed). On a closed manifold mesh the star of a vertex ``v`` is a
+fan of triangles ``(v, u_i, u_{i+1})`` and the opposite edges chain into
+a single directed cycle ``u_0 -> u_1 -> ... -> u_0``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["MeshAdjacency", "edge_key", "ordered_ring"]
+
+
+def edge_key(a: int, b: int) -> tuple[int, int]:
+    """Canonical undirected-edge key."""
+    return (a, b) if a < b else (b, a)
+
+
+class MeshAdjacency:
+    """Vertex/edge incidence maps for a static face list."""
+
+    def __init__(self, faces):
+        faces = np.asarray(faces, dtype=np.int64)
+        self.faces = faces
+        self.vertex_faces: dict[int, list[int]] = defaultdict(list)
+        self.edge_faces: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for fid, (a, b, c) in enumerate(faces.tolist()):
+            self.vertex_faces[a].append(fid)
+            self.vertex_faces[b].append(fid)
+            self.vertex_faces[c].append(fid)
+            self.edge_faces[edge_key(a, b)].append(fid)
+            self.edge_faces[edge_key(b, c)].append(fid)
+            self.edge_faces[edge_key(c, a)].append(fid)
+
+    def degree(self, vertex: int) -> int:
+        """Number of faces incident to ``vertex`` (== ring length)."""
+        return len(self.vertex_faces.get(vertex, ()))
+
+    def neighbors(self, vertex: int) -> set[int]:
+        """Vertices sharing an edge with ``vertex``."""
+        out: set[int] = set()
+        for fid in self.vertex_faces.get(vertex, ()):
+            out.update(self.faces[fid].tolist())
+        out.discard(vertex)
+        return out
+
+    def ring(self, vertex: int) -> list[int] | None:
+        """Ordered one-ring loop around ``vertex``; see :func:`ordered_ring`."""
+        star = [tuple(self.faces[fid].tolist()) for fid in self.vertex_faces.get(vertex, ())]
+        return ordered_ring(vertex, star)
+
+
+def ordered_ring(vertex: int, star_faces) -> list[int] | None:
+    """Chain the star of ``vertex`` into an ordered neighbour loop.
+
+    ``star_faces`` is an iterable of oriented faces (index triples) all
+    containing ``vertex``. Each face ``(v, a, b)`` (rotated so ``v`` is
+    first) contributes the directed boundary edge ``a -> b``; on a closed
+    manifold these edges form exactly one cycle, which is returned in
+    face orientation order (CCW seen from outside). Returns None when the
+    star is not a single closed fan — such vertices are not removable.
+    """
+    succ: dict[int, int] = {}
+    for face in star_faces:
+        a, b, c = face
+        if a == vertex:
+            edge = (b, c)
+        elif b == vertex:
+            edge = (c, a)
+        elif c == vertex:
+            edge = (a, b)
+        else:
+            return None
+        if edge[0] in succ:  # repeated source vertex: non-manifold fan
+            return None
+        succ[edge[0]] = edge[1]
+
+    if len(succ) < 3:
+        return None
+    start = next(iter(succ))
+    loop = [start]
+    current = succ[start]
+    while current != start:
+        loop.append(current)
+        nxt = succ.get(current)
+        if nxt is None or len(loop) > len(succ):
+            return None
+        current = nxt
+    if len(loop) != len(succ):  # more than one cycle
+        return None
+    return loop

@@ -1,0 +1,212 @@
+"""Editable mesh and the vertex-removal / reinsertion operations.
+
+This is the mechanical core of the codec (Section 2.3 / Fig. 3 of the
+paper): removing a vertex deletes its star of faces and re-triangulates
+the one-ring hole with a fan; reinserting it swaps the fan back for the
+original star. Both directions are exact inverses, which is what makes
+the compression invertible.
+
+Vertex ids are *stable*: the editable mesh references one shared,
+immutable position table (the full-resolution vertex set), and removal
+only ever deletes faces. That keeps every removal record meaningful at
+every LOD and makes decoding a pure patch swap.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.geometry._fast import cross3
+
+from repro.mesh.adjacency import edge_key, ordered_ring
+from repro.mesh.polyhedron import Polyhedron
+
+__all__ = ["VertexPatch", "EditableMesh"]
+
+_AREA_EPS = 1e-12
+
+FaceTriple = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class VertexPatch:
+    """Record of one vertex removal.
+
+    ``star_faces`` are the original faces incident to ``vertex`` (deleted
+    by the removal and restored on reinsertion); ``patch_faces`` are the
+    fan triangles that re-close the hole. ``ring`` is the ordered one-ring
+    boundary loop, kept for analysis and serialization.
+    """
+
+    vertex: int
+    ring: tuple[int, ...]
+    star_faces: tuple[FaceTriple, ...]
+    patch_faces: tuple[FaceTriple, ...]
+
+
+def _face_key(a: int, b: int, c: int) -> FaceTriple:
+    return tuple(sorted((a, b, c)))  # type: ignore[return-value]
+
+
+class EditableMesh:
+    """A triangle mesh supporting O(1) face insertion/removal.
+
+    Faces are held in a dict keyed by their sorted vertex triple (a
+    closed, consistently-oriented mesh can never contain two faces over
+    the same vertex set), with the oriented triple as value. Vertex and
+    edge incidence maps are maintained incrementally.
+    """
+
+    def __init__(self, positions: np.ndarray, faces: Iterable[FaceTriple] = ()):
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError("positions must be (n, 3)")
+        self.positions = positions
+        self._faces: dict[FaceTriple, FaceTriple] = {}
+        self._vertex_faces: dict[int, set[FaceTriple]] = defaultdict(set)
+        self._edge_count: dict[tuple[int, int], int] = defaultdict(int)
+        for face in faces:
+            self.add_face(*face)
+
+    @classmethod
+    def from_polyhedron(cls, polyhedron: Polyhedron) -> "EditableMesh":
+        return cls(polyhedron.vertices, map(tuple, polyhedron.faces.tolist()))
+
+    # -- basic face surgery -------------------------------------------------
+
+    @property
+    def num_faces(self) -> int:
+        return len(self._faces)
+
+    @property
+    def live_vertices(self) -> set[int]:
+        """Vertices currently referenced by at least one face."""
+        return {v for v, faces in self._vertex_faces.items() if faces}
+
+    def has_face(self, a: int, b: int, c: int) -> bool:
+        return _face_key(a, b, c) in self._faces
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return self._edge_count.get(edge_key(a, b), 0) > 0
+
+    def add_face(self, a: int, b: int, c: int) -> None:
+        key = _face_key(a, b, c)
+        if key in self._faces:
+            raise ValueError(f"face over vertices {key} already present")
+        self._faces[key] = (a, b, c)
+        for v in key:
+            self._vertex_faces[v].add(key)
+        for edge in ((a, b), (b, c), (c, a)):
+            self._edge_count[edge_key(*edge)] += 1
+
+    def remove_face(self, a: int, b: int, c: int) -> None:
+        key = _face_key(a, b, c)
+        if key not in self._faces:
+            raise KeyError(f"no face over vertices {key}")
+        del self._faces[key]
+        for v in key:
+            self._vertex_faces[v].discard(key)
+        for edge in ((a, b), (b, c), (c, a)):
+            ekey = edge_key(*edge)
+            self._edge_count[ekey] -= 1
+            if self._edge_count[ekey] == 0:
+                del self._edge_count[ekey]
+
+    def star(self, vertex: int) -> list[FaceTriple]:
+        """Oriented faces currently incident to ``vertex``."""
+        return [self._faces[key] for key in self._vertex_faces.get(vertex, ())]
+
+    def ring(self, vertex: int) -> list[int] | None:
+        return ordered_ring(vertex, self.star(vertex))
+
+    # -- vertex removal (encoding direction) --------------------------------
+
+    def try_remove_vertex(
+        self,
+        vertex: int,
+        accept: Callable[[int, tuple[FaceTriple, ...]], bool] | None = None,
+    ) -> VertexPatch | None:
+        """Remove ``vertex`` if a valid fan re-triangulation exists.
+
+        Tries every ring rotation as the fan apex until one produces a
+        patch that (a) keeps the mesh a closed 2-manifold, (b) has no
+        degenerate triangles, and (c) satisfies the optional ``accept``
+        predicate (the PPVP codec passes the protruding-vertex test
+        here). Returns the applied :class:`VertexPatch`, or None when the
+        vertex cannot be removed under those constraints.
+        """
+        ring = self.ring(vertex)
+        if ring is None or len(ring) < 3:
+            return None
+        star = tuple(self.star(vertex))
+
+        for apex_offset in range(len(ring)):
+            loop = ring[apex_offset:] + ring[:apex_offset]
+            patch = self._fan_patch(loop)
+            if patch is None:
+                continue
+            if accept is not None and not accept(vertex, patch):
+                continue
+            for face in star:
+                self.remove_face(*face)
+            for face in patch:
+                self.add_face(*face)
+            return VertexPatch(vertex, tuple(ring), star, patch)
+        return None
+
+    def _fan_patch(self, loop: list[int]) -> tuple[FaceTriple, ...] | None:
+        """Fan triangulation of ``loop`` from ``loop[0]``, or None if invalid."""
+        apex = loop[0]
+        k = len(loop)
+        patch = tuple((apex, loop[j], loop[j + 1]) for j in range(1, k - 1))
+
+        # Chords introduced by the fan must not already exist in the mesh
+        # (each edge of a closed mesh borders exactly two faces; the ring
+        # edges already border one outside face each).
+        for j in range(2, k - 1):
+            if self.has_edge(apex, loop[j]):
+                return None
+        # A patch face must not coincide with an existing face (e.g. the
+        # far face of a tetrahedral bump when the ring has length 3).
+        for face in patch:
+            if _face_key(*face) in self._faces:
+                return None
+        # Reject degenerate triangles.
+        tris = self.positions[np.asarray(patch, dtype=np.int64)]
+        normals = cross3(tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 0])
+        areas = np.sqrt((normals * normals).sum(axis=1)) / 2.0
+        if bool((areas < _AREA_EPS).any()):
+            return None
+        return patch
+
+    # -- vertex reinsertion (decoding direction) ----------------------------
+
+    def reinsert(self, patch: VertexPatch) -> None:
+        """Undo a removal: swap the fan back for the original star."""
+        for face in patch.patch_faces:
+            self.remove_face(*face)
+        for face in patch.star_faces:
+            self.add_face(*face)
+
+    def remove_recorded(self, patch: VertexPatch) -> None:
+        """Re-apply a recorded removal (used when replaying an encode)."""
+        for face in patch.star_faces:
+            self.remove_face(*face)
+        for face in patch.patch_faces:
+            self.add_face(*face)
+
+    # -- exports -------------------------------------------------------------
+
+    def face_array(self) -> np.ndarray:
+        """Snapshot the oriented faces as an ``(m, 3)`` int64 array."""
+        if not self._faces:
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.asarray(list(self._faces.values()), dtype=np.int64)
+
+    def to_polyhedron(self, compact: bool = False) -> Polyhedron:
+        poly = Polyhedron(self.positions, self.face_array(), copy=False)
+        return poly.compacted() if compact else poly

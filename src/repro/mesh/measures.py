@@ -1,0 +1,42 @@
+"""Integral measures of closed triangle meshes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mesh_volume", "mesh_surface_area", "mesh_centroid"]
+
+
+def _triangles(polyhedron) -> np.ndarray:
+    return np.asarray(polyhedron.vertices, dtype=np.float64)[
+        np.asarray(polyhedron.faces, dtype=np.int64)
+    ]
+
+
+def mesh_volume(polyhedron) -> float:
+    """Signed enclosed volume via the divergence theorem.
+
+    Positive for consistently outward-oriented closed meshes; summing the
+    signed tetrahedron volumes ``dot(a, cross(b, c)) / 6`` over faces.
+    """
+    tris = _triangles(polyhedron)
+    a, b, c = tris[:, 0], tris[:, 1], tris[:, 2]
+    return float((a * np.cross(b, c)).sum() / 6.0)
+
+
+def mesh_surface_area(polyhedron) -> float:
+    tris = _triangles(polyhedron)
+    normals = np.cross(tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 0])
+    return float(np.sqrt((normals * normals).sum(axis=1)).sum() / 2.0)
+
+
+def mesh_centroid(polyhedron) -> np.ndarray:
+    """Volume centroid of a closed mesh (area centroid if volume ~ 0)."""
+    tris = _triangles(polyhedron)
+    a, b, c = tris[:, 0], tris[:, 1], tris[:, 2]
+    signed = (a * np.cross(b, c)).sum(axis=1) / 6.0
+    volume = signed.sum()
+    if abs(volume) < 1e-12:
+        return tris.mean(axis=(0, 1))
+    tet_centroids = (a + b + c) / 4.0  # fourth tetra vertex is the origin
+    return (tet_centroids * signed[:, None]).sum(axis=0) / volume

@@ -1,0 +1,121 @@
+"""The immutable polyhedron value type.
+
+A :class:`Polyhedron` is an indexed triangle mesh: an ``(n, 3)`` float64
+vertex array and an ``(m, 3)`` int64 face array whose rows list vertex
+indices in counter-clockwise order seen from outside (right-hand rule
+gives the outward normal, Section 2.1 of the paper).
+
+Instances are treated as immutable values; all mutating operations live
+on :class:`repro.mesh.editable.EditableMesh`.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+
+__all__ = ["Polyhedron"]
+
+
+class Polyhedron:
+    """A closed orientable triangle mesh representing one 3D object."""
+
+    __slots__ = ("_vertices", "_faces", "__dict__")
+
+    def __init__(self, vertices, faces, copy: bool = True):
+        vertices = np.array(vertices, dtype=np.float64, copy=copy)
+        faces = np.array(faces, dtype=np.int64, copy=copy)
+        if vertices.ndim != 2 or vertices.shape[1] != 3:
+            raise ValueError(f"vertices must be (n, 3), got {vertices.shape}")
+        if faces.ndim != 2 or faces.shape[1] != 3:
+            raise ValueError(f"faces must be (m, 3), got {faces.shape}")
+        if faces.size and (faces.min() < 0 or faces.max() >= len(vertices)):
+            raise ValueError("face indices out of range")
+        vertices.setflags(write=False)
+        faces.setflags(write=False)
+        self._vertices = vertices
+        self._faces = faces
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Read-only ``(n, 3)`` vertex positions."""
+        return self._vertices
+
+    @property
+    def faces(self) -> np.ndarray:
+        """Read-only ``(m, 3)`` vertex-index triples, CCW from outside."""
+        return self._faces
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_faces(self) -> int:
+        return len(self._faces)
+
+    @cached_property
+    def triangles(self) -> np.ndarray:
+        """Face corner positions as an ``(m, 3, 3)`` array."""
+        return self._vertices[self._faces]
+
+    @cached_property
+    def used_vertex_ids(self) -> np.ndarray:
+        """Sorted ids of vertices referenced by at least one face."""
+        return np.unique(self._faces)
+
+    @cached_property
+    def aabb(self) -> AABB:
+        """Bounding box of the *referenced* vertices.
+
+        Lower-LOD meshes share the full-resolution vertex table, so the
+        box must be taken over face corners, not the whole table.
+        """
+        if self.num_faces == 0:
+            if self.num_vertices == 0:
+                return AABB.empty()
+            return AABB.of_points(self._vertices)
+        return AABB.of_points(self._vertices[self.used_vertex_ids])
+
+    def compacted(self) -> "Polyhedron":
+        """Drop unreferenced vertices and renumber faces."""
+        used = self.used_vertex_ids
+        remap = np.full(self.num_vertices, -1, dtype=np.int64)
+        remap[used] = np.arange(len(used))
+        return Polyhedron(self._vertices[used], remap[self._faces], copy=False)
+
+    def translated(self, offset) -> "Polyhedron":
+        offset = np.asarray(offset, dtype=np.float64)
+        return Polyhedron(self._vertices + offset, self._faces, copy=False)
+
+    def scaled(self, factor: float, center=None) -> "Polyhedron":
+        """Uniform scale about ``center`` (the AABB center by default)."""
+        if center is None:
+            center = np.asarray(self.aabb.center, dtype=np.float64)
+        else:
+            center = np.asarray(center, dtype=np.float64)
+        vertices = (self._vertices - center) * float(factor) + center
+        return Polyhedron(vertices, self._faces, copy=False)
+
+    def canonical_face_set(self) -> frozenset:
+        """Orientation-preserving canonical form of the face list.
+
+        Each face is rotated so its smallest vertex id comes first; two
+        polyhedra over the same vertex table are the same surface iff
+        their canonical face sets are equal. Used heavily by tests.
+        """
+        canon = []
+        for a, b, c in self._faces.tolist():
+            if a <= b and a <= c:
+                canon.append((a, b, c))
+            elif b <= a and b <= c:
+                canon.append((b, c, a))
+            else:
+                canon.append((c, a, b))
+        return frozenset(canon)
+
+    def __repr__(self) -> str:
+        return f"Polyhedron(num_vertices={self.num_vertices}, num_faces={self.num_faces})"

@@ -1,0 +1,206 @@
+"""Procedural mesh primitives.
+
+These are the building blocks of the synthetic datasets: icospheres for
+nuclei-like regular shapes, capped tubes along polylines for vessel
+branches, plus boxes and tetrahedra for tests. All primitives produce
+closed, consistently outward-oriented triangle meshes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mesh.polyhedron import Polyhedron
+
+__all__ = ["tetrahedron", "box_mesh", "icosahedron", "icosphere", "tube_along_path"]
+
+
+def tetrahedron(scale: float = 1.0, center=(0.0, 0.0, 0.0)) -> Polyhedron:
+    """A regular tetrahedron, the smallest closed polyhedron."""
+    s = float(scale)
+    vertices = np.asarray(
+        [(1, 1, 1), (1, -1, -1), (-1, 1, -1), (-1, -1, 1)], dtype=np.float64
+    ) * s + np.asarray(center, dtype=np.float64)
+    faces = [(0, 1, 2), (0, 3, 1), (0, 2, 3), (1, 3, 2)]
+    return Polyhedron(vertices, faces)
+
+
+def box_mesh(low=(0.0, 0.0, 0.0), high=(1.0, 1.0, 1.0)) -> Polyhedron:
+    """An axis-aligned box as 12 outward-oriented triangles."""
+    lx, ly, lz = (float(v) for v in low)
+    hx, hy, hz = (float(v) for v in high)
+    if not (lx < hx and ly < hy and lz < hz):
+        raise ValueError("box must have positive extent on every axis")
+    vertices = np.asarray(
+        [
+            (lx, ly, lz), (hx, ly, lz), (hx, hy, lz), (lx, hy, lz),
+            (lx, ly, hz), (hx, ly, hz), (hx, hy, hz), (lx, hy, hz),
+        ],
+        dtype=np.float64,
+    )
+    faces = [
+        (0, 2, 1), (0, 3, 2),  # bottom (z = lz), outward -z
+        (4, 5, 6), (4, 6, 7),  # top (z = hz), outward +z
+        (0, 1, 5), (0, 5, 4),  # front (y = ly), outward -y
+        (2, 3, 7), (2, 7, 6),  # back (y = hy), outward +y
+        (0, 4, 7), (0, 7, 3),  # left (x = lx), outward -x
+        (1, 2, 6), (1, 6, 5),  # right (x = hx), outward +x
+    ]
+    return Polyhedron(vertices, faces)
+
+
+def icosahedron(radius: float = 1.0, center=(0.0, 0.0, 0.0)) -> Polyhedron:
+    """The regular icosahedron inscribed in a sphere of ``radius``."""
+    phi = (1.0 + math.sqrt(5.0)) / 2.0
+    raw = np.asarray(
+        [
+            (-1, phi, 0), (1, phi, 0), (-1, -phi, 0), (1, -phi, 0),
+            (0, -1, phi), (0, 1, phi), (0, -1, -phi), (0, 1, -phi),
+            (phi, 0, -1), (phi, 0, 1), (-phi, 0, -1), (-phi, 0, 1),
+        ],
+        dtype=np.float64,
+    )
+    raw /= np.linalg.norm(raw[0])
+    vertices = raw * float(radius) + np.asarray(center, dtype=np.float64)
+    faces = [
+        (0, 11, 5), (0, 5, 1), (0, 1, 7), (0, 7, 10), (0, 10, 11),
+        (1, 5, 9), (5, 11, 4), (11, 10, 2), (10, 7, 6), (7, 1, 8),
+        (3, 9, 4), (3, 4, 2), (3, 2, 6), (3, 6, 8), (3, 8, 9),
+        (4, 9, 5), (2, 4, 11), (6, 2, 10), (8, 6, 7), (9, 8, 1),
+    ]
+    return Polyhedron(vertices, faces)
+
+
+def icosphere(subdivisions: int = 2, radius: float = 1.0, center=(0.0, 0.0, 0.0)) -> Polyhedron:
+    """A geodesic sphere: the icosahedron subdivided ``subdivisions`` times.
+
+    Face counts grow as ``20 * 4**subdivisions`` (20, 80, 320, 1280, ...),
+    which brackets the paper's ~300-face nuclei at 2 subdivisions.
+    """
+    if subdivisions < 0:
+        raise ValueError("subdivisions must be >= 0")
+    base = icosahedron()
+    vertices = [tuple(v) for v in base.vertices.tolist()]
+    faces = [tuple(f) for f in base.faces.tolist()]
+    midpoint_cache: dict[tuple[int, int], int] = {}
+
+    def midpoint(i: int, j: int) -> int:
+        key = (i, j) if i < j else (j, i)
+        cached = midpoint_cache.get(key)
+        if cached is not None:
+            return cached
+        mid = np.asarray(vertices[i]) + np.asarray(vertices[j])
+        mid /= np.linalg.norm(mid)
+        vertices.append(tuple(mid.tolist()))
+        midpoint_cache[key] = len(vertices) - 1
+        return midpoint_cache[key]
+
+    for _round in range(subdivisions):
+        next_faces = []
+        for a, b, c in faces:
+            ab = midpoint(a, b)
+            bc = midpoint(b, c)
+            ca = midpoint(c, a)
+            next_faces.extend([(a, ab, ca), (b, bc, ab), (c, ca, bc), (ab, bc, ca)])
+        faces = next_faces
+        midpoint_cache.clear()
+
+    points = np.asarray(vertices, dtype=np.float64) * float(radius)
+    points += np.asarray(center, dtype=np.float64)
+    return Polyhedron(points, faces)
+
+
+def _orthonormal_frame(tangent: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Any right-handed (u, v) pair perpendicular to ``tangent``."""
+    tangent = tangent / np.linalg.norm(tangent)
+    helper = np.asarray([0.0, 0.0, 1.0])
+    if abs(float(tangent @ helper)) > 0.9:
+        helper = np.asarray([1.0, 0.0, 0.0])
+    u = np.cross(tangent, helper)
+    u /= np.linalg.norm(u)
+    v = np.cross(tangent, u)
+    return u, v
+
+
+def tube_along_path(path, radii, segments: int = 8) -> Polyhedron:
+    """A closed tube that sweeps a circle of per-point radius along ``path``.
+
+    ``path`` is a ``(k, 3)`` polyline with ``k >= 2``; ``radii`` is a
+    scalar or a length-``k`` sequence. Cross-section frames are parallel
+    transported along the path so the tube does not twist; both ends are
+    capped with triangle fans. Used by the vessel generator, where a
+    bifurcated vessel is a union of such branch tubes.
+    """
+    path = np.asarray(path, dtype=np.float64)
+    if path.ndim != 2 or path.shape[1] != 3 or len(path) < 2:
+        raise ValueError("path must be a (k >= 2, 3) polyline")
+    if segments < 3:
+        raise ValueError("segments must be >= 3")
+    radii_arr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(path),))
+    if bool((radii_arr <= 0).any()):
+        raise ValueError("radii must be positive")
+
+    # Parallel-transport frames.
+    tangents = np.empty_like(path)
+    tangents[0] = path[1] - path[0]
+    tangents[-1] = path[-1] - path[-2]
+    if len(path) > 2:
+        tangents[1:-1] = path[2:] - path[:-2]
+    norms = np.linalg.norm(tangents, axis=1)
+    if bool((norms < 1e-12).any()):
+        raise ValueError("path has coincident consecutive points")
+    tangents /= norms[:, None]
+
+    u, v = _orthonormal_frame(tangents[0])
+    frames = [(u, v)]
+    for i in range(1, len(path)):
+        t_prev, t_cur = tangents[i - 1], tangents[i]
+        axis = np.cross(t_prev, t_cur)
+        sin_a = float(np.linalg.norm(axis))
+        cos_a = float(np.clip(t_prev @ t_cur, -1.0, 1.0))
+        if sin_a < 1e-12:
+            frames.append(frames[-1])
+            continue
+        axis /= sin_a
+        angle = math.atan2(sin_a, cos_a)
+
+        def rotate(vec: np.ndarray) -> np.ndarray:
+            return (
+                vec * math.cos(angle)
+                + np.cross(axis, vec) * math.sin(angle)
+                + axis * float(axis @ vec) * (1.0 - math.cos(angle))
+            )
+
+        frames.append((rotate(frames[-1][0]), rotate(frames[-1][1])))
+
+    angles = np.linspace(0.0, 2.0 * math.pi, segments, endpoint=False)
+    vertices: list[np.ndarray] = []
+    for i, point in enumerate(path):
+        fu, fv = frames[i]
+        ring = point + radii_arr[i] * (
+            np.cos(angles)[:, None] * fu + np.sin(angles)[:, None] * fv
+        )
+        vertices.extend(ring)
+    start_cap = len(vertices)
+    vertices.append(path[0])
+    end_cap = len(vertices)
+    vertices.append(path[-1])
+
+    faces: list[tuple[int, int, int]] = []
+    for i in range(len(path) - 1):
+        base_lo = i * segments
+        base_hi = (i + 1) * segments
+        for j in range(segments):
+            jn = (j + 1) % segments
+            a, b = base_lo + j, base_lo + jn
+            c, d = base_hi + jn, base_hi + j
+            faces.append((a, b, c))
+            faces.append((a, c, d))
+    last = (len(path) - 1) * segments
+    for j in range(segments):
+        jn = (j + 1) % segments
+        faces.append((start_cap, jn, j))          # start cap, outward -tangent
+        faces.append((end_cap, last + j, last + jn))  # end cap, outward +tangent
+    return Polyhedron(np.asarray(vertices, dtype=np.float64), faces)

@@ -1,0 +1,76 @@
+"""Structural validation of polyhedra.
+
+A valid 3DPro object is a *closed, consistently oriented, 2-manifold*
+triangle mesh: every undirected edge borders exactly two faces, the two
+faces traverse it in opposite directions, every vertex star is a single
+closed fan, and no face is degenerate or duplicated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.mesh.adjacency import MeshAdjacency
+
+__all__ = ["MeshValidationError", "validate_polyhedron"]
+
+
+class MeshValidationError(ValueError):
+    """Raised when a mesh violates the closed-manifold requirements."""
+
+
+def validate_polyhedron(polyhedron, check_degenerate: bool = True) -> None:
+    """Raise :class:`MeshValidationError` on any structural defect.
+
+    ``check_degenerate`` may be disabled for meshes that intentionally
+    carry sliver faces (e.g. mid-stream codec states under test).
+    """
+    faces = np.asarray(polyhedron.faces, dtype=np.int64)
+    if len(faces) < 4:
+        raise MeshValidationError("a closed polyhedron needs at least 4 faces")
+
+    seen: set[tuple[int, int, int]] = set()
+    directed: dict[tuple[int, int], int] = defaultdict(int)
+    for a, b, c in faces.tolist():
+        if a == b or b == c or a == c:
+            raise MeshValidationError(f"face ({a}, {b}, {c}) repeats a vertex")
+        key = _canonical(a, b, c)
+        if key in seen:
+            raise MeshValidationError(f"duplicate face ({a}, {b}, {c})")
+        seen.add(key)
+        for edge in ((a, b), (b, c), (c, a)):
+            directed[edge] += 1
+            if directed[edge] > 1:
+                raise MeshValidationError(
+                    f"edge {edge} traversed twice in the same direction "
+                    "(inconsistent orientation or non-manifold edge)"
+                )
+
+    for (a, b), _count in directed.items():
+        if directed.get((b, a), 0) != 1:
+            raise MeshValidationError(
+                f"edge ({a}, {b}) is not matched by its opposite: mesh is not closed"
+            )
+
+    adjacency = MeshAdjacency(faces)
+    for vertex in adjacency.vertex_faces:
+        if adjacency.ring(vertex) is None:
+            raise MeshValidationError(f"vertex {vertex} star is not a single closed fan")
+
+    if check_degenerate:
+        tris = np.asarray(polyhedron.vertices, dtype=np.float64)[faces]
+        normals = np.cross(tris[:, 1] - tris[:, 0], tris[:, 2] - tris[:, 0])
+        areas = np.sqrt((normals * normals).sum(axis=1)) / 2.0
+        bad = np.nonzero(areas < 1e-14)[0]
+        if bad.size:
+            raise MeshValidationError(f"{bad.size} degenerate (zero-area) faces, e.g. face {bad[0]}")
+
+
+def _canonical(a: int, b: int, c: int) -> tuple[int, int, int]:
+    if a <= b and a <= c:
+        return (a, b, c)
+    if b <= a and b <= c:
+        return (b, c, a)
+    return (c, a, b)

@@ -1,0 +1,55 @@
+"""Task generation and scheduling for face-pair evaluation.
+
+A "task" is a contiguous block of the flattened ``n_a x n_b`` pair index
+space; block size is the device's batch granularity (paper Section 5.2:
+"geometric computations ... are grouped into small tasks with a fixed
+number of face pair evaluations").
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["iter_pair_blocks", "TaskScheduler"]
+
+
+def iter_pair_blocks(
+    n_a: int, n_b: int, block: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (ii, jj) index arrays covering the n_a x n_b pair space.
+
+    Pairs are enumerated row-major (all of face 0's pairs first), so an
+    early exit after the first blocks has touched whole faces of the
+    first operand — the locality the decode cache likes.
+    """
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    total = n_a * n_b
+    for start in range(0, total, block):
+        flat = np.arange(start, min(start + block, total))
+        yield flat // n_b, flat % n_b
+
+
+class TaskScheduler:
+    """Optional thread-pool fan-out for independent pair blocks.
+
+    Stands in for the paper's CPU/GPU resource manager: tasks are
+    submitted as thunks and executed by whichever worker is free. With
+    ``workers <= 1`` everything runs inline (the default for
+    reproducible single-thread benchmarks).
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items))

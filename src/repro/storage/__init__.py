@@ -1,0 +1,25 @@
+"""Memory-centered data management (paper Section 5.3).
+
+Objects are compressed, grouped into fixed-size space cuboids, persisted
+one file per cuboid, and loaded into memory for querying. Decoded
+geometry is recycled through a byte-budgeted LRU cache keyed by
+``(object, LOD)``, so spatially batched queries almost never decode the
+same representation twice (Table 2).
+"""
+
+from repro.storage.cache import DecodeCache, DecodedLOD, DecodedObjectProvider
+from repro.storage.cuboid import CuboidGrid
+from repro.storage.fileformat import read_cuboid_file, write_cuboid_file
+from repro.storage.store import Dataset, load_dataset, save_dataset
+
+__all__ = [
+    "DecodeCache",
+    "DecodedLOD",
+    "DecodedObjectProvider",
+    "CuboidGrid",
+    "read_cuboid_file",
+    "write_cuboid_file",
+    "Dataset",
+    "load_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,167 @@
+"""Decoded-geometry cache and decode orchestration.
+
+The cache is LRU over a byte budget, keyed by ``(dataset, object id,
+LOD)``; each entry is a :class:`DecodedLOD` — the face snapshot of one
+object at one LOD plus lazily-built derived structures (corner triangle
+array, AABB-tree, partition grouping). The provider owns the progressive
+decoders: a cache miss advances the object's decoder forward (cheap) or
+restarts it from the base when a lower LOD than the decoder's current
+position is requested after eviction.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.index.aabbtree import TriangleAABBTree
+
+__all__ = ["DecodedLOD", "DecodeCache", "DecodedObjectProvider"]
+
+
+class DecodedLOD:
+    """One object's geometry at one LOD, with lazy derived structures."""
+
+    __slots__ = ("positions", "faces", "_triangles", "_tree", "_groups", "tree_leaf_size")
+
+    def __init__(self, positions: np.ndarray, faces: np.ndarray, tree_leaf_size: int = 8):
+        self.positions = positions
+        self.faces = faces
+        self.tree_leaf_size = tree_leaf_size
+        self._triangles: np.ndarray | None = None
+        self._tree: TriangleAABBTree | None = None
+        self._groups: np.ndarray | None = None
+
+    @property
+    def num_faces(self) -> int:
+        return len(self.faces)
+
+    @property
+    def triangles(self) -> np.ndarray:
+        if self._triangles is None:
+            self._triangles = self.positions[self.faces]
+        return self._triangles
+
+    @property
+    def tree(self) -> TriangleAABBTree:
+        if self._tree is None:
+            self._tree = TriangleAABBTree(self.triangles, leaf_size=self.tree_leaf_size)
+        return self._tree
+
+    def groups(self, partition) -> np.ndarray:
+        """Sub-object index per face under ``partition`` (memoized)."""
+        if self._groups is None:
+            self._groups = partition.group_faces(self.triangles)
+        return self._groups
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size (faces + corner triangles)."""
+        total = self.faces.nbytes
+        if self._triangles is not None:
+            total += self._triangles.nbytes
+        return total + 128
+
+
+class DecodeCache:
+    """Byte-budgeted LRU cache for :class:`DecodedLOD` entries.
+
+    ``enabled=False`` turns the cache into a pass-through miss machine —
+    the configuration used by the paper's Table 2 "without cache" rows.
+    """
+
+    def __init__(self, capacity_bytes: int = 256 * 1024 * 1024, enabled: bool = True):
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        self.enabled = enabled
+        self._entries: OrderedDict[tuple, DecodedLOD] = OrderedDict()
+        self.bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> DecodedLOD | None:
+        if not self.enabled:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, value: DecodedLOD) -> None:
+        if not self.enabled:
+            return
+        if key in self._entries:
+            self.bytes_used -= self._entries.pop(key).nbytes
+        self._entries[key] = value
+        self.bytes_used += value.nbytes
+        while self.bytes_used > self.capacity_bytes and len(self._entries) > 1:
+            _old_key, old = self._entries.popitem(last=False)
+            self.bytes_used -= old.nbytes
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.bytes_used = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DecodedObjectProvider:
+    """Serves decoded LODs for one dataset, through the cache.
+
+    Decode wall-time is accumulated into ``decode_seconds`` so the engine
+    can attribute it separately from geometry computation (Fig. 10).
+    """
+
+    def __init__(self, name: str, objects, cache: DecodeCache, tree_leaf_size: int = 8):
+        self.name = name
+        self.objects = objects
+        self.cache = cache
+        self.tree_leaf_size = tree_leaf_size
+        self._decoders: dict[int, object] = {}
+        self.decode_seconds = 0.0
+        self.decoded_vertices = 0
+
+    def get(self, obj_id: int, lod: int) -> DecodedLOD:
+        key = (self.name, obj_id, lod)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+
+        start = time.perf_counter()
+        decoder = self._decoders.get(obj_id)
+        if decoder is None or decoder.current_lod > lod:
+            decoder = self.objects[obj_id].decoder()
+            self._decoders[obj_id] = decoder
+        before = decoder.vertices_reinserted
+        decoder.advance_to(lod)
+        self.decoded_vertices += decoder.vertices_reinserted - before
+        decoded = DecodedLOD(
+            decoder.compressed.positions,
+            decoder.face_array(),
+            tree_leaf_size=self.tree_leaf_size,
+        )
+        self.decode_seconds += time.perf_counter() - start
+        self.cache.put(key, decoded)
+        return decoded
+
+    def max_lod(self, obj_id: int) -> int:
+        return self.objects[obj_id].max_lod
+
+    def reset_decoders(self) -> None:
+        """Drop decoder states (used between benchmark repetitions)."""
+        self._decoders.clear()

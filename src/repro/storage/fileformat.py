@@ -1,0 +1,67 @@
+"""Cuboid container files.
+
+One file per cuboid, holding the serialized blobs of every object that
+lives in that cuboid ("the compressed data for the objects in the same
+cuboid are stored in the same file", Section 5.3). The format is a
+magic-tagged length-prefixed concatenation so a cuboid loads with one
+sequential read into contiguous memory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.compression.varint import read_uvarint, write_uvarint
+
+__all__ = ["write_cuboid_file", "read_cuboid_file", "CuboidFormatError"]
+
+_MAGIC = b"3DPC"
+_VERSION = 1
+
+
+class CuboidFormatError(ValueError):
+    """Raised for malformed cuboid container files."""
+
+
+def write_cuboid_file(path, blobs: list[bytes], object_ids: list[int]) -> int:
+    """Write object blobs with their dataset-global ids; returns bytes written."""
+    if len(blobs) != len(object_ids):
+        raise ValueError("blobs and object_ids must align")
+    out = bytearray()
+    out += _MAGIC
+    out.append(_VERSION)
+    write_uvarint(out, len(blobs))
+    for obj_id, blob in zip(object_ids, blobs):
+        write_uvarint(out, obj_id)
+        write_uvarint(out, len(blob))
+    for blob in blobs:
+        out += blob
+    data = bytes(out)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_cuboid_file(path) -> list[tuple[int, bytes]]:
+    """Read back ``(object_id, blob)`` pairs from a cuboid file."""
+    data = Path(path).read_bytes()
+    if data[:4] != _MAGIC:
+        raise CuboidFormatError(f"{path}: bad magic")
+    if data[4] != _VERSION:
+        raise CuboidFormatError(f"{path}: unsupported version {data[4]}")
+    count, offset = read_uvarint(data, 5)
+    ids: list[int] = []
+    lengths: list[int] = []
+    for _ in range(count):
+        obj_id, offset = read_uvarint(data, offset)
+        length, offset = read_uvarint(data, offset)
+        ids.append(obj_id)
+        lengths.append(length)
+    out: list[tuple[int, bytes]] = []
+    for obj_id, length in zip(ids, lengths):
+        if offset + length > len(data):
+            raise CuboidFormatError(f"{path}: truncated blob for object {obj_id}")
+        out.append((obj_id, data[offset : offset + length]))
+        offset += length
+    if offset != len(data):
+        raise CuboidFormatError(f"{path}: {len(data) - offset} trailing bytes")
+    return out

@@ -1,0 +1,139 @@
+"""In-memory datasets of compressed objects, with disk persistence.
+
+A :class:`Dataset` is the unit the query engine loads: a named list of
+compressed objects, their MBBs (read straight off the compressed
+headers), and the cuboid grid that batches them. ``save_dataset`` /
+``load_dataset`` persist a dataset as one cuboid container file per
+non-empty cuboid plus a tiny manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.compression.ppvp import CompressedObject, PPVPEncoder
+from repro.compression.serialize import deserialize_object, serialize_object
+from repro.geometry.aabb import AABB
+from repro.storage.cuboid import CuboidGrid
+from repro.storage.fileformat import read_cuboid_file, write_cuboid_file
+
+__all__ = ["Dataset", "save_dataset", "load_dataset"]
+
+_MANIFEST = "manifest.json"
+
+
+@dataclass
+class Dataset:
+    """A named collection of compressed 3D objects."""
+
+    name: str
+    objects: list[CompressedObject]
+    grid_shape: tuple[int, int, int] = (4, 4, 4)
+    _grid: CuboidGrid | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_polyhedra(
+        cls,
+        name: str,
+        polyhedra,
+        encoder: PPVPEncoder | None = None,
+        grid_shape: tuple[int, int, int] = (4, 4, 4),
+    ) -> "Dataset":
+        """Compress raw polyhedra into a dataset (the ingest path)."""
+        encoder = encoder or PPVPEncoder()
+        return cls(name, [encoder.encode(p) for p in polyhedra], grid_shape)
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    @property
+    def boxes(self) -> list[AABB]:
+        return [obj.aabb for obj in self.objects]
+
+    @property
+    def grid(self) -> CuboidGrid:
+        if self._grid is None:
+            if not self.objects:
+                raise ValueError(f"dataset {self.name!r} is empty: no grid")
+            self._grid = CuboidGrid.covering(self.boxes, self.grid_shape)
+        return self._grid
+
+    def cuboid_batches(self) -> list[list[int]]:
+        """Object ids grouped by cuboid, in cuboid order (query batching)."""
+        if not self.objects:
+            return []
+        return self.grid.ordered_assignment(self.boxes)
+
+    def total_faces(self, lod: int | None = None) -> int:
+        """Summed face count at ``lod`` (highest LOD when None)."""
+        return sum(
+            obj.face_count_at_lod(obj.max_lod if lod is None else min(lod, obj.max_lod))
+            for obj in self.objects
+        )
+
+
+def save_dataset(
+    dataset: Dataset,
+    directory,
+    quant_bits: int = 16,
+    backend: str = "huffman",
+) -> dict:
+    """Persist a dataset: one cuboid file per non-empty cuboid + manifest.
+
+    Returns a summary dict with total bytes and per-cuboid sizes.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    batches = dataset.grid.assign(dataset.boxes) if len(dataset) else {}
+
+    files = {}
+    total = 0
+    for cuboid_id in sorted(batches):
+        object_ids = batches[cuboid_id]
+        blobs = [
+            serialize_object(dataset.objects[i], quant_bits=quant_bits, backend=backend)
+            for i in object_ids
+        ]
+        filename = f"cuboid_{cuboid_id:06d}.3dpc"
+        size = write_cuboid_file(directory / filename, blobs, object_ids)
+        files[filename] = size
+        total += size
+
+    manifest = {
+        "name": dataset.name,
+        "num_objects": len(dataset),
+        "grid_shape": list(dataset.grid_shape),
+        "grid_low": list(dataset.grid.bounds.low) if len(dataset) else [0.0, 0.0, 0.0],
+        "grid_high": list(dataset.grid.bounds.high) if len(dataset) else [1.0, 1.0, 1.0],
+        "files": sorted(files),
+        "quant_bits": quant_bits,
+        "backend": backend,
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return {"total_bytes": total, "files": files}
+
+
+def load_dataset(directory) -> Dataset:
+    """Load a dataset saved by :func:`save_dataset` back into memory."""
+    directory = Path(directory)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+    slots: dict[int, CompressedObject] = {}
+    for filename in manifest["files"]:
+        for obj_id, blob in read_cuboid_file(directory / filename):
+            slots[obj_id] = deserialize_object(blob)
+    if len(slots) != manifest["num_objects"]:
+        raise ValueError(
+            f"manifest promises {manifest['num_objects']} objects, "
+            f"found {len(slots)}"
+        )
+    objects = [slots[i] for i in range(len(slots))]
+    dataset = Dataset(
+        manifest["name"], objects, grid_shape=tuple(manifest["grid_shape"])
+    )
+    dataset._grid = CuboidGrid(
+        AABB(tuple(manifest["grid_low"]), tuple(manifest["grid_high"])),
+        tuple(manifest["grid_shape"]),
+    )
+    return dataset

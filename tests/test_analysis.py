@@ -1,0 +1,103 @@
+"""Tests for mesh quality and LOD distortion analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    lod_distortion_profile,
+    mesh_quality,
+    sampled_surface_deviation,
+)
+from repro.analysis.distortion import sample_surface_points
+from repro.compression import PPVPEncoder
+from repro.mesh import Polyhedron, box_mesh, icosphere, tetrahedron
+
+
+class TestQuality:
+    def test_equilateral_faces_are_well_shaped(self):
+        report = mesh_quality(icosphere(1))
+        assert report.num_faces == 80
+        assert report.min_angle_deg > 30.0
+        assert report.worst_aspect_ratio < 2.0
+
+    def test_sliver_detected(self):
+        vertices = np.array(
+            [(0, 0, 0), (10, 0, 0), (5, 0.01, 0), (5, 1, 3)], dtype=float
+        )
+        faces = [(0, 1, 2), (0, 3, 1), (0, 2, 3), (1, 3, 2)]
+        report = mesh_quality(Polyhedron(vertices, faces))
+        assert report.worst_aspect_ratio > 50.0
+        assert report.min_angle_deg < 1.0
+
+    def test_edge_statistics(self):
+        report = mesh_quality(box_mesh((0, 0, 0), (1, 1, 1)))
+        assert report.min_edge_length == pytest.approx(1.0)
+        assert report.max_edge_length == pytest.approx(np.sqrt(2))
+
+    def test_empty_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            mesh_quality(Polyhedron(np.zeros((3, 3)), np.zeros((0, 3), dtype=int)))
+
+    def test_as_dict(self):
+        payload = mesh_quality(tetrahedron()).as_dict()
+        assert payload["num_faces"] == 4
+
+
+class TestSurfaceSampling:
+    def test_samples_on_surface(self):
+        mesh = icosphere(1, radius=2.0)
+        points = sample_surface_points(mesh, samples_per_face=2, seed=1)
+        assert len(points) == mesh.num_faces * 2
+        radii = np.linalg.norm(points, axis=1)
+        # Points lie on chords of the sphere: radius in [inradius, 2].
+        assert (radii <= 2.0 + 1e-9).all()
+        assert (radii >= 1.5).all()
+
+    def test_deterministic(self):
+        mesh = icosphere(1)
+        a = sample_surface_points(mesh, seed=7)
+        b = sample_surface_points(mesh, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestDeviation:
+    def test_identical_meshes_zero(self):
+        mesh = icosphere(1)
+        report = sampled_surface_deviation(mesh, mesh)
+        assert report["max"] < 1e-9
+
+    def test_shrunk_sphere_deviation_matches_radius_gap(self):
+        original = icosphere(2, radius=1.0)
+        shrunk = icosphere(2, radius=0.9)
+        report = sampled_surface_deviation(shrunk, original)
+        # Deviation should be around 0.1 (all stats positive, bounded).
+        assert 0.03 < report["mean"] < 0.12
+        assert report["max"] <= 0.12
+
+    def test_mean_le_max(self):
+        original = icosphere(2)
+        coarse = icosphere(1)
+        report = sampled_surface_deviation(coarse, original)
+        assert report["mean"] <= report["rms"] <= report["max"] + 1e-12
+
+
+class TestLodDistortion:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        mesh = icosphere(2)
+        compressed = PPVPEncoder(max_lods=4).encode(mesh)
+        return lod_distortion_profile(compressed, samples_per_face=2)
+
+    def test_volume_ratio_monotone_and_bounded(self, profile):
+        ratios = [rec["volume_ratio"] for rec in profile]
+        assert all(r <= 1.0 + 1e-9 for r in ratios)
+        assert ratios == sorted(ratios)
+
+    def test_deviation_shrinks_with_lod(self, profile):
+        deviations = [rec["deviation"]["mean"] for rec in profile]
+        assert deviations[-1] == 0.0
+        assert deviations[0] >= deviations[-2] - 1e-9
+
+    def test_faces_increase(self, profile):
+        faces = [rec["faces"] for rec in profile]
+        assert faces == sorted(faces)

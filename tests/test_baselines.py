@@ -1,0 +1,96 @@
+"""Tests for the naive ground-truth engine and the PostGIS-like comparator."""
+
+import pytest
+
+from repro.baselines import NaiveEngine, PostGISLikeEngine
+from repro.mesh import box_mesh, icosphere
+
+
+@pytest.fixture(scope="module")
+def spheres():
+    targets = [icosphere(1, center=(0, 0, 0)), icosphere(1, center=(10, 0, 0))]
+    sources = [
+        icosphere(1, center=(1.2, 0, 0)),  # overlaps target 0
+        icosphere(1, center=(4, 0, 0)),  # near nothing
+        icosphere(1, center=(10.5, 0.5, 0)),  # overlaps target 1
+    ]
+    return targets, sources
+
+
+class TestNaive:
+    def test_intersection(self, spheres):
+        targets, sources = spheres
+        assert NaiveEngine(targets, sources).intersection_join() == {0: [0], 1: [2]}
+
+    def test_prefilter_does_not_change_answers(self, spheres):
+        targets, sources = spheres
+        plain = NaiveEngine(targets, sources)
+        filtered = NaiveEngine(targets, sources, prefilter=True)
+        assert plain.intersection_join() == filtered.intersection_join()
+        assert plain.within_join(2.0) == filtered.within_join(2.0)
+        assert plain.nn_join() == filtered.nn_join()
+        assert plain.knn_join(2) == filtered.knn_join(2)
+
+    def test_within(self, spheres):
+        targets, sources = spheres
+        result = NaiveEngine(targets, sources).within_join(2.1)
+        assert result == {0: [0, 1], 1: [2]}
+
+    def test_nn(self, spheres):
+        targets, sources = spheres
+        result = NaiveEngine(targets, sources).nn_join()
+        assert result[0][0] == 0
+        assert result[1][0] == 2
+        assert result[0][1] == pytest.approx(0.0)
+
+    def test_containment_counts_as_intersection(self):
+        big = icosphere(2, radius=5.0)
+        small = icosphere(1, radius=0.5)
+        assert NaiveEngine([big], [small]).intersection_join() == {0: [0]}
+        assert NaiveEngine([small], [big]).intersection_join() == {0: [0]}
+
+    def test_knn_ordering(self, spheres):
+        targets, sources = spheres
+        result = NaiveEngine(targets, sources).knn_join(3)
+        dists = [d for _sid, d in result[0]]
+        assert dists == sorted(dists)
+
+
+class TestPostGISLike:
+    def test_matches_naive_intersection(self, spheres):
+        targets, sources = spheres
+        pairs, stats = PostGISLikeEngine(targets, sources).intersection_join()
+        assert pairs == NaiveEngine(targets, sources).intersection_join()
+        assert stats.targets == len(targets)
+        assert stats.total_seconds > 0
+
+    def test_matches_naive_within(self, spheres):
+        targets, sources = spheres
+        pairs, _stats = PostGISLikeEngine(targets, sources).within_join(2.1)
+        assert pairs == NaiveEngine(targets, sources).within_join(2.1)
+
+    def test_matches_naive_nn_with_buffer(self, spheres):
+        targets, sources = spheres
+        truth = NaiveEngine(targets, sources).nn_join()
+        buffer_distance = max(d for _sid, d in truth.values()) + 0.1
+        pairs, _stats = PostGISLikeEngine(targets, sources).nn_join(buffer_distance)
+        assert {tid: sid for tid, (sid, _d) in pairs.items()} == {
+            tid: sid for tid, (sid, _d) in truth.items()
+        }
+
+    def test_nn_falls_back_to_scan_when_buffer_too_small(self, spheres):
+        targets, sources = spheres
+        truth = NaiveEngine(targets, sources).nn_join()
+        pairs, _stats = PostGISLikeEngine(targets, sources).nn_join(0.0)
+        # With a zero buffer the probe box may match nothing; the engine
+        # must fall back to scanning and still produce correct answers
+        # for targets whose NN does not touch their MBB.
+        assert pairs[1][0] == truth[1][0]
+
+    def test_filter_reduces_candidates(self):
+        targets = [box_mesh((0, 0, 0), (1, 1, 1))]
+        sources = [
+            box_mesh((i * 10.0, 0, 0), (i * 10.0 + 1, 1, 1)) for i in range(10)
+        ]
+        _pairs, stats = PostGISLikeEngine(targets, sources).intersection_join()
+        assert stats.candidates < len(sources)

@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import write_off, write_stl
+from repro.mesh import icosphere
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    root = tmp_path_factory.mktemp("scene")
+    code = main(
+        [
+            "generate",
+            str(root),
+            "--nuclei", "10",
+            "--vessels", "0",
+            "--seed", "3",
+            "--region", "40",
+        ]
+    )
+    assert code == 0
+    return root
+
+
+class TestGenerate:
+    def test_creates_datasets(self, generated):
+        assert (generated / "nuclei_a" / "manifest.json").exists()
+        assert (generated / "nuclei_b" / "manifest.json").exists()
+
+    def test_skips_empty_vessels(self, generated):
+        assert not (generated / "vessels").exists()
+
+
+class TestCompressInspectDecode:
+    def test_compress_off_and_stl(self, tmp_path, capsys):
+        off_path = tmp_path / "a.off"
+        stl_path = tmp_path / "b.stl"
+        write_off(off_path, icosphere(1, center=(0, 0, 0)))
+        write_stl(stl_path, icosphere(1, center=(5, 0, 0)))
+        out = tmp_path / "ds"
+        assert main(["compress", str(off_path), str(stl_path), "-o", str(out)]) == 0
+        assert "compressed 2 meshes" in capsys.readouterr().out
+
+    def test_inspect(self, tmp_path, capsys):
+        off_path = tmp_path / "a.off"
+        write_off(off_path, icosphere(1))
+        out = tmp_path / "ds"
+        main(["compress", str(off_path), "-o", str(out)])
+        assert main(["inspect", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "1 objects" in text
+        assert "faces=" in text
+
+    def test_decode_roundtrip(self, tmp_path):
+        from repro.io import read_off
+
+        off_path = tmp_path / "a.off"
+        mesh = icosphere(1)
+        write_off(off_path, mesh)
+        out = tmp_path / "ds"
+        main(["compress", str(off_path), "-o", str(out)])
+
+        exported = tmp_path / "full.off"
+        assert main(["decode", str(out), "--object", "0", "-o", str(exported)]) == 0
+        assert read_off(exported).num_faces == mesh.num_faces
+
+        coarse = tmp_path / "coarse.stl"
+        assert main(["decode", str(out), "--lod", "0", "-o", str(coarse)]) == 0
+
+    def test_decode_bad_object(self, tmp_path):
+        off_path = tmp_path / "a.off"
+        write_off(off_path, icosphere(1))
+        out = tmp_path / "ds"
+        main(["compress", str(off_path), "-o", str(out)])
+        with pytest.raises(SystemExit):
+            main(["decode", str(out), "--object", "9", "-o", str(tmp_path / "x.off")])
+
+    def test_unsupported_format(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compress", str(tmp_path / "mesh.obj"), "-o", str(tmp_path / "d")])
+
+
+class TestQueryAndProfile:
+    def test_nn_query(self, generated, capsys):
+        code = main(
+            ["query", str(generated / "nuclei_a"), str(generated / "nuclei_b"), "--query", "nn"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "nn_join" in text
+        assert "target 0" in text
+
+    def test_intersection_query_with_accel(self, generated, capsys):
+        code = main(
+            [
+                "query",
+                str(generated / "nuclei_a"),
+                str(generated / "nuclei_b"),
+                "--query", "intersection",
+                "--paradigm", "fr",
+                "--accel", "aabb",
+            ]
+        )
+        assert code == 0
+        assert "intersection_join" in capsys.readouterr().out
+
+    def test_within_requires_distance(self, generated):
+        with pytest.raises(SystemExit):
+            main(
+                ["query", str(generated / "nuclei_a"), str(generated / "nuclei_b"), "--query", "within"]
+            )
+
+    def test_within_query(self, generated, capsys):
+        code = main(
+            [
+                "query",
+                str(generated / "nuclei_a"),
+                str(generated / "nuclei_b"),
+                "--query", "within",
+                "--distance", "2.0",
+            ]
+        )
+        assert code == 0
+        assert "within_join" in capsys.readouterr().out
+
+    def test_profile(self, generated, capsys):
+        code = main(
+            [
+                "profile",
+                str(generated / "nuclei_a"),
+                str(generated / "nuclei_b"),
+                "--query", "intersection",
+                "--sample", "5",
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "chosen lod_list" in text
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,84 @@
+"""Tests for protruding/recessing vertex classification."""
+
+import numpy as np
+
+from repro.compression import classify_vertices, patch_is_protruding, protruding_fraction
+from repro.compression.classify import PROTRUDING, RECESSING, UNREMOVABLE, classify_vertex
+from repro.mesh import Polyhedron, icosphere
+from repro.mesh.adjacency import MeshAdjacency
+
+
+def dented_icosphere(subdivisions=2, dent_fraction=0.25, dent_scale=0.55, seed=0):
+    """An icosphere with a subset of vertices pushed inward.
+
+    The pushed vertices become recessing (their removal would fill the
+    pit they create); most others stay protruding.
+    """
+    mesh = icosphere(subdivisions)
+    rng = np.random.default_rng(seed)
+    vertices = mesh.vertices.copy()
+    n_dents = max(1, int(len(vertices) * dent_fraction))
+    dented = rng.choice(len(vertices), size=n_dents, replace=False)
+    vertices[dented] *= dent_scale
+    return Polyhedron(vertices, mesh.faces), set(dented.tolist())
+
+
+class TestPatchPredicate:
+    def test_apex_of_pyramid_is_protruding(self):
+        # Square pyramid apex over a quad patch split into two triangles.
+        positions = np.array(
+            [(0, 0, 1.0), (1, 1, 0), (-1, 1, 0), (-1, -1, 0), (1, -1, 0)]
+        )
+        # Patch faces oriented CCW seen from +z (outward, toward apex 0).
+        patch = [(1, 2, 3), (1, 3, 4)]
+        assert patch_is_protruding(positions, 0, patch)
+
+    def test_pit_vertex_is_recessing(self):
+        positions = np.array(
+            [(0, 0, -1.0), (1, 1, 0), (-1, 1, 0), (-1, -1, 0), (1, -1, 0)]
+        )
+        patch = [(1, 2, 3), (1, 3, 4)]
+        assert not patch_is_protruding(positions, 0, patch)
+
+    def test_coplanar_vertex_counts_as_protruding(self):
+        # Vertex exactly in the patch plane: invalid tetrahedra, no impact.
+        positions = np.array(
+            [(0, 0, 0.0), (1, 1, 0), (-1, 1, 0), (-1, -1, 0), (1, -1, 0)]
+        )
+        patch = [(1, 2, 3), (1, 3, 4)]
+        assert patch_is_protruding(positions, 0, patch)
+
+    def test_empty_patch_is_trivially_protruding(self):
+        assert patch_is_protruding(np.zeros((1, 3)), 0, [])
+
+
+class TestMeshClassification:
+    def test_convex_mesh_is_all_protruding(self):
+        mesh = icosphere(2)
+        assert protruding_fraction(mesh) == 1.0
+
+    def test_dented_mesh_has_recessing_vertices(self):
+        mesh, dented = dented_icosphere()
+        counts = classify_vertices(mesh)
+        assert counts[RECESSING] > 0
+        assert counts[PROTRUDING] > counts[RECESSING]
+        fraction = protruding_fraction(mesh)
+        assert 0.5 < fraction < 1.0
+
+    def test_dented_vertices_classified_recessing(self):
+        mesh, dented = dented_icosphere(dent_fraction=0.05, dent_scale=0.5)
+        adjacency = MeshAdjacency(mesh.faces)
+        positions = mesh.vertices
+        hits = sum(
+            classify_vertex(positions, adjacency, v) == RECESSING for v in dented
+        )
+        # Deep isolated dents must be recognized as recessing.
+        assert hits >= len(dented) * 0.8
+
+    def test_counts_cover_all_vertices(self):
+        mesh, _ = dented_icosphere()
+        counts = classify_vertices(mesh)
+        assert (
+            counts[PROTRUDING] + counts[RECESSING] + counts[UNREMOVABLE]
+            == mesh.num_vertices
+        )

@@ -1,0 +1,68 @@
+"""Tests for the PPMC baseline and its (intentionally) broken guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.compression import PPMCEncoder, PPVPEncoder
+from repro.mesh import mesh_volume, validate_polyhedron
+from tests.test_compression_classify import dented_icosphere
+
+
+@pytest.fixture(scope="module")
+def dented():
+    mesh, _ = dented_icosphere(subdivisions=2, dent_fraction=0.3, dent_scale=0.5)
+    return mesh
+
+
+class TestPPMC:
+    def test_roundtrip_still_exact(self, dented):
+        obj = PPMCEncoder(max_lods=4).encode(dented)
+        restored = obj.decode(obj.max_lod)
+        assert restored.canonical_face_set() == dented.canonical_face_set()
+
+    def test_lods_structurally_valid(self, dented):
+        obj = PPMCEncoder(max_lods=4).encode(dented)
+        for lod in obj.lods:
+            validate_polyhedron(obj.decode(lod).compacted())
+
+    def test_ppmc_prunes_recessing_vertices_ppvp_skips(self, dented):
+        """PPMC may remove any vertex; PPVP must leave deep pit vertices
+        in place until the surrounding surface erodes. In round one (the
+        original surface), pit vertices are recessing for *every* fan,
+        so PPVP's first round must avoid them while PPMC removes some."""
+        from repro.compression.classify import RECESSING, classify_vertex
+        from repro.mesh.adjacency import MeshAdjacency
+
+        adjacency = MeshAdjacency(dented.faces)
+        recessing = {
+            v
+            for v in range(dented.num_vertices)
+            if classify_vertex(dented.vertices, adjacency, v) == RECESSING
+        }
+        assert recessing
+
+        ppmc = PPMCEncoder(max_lods=4).encode(dented)
+        ppmc_round1 = {r.vertex for r in ppmc.rounds[0]}
+        assert ppmc_round1 & recessing  # baseline happily fills pits
+
+    def test_ppmc_volume_not_monotone(self, dented):
+        """The broken guarantee: PPMC removals may fill pits, so volume is
+        not monotone in LOD (while PPVP's is, verified in test_compression_ppvp).
+
+        Filling a pit *increases* volume; cutting a bump decreases it. On
+        a heavily dented sphere, some decoded sequence must exhibit a
+        volume overshoot above the immediately-finer LOD, or end with a
+        base mesh bigger than a pruning-only codec would allow.
+        """
+        ppmc = PPMCEncoder(max_lods=4).encode(dented)
+        ppvp = PPVPEncoder(max_lods=4).encode(dented)
+        ppmc_vols = [mesh_volume(ppmc.decode(lod)) for lod in ppmc.lods]
+        ppvp_vols = [mesh_volume(ppvp.decode(lod)) for lod in ppvp.lods]
+        # PPVP is monotone by construction.
+        assert all(a <= b + 1e-12 for a, b in zip(ppvp_vols, ppvp_vols[1:]))
+        # PPMC's base volume exceeds PPVP's base volume: pits got filled.
+        overshoot = any(
+            a > b + 1e-12 for a, b in zip(ppmc_vols, ppmc_vols[1:])
+        )
+        filled_pits = ppmc_vols[0] > ppvp_vols[0] + 1e-12
+        assert overshoot or filled_pits

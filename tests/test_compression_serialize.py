@@ -1,0 +1,175 @@
+"""Tests for varints, bit streams, Huffman coding, and object serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    PPVPEncoder,
+    deserialize_object,
+    serialize_object,
+    serialized_segment_sizes,
+)
+from repro.compression.bits import BitReader, BitWriter
+from repro.compression.entropy import huffman_decode, huffman_encode
+from repro.compression.serialize import SerializationError
+from repro.compression.varint import (
+    read_svarint,
+    read_uvarint,
+    write_svarint,
+    write_uvarint,
+)
+from repro.mesh import icosphere, validate_polyhedron
+from tests.test_compression_classify import dented_icosphere
+
+
+class TestVarint:
+    @given(st.integers(0, 2**63))
+    def test_uvarint_roundtrip(self, value):
+        buf = bytearray()
+        write_uvarint(buf, value)
+        decoded, offset = read_uvarint(bytes(buf), 0)
+        assert decoded == value
+        assert offset == len(buf)
+
+    @given(st.integers(-(2**62), 2**62))
+    def test_svarint_roundtrip(self, value):
+        buf = bytearray()
+        write_svarint(buf, value)
+        decoded, offset = read_svarint(bytes(buf), 0)
+        assert decoded == value
+
+    def test_negative_uvarint_rejected(self):
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_read(self):
+        with pytest.raises(EOFError):
+            read_uvarint(b"\x80", 0)
+
+    def test_small_values_one_byte(self):
+        buf = bytearray()
+        write_uvarint(buf, 127)
+        assert len(buf) == 1
+
+
+class TestBits:
+    @given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20)), max_size=50))
+    def test_roundtrip_mixed_widths(self, items):
+        writer = BitWriter()
+        for value, width in items:
+            writer.write(value & ((1 << width) - 1), width)
+        reader = BitReader(writer.getvalue())
+        for value, width in items:
+            assert reader.read(width) == value & ((1 << width) - 1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(4, 2)
+
+    def test_read_past_end(self):
+        reader = BitReader(b"\xff")
+        reader.read(8)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+
+class TestHuffman:
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, data):
+        assert huffman_decode(huffman_encode(data)) == data
+
+    def test_empty(self):
+        assert huffman_decode(huffman_encode(b"")) == b""
+
+    def test_single_symbol(self):
+        data = b"a" * 1000
+        blob = huffman_encode(data)
+        assert huffman_decode(blob) == data
+        assert len(blob) < len(data) / 4
+
+    def test_compresses_skewed_data(self):
+        data = b"abcd" * 10 + b"a" * 5000
+        assert len(huffman_encode(data)) < len(data)
+
+
+class TestObjectSerialization:
+    @pytest.fixture(scope="class")
+    def compressed(self):
+        mesh, _ = dented_icosphere(subdivisions=2)
+        return PPVPEncoder(max_lods=4).encode(mesh)
+
+    @pytest.mark.parametrize("backend", ["none", "huffman", "zlib"])
+    def test_roundtrip_structure(self, compressed, backend):
+        blob = serialize_object(compressed, quant_bits=16, backend=backend)
+        restored = deserialize_object(blob)
+        assert restored.num_rounds == compressed.num_rounds
+        assert restored.rounds_per_lod == compressed.rounds_per_lod
+        assert np.array_equal(
+            np.sort(restored.base_faces, axis=None),
+            np.sort(compressed.base_faces, axis=None),
+        )
+        for ours, theirs in zip(restored.rounds, compressed.rounds):
+            assert ours == theirs
+
+    def test_positions_within_quantization_error(self, compressed):
+        blob = serialize_object(compressed, quant_bits=16)
+        restored = deserialize_object(blob)
+        span = max(compressed.aabb.extents)
+        tolerance = span / (2**16 - 1)
+        assert np.abs(restored.positions - compressed.positions).max() <= tolerance
+
+    def test_all_lods_decode_and_validate(self, compressed):
+        restored = deserialize_object(serialize_object(compressed))
+        for lod in restored.lods:
+            validate_polyhedron(restored.decode(lod).compacted(), check_degenerate=False)
+
+    def test_higher_quantization_is_smaller(self, compressed):
+        small = serialize_object(compressed, quant_bits=10)
+        large = serialize_object(compressed, quant_bits=20)
+        assert len(small) < len(large)
+
+    def test_entropy_coding_never_hurts(self, compressed):
+        # Segment coding is adaptive: huffman is kept only when smaller.
+        raw = serialize_object(compressed, backend="none")
+        packed = serialize_object(compressed, backend="huffman")
+        assert len(packed) <= len(raw)
+
+    def test_entropy_coding_wins_on_low_entropy_payload(self):
+        # A large mesh with coarse quantization produces segments big and
+        # skewed enough for Huffman to strictly beat the raw layout.
+        big = PPVPEncoder(max_lods=4).encode(icosphere(3))
+        raw = serialize_object(big, quant_bits=6, backend="none")
+        packed = serialize_object(big, quant_bits=6, backend="huffman")
+        assert len(packed) < len(raw)
+
+    def test_segment_sizes_sum_to_total(self, compressed):
+        blob = serialize_object(compressed)
+        sizes = serialized_segment_sizes(blob)
+        assert sizes["header"] + sizes["base"] + sum(sizes["rounds"]) == sizes["total"]
+        assert len(sizes["rounds"]) == compressed.num_rounds
+
+    def test_compression_beats_flat_representation(self, compressed):
+        # Flat full-resolution storage: 3 float64 per vertex + 3 int32 per face.
+        full = compressed.decode(compressed.max_lod).compacted()
+        flat_bytes = full.num_vertices * 24 + full.num_faces * 12
+        blob = serialize_object(compressed, quant_bits=14)
+        assert len(blob) < flat_bytes
+
+    def test_bad_magic_rejected(self, compressed):
+        blob = bytearray(serialize_object(compressed))
+        blob[0] = ord("X")
+        with pytest.raises(SerializationError):
+            deserialize_object(bytes(blob))
+
+    def test_bad_quant_bits_rejected(self, compressed):
+        with pytest.raises(ValueError):
+            serialize_object(compressed, quant_bits=2)
+        with pytest.raises(ValueError):
+            serialize_object(compressed, quant_bits=40)
+
+    def test_unknown_backend_rejected(self, compressed):
+        with pytest.raises(ValueError):
+            serialize_object(compressed, backend="lzma")

@@ -1,0 +1,94 @@
+"""Tests for the progressive point-containment query (paper Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import PPVPEncoder
+from repro.core import EngineConfig, ThreeDPro
+from repro.geometry import point_in_polyhedron
+from repro.mesh import icosphere
+from repro.storage import Dataset
+from tests.test_compression_classify import dented_icosphere
+
+
+@pytest.fixture(scope="module")
+def spheres_engine():
+    meshes = [
+        icosphere(2, radius=1.0, center=(0, 0, 0)),
+        icosphere(2, radius=2.0, center=(0, 0, 0)),  # concentric, contains #0
+        icosphere(2, radius=1.0, center=(10, 0, 0)),
+    ]
+    engine = ThreeDPro(EngineConfig(paradigm="fpr"))
+    engine.load_dataset(
+        Dataset("spheres", [PPVPEncoder(max_lods=4).encode(m) for m in meshes])
+    )
+    return engine, meshes
+
+
+class TestContainmentQuery:
+    def test_point_in_nested_spheres(self, spheres_engine):
+        engine, _ = spheres_engine
+        matches, stats = engine.containment_query("spheres", (0.1, 0.1, 0.1))
+        assert matches == [0, 1]
+        assert stats.results == 2
+
+    def test_point_in_outer_only(self, spheres_engine):
+        engine, _ = spheres_engine
+        matches, _ = engine.containment_query("spheres", (1.5, 0.0, 0.0))
+        assert matches == [1]
+
+    def test_point_outside_everything(self, spheres_engine):
+        engine, _ = spheres_engine
+        matches, stats = engine.containment_query("spheres", (5.0, 5.0, 5.0))
+        assert matches == []
+        assert stats.candidates == 0  # MBB filter kills it
+
+    def test_progressive_early_accept_saves_decodes(self, spheres_engine):
+        engine, _ = spheres_engine
+        # A deep interior point is inside even the coarsest LOD, so the
+        # FPR path should settle at LOD 0 for both containing spheres.
+        _matches, stats = engine.containment_query("spheres", (0.01, 0.0, 0.0))
+        assert stats.pairs_pruned_by_lod.get(0, 0) >= 2
+
+    def test_matches_direct_ray_cast(self, spheres_engine):
+        engine, meshes = spheres_engine
+        rng = np.random.default_rng(9)
+        for point in rng.uniform(-2.5, 2.5, size=(25, 3)):
+            expected = sorted(
+                i
+                for i, mesh in enumerate(meshes)
+                if point_in_polyhedron(point, mesh.triangles)
+            )
+            got, _ = engine.containment_query("spheres", tuple(point))
+            assert got == expected, point
+
+    def test_fr_paradigm_agrees(self, spheres_engine):
+        fpr_engine, meshes = spheres_engine
+        fr_engine = ThreeDPro(EngineConfig(paradigm="fr"))
+        fr_engine.load_dataset(
+            Dataset("spheres", [PPVPEncoder(max_lods=4).encode(m) for m in meshes])
+        )
+        rng = np.random.default_rng(10)
+        for point in rng.uniform(-2.2, 2.2, size=(10, 3)):
+            fr, _ = fr_engine.containment_query("spheres", tuple(point))
+            fpr, _ = fpr_engine.containment_query("spheres", tuple(point))
+            assert fr == fpr
+
+    def test_nonconvex_object(self):
+        mesh, _ = dented_icosphere(subdivisions=2)
+        engine = ThreeDPro(EngineConfig(paradigm="fpr"))
+        engine.load_dataset(Dataset("dented", [PPVPEncoder(max_lods=4).encode(mesh)]))
+        rng = np.random.default_rng(11)
+        for point in rng.uniform(-1.05, 1.05, size=(20, 3)):
+            expected = point_in_polyhedron(point, mesh.triangles)
+            got, _ = engine.containment_query("dented", tuple(point))
+            assert (0 in got) == expected, point
+
+
+class TestContainmentStats:
+    def test_stats_time_phases_accounted(self, spheres_engine):
+        engine, _ = spheres_engine
+        _matches, stats = engine.containment_query("spheres", (0.1, 0.1, 0.1))
+        assert stats.total_seconds >= 0
+        accounted = stats.filter_seconds + stats.decode_seconds + stats.compute_seconds
+        assert accounted <= stats.total_seconds + 1e-6

@@ -1,0 +1,100 @@
+"""Tests for engine configuration and statistics accounting."""
+
+import time
+
+import pytest
+
+from repro.core import Accel, EngineConfig, QueryStats
+from repro.core.errors import EngineConfigError
+
+
+class TestAccel:
+    def test_labels(self):
+        assert Accel().label == "B"
+        assert Accel(aabbtree=True).label == "A"
+        assert Accel(partition=True).label == "P"
+        assert Accel(gpu=True).label == "G"
+        assert Accel(partition=True, gpu=True).label == "P+G"
+
+    def test_aabbtree_cannot_combine(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(accel=Accel(aabbtree=True, gpu=True))
+        with pytest.raises(EngineConfigError):
+            EngineConfig(accel=Accel(aabbtree=True, partition=True))
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.paradigm == "fpr"
+        assert config.label == "FPR/B"
+
+    def test_bad_paradigm(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(paradigm="progressive")
+
+    def test_bad_lod_list(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(lod_list=())
+        with pytest.raises(EngineConfigError):
+            EngineConfig(lod_list=(2, 1))
+        with pytest.raises(EngineConfigError):
+            EngineConfig(lod_list=(1, 1, 2))
+        with pytest.raises(EngineConfigError):
+            EngineConfig(lod_list=(-1, 2))
+
+    def test_with_paradigm(self):
+        config = EngineConfig(paradigm="fpr", lod_list=(0, 3))
+        flipped = config.with_paradigm("fr")
+        assert flipped.paradigm == "fr"
+        assert flipped.lod_list == (0, 3)
+
+    def test_bad_partition_parts(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(partition_parts=0)
+
+
+class TestQueryStats:
+    def test_clock_accumulates(self):
+        stats = QueryStats()
+        with stats.clock("filter"):
+            time.sleep(0.01)
+        with stats.clock("filter"):
+            time.sleep(0.01)
+        assert stats.filter_seconds >= 0.02
+
+    def test_clock_rejects_unknown_phase(self):
+        with pytest.raises(AttributeError):
+            with QueryStats().clock("nonsense"):
+                pass
+
+    def test_pruned_fraction(self):
+        stats = QueryStats()
+        stats.pairs_evaluated_by_lod[0] = 10
+        stats.pairs_pruned_by_lod[0] = 4
+        assert stats.pruned_fraction(0) == pytest.approx(0.4)
+        assert stats.pruned_fraction(3) == 0.0
+
+    def test_other_seconds_never_negative(self):
+        stats = QueryStats(total_seconds=1.0, compute_seconds=2.0)
+        assert stats.other_seconds == 0.0
+
+    def test_merge(self):
+        a = QueryStats(targets=2, results=1, total_seconds=1.0)
+        a.pairs_evaluated_by_lod[0] = 5
+        b = QueryStats(targets=3, results=4, total_seconds=0.5)
+        b.pairs_evaluated_by_lod[0] = 7
+        b.face_pairs_by_lod[2] = 100
+        a.merge(b)
+        assert a.targets == 5
+        assert a.results == 5
+        assert a.total_seconds == pytest.approx(1.5)
+        assert a.pairs_evaluated_by_lod[0] == 12
+        assert a.face_pairs_total == 100
+
+    def test_as_dict_and_summary(self):
+        stats = QueryStats(query="nn_join", config_label="FPR/B", total_seconds=0.5)
+        payload = stats.as_dict()
+        assert payload["query"] == "nn_join"
+        assert "nn_join" in stats.summary()
+        assert "FPR/B" in stats.summary()

@@ -1,0 +1,110 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    make_nucleus,
+    make_vessel,
+    nuclei_dataset,
+    paired_nuclei_datasets,
+    vessel_dataset,
+)
+from repro.datagen.rng import random_rotation, random_unit_vectors
+from repro.datagen.vessels import VesselSpec, merge_polyhedra
+from repro.geometry import box_mindist
+from repro.mesh import mesh_volume, tetrahedron, validate_polyhedron
+
+SMALL = VesselSpec(bifurcations=2, points_per_branch=4, segments=6)
+
+
+class TestRngHelpers:
+    def test_unit_vectors(self):
+        v = random_unit_vectors(np.random.default_rng(0), 50)
+        assert np.allclose(np.linalg.norm(v, axis=1), 1.0)
+
+    def test_rotation_is_orthonormal(self):
+        r = random_rotation(np.random.default_rng(1))
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+class TestNuclei:
+    def test_nucleus_valid_and_positive_volume(self):
+        for seed in range(5):
+            mesh = make_nucleus(np.random.default_rng(seed), subdivisions=1)
+            validate_polyhedron(mesh)
+            assert mesh_volume(mesh) > 0
+
+    def test_face_count_follows_subdivisions(self):
+        rng = np.random.default_rng(0)
+        assert make_nucleus(rng, subdivisions=1).num_faces == 80
+        assert make_nucleus(rng, subdivisions=2).num_faces == 320
+
+    def test_dataset_objects_never_intersect(self):
+        meshes = nuclei_dataset(30, seed=2, region_high=(60, 60, 60))
+        boxes = [m.aabb for m in meshes]
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                assert box_mindist(boxes[i], boxes[j]) > 0.0
+
+    def test_dataset_deterministic(self):
+        a = nuclei_dataset(8, seed=5, region_high=(40, 40, 40))
+        b = nuclei_dataset(8, seed=5, region_high=(40, 40, 40))
+        for ma, mb in zip(a, b):
+            assert np.array_equal(ma.vertices, mb.vertices)
+
+    def test_overfull_region_rejected(self):
+        with pytest.raises(ValueError):
+            nuclei_dataset(10_000, seed=0, region_high=(10, 10, 10))
+
+    def test_paired_counterparts_nearby(self):
+        a, b = paired_nuclei_datasets(12, seed=3, region_high=(50, 50, 50))
+        assert len(a) == len(b) == 12
+        for ma, mb in zip(a, b):
+            gap = np.linalg.norm(
+                np.asarray(ma.aabb.center) - np.asarray(mb.aabb.center)
+            )
+            assert gap < 3.0  # displaced, not teleported
+
+    def test_compact_placement_denser_than_scattered(self):
+        compact = nuclei_dataset(20, seed=1, region_high=(200, 200, 200), compact=True)
+        scattered = nuclei_dataset(20, seed=1, region_high=(200, 200, 200), compact=False)
+
+        def spread(meshes):
+            centers = np.array([m.aabb.center for m in meshes])
+            return np.linalg.norm(centers.max(axis=0) - centers.min(axis=0))
+
+        assert spread(compact) < spread(scattered)
+
+
+class TestVessels:
+    def test_vessel_valid(self):
+        mesh = make_vessel(np.random.default_rng(4), spec=SMALL)
+        validate_polyhedron(mesh)
+        assert mesh_volume(mesh) > 0
+
+    def test_branch_count(self):
+        # bifurcations=2 -> depths 0,1,2 -> 1 + 2 + 4 = 7 tubes.
+        mesh = make_vessel(np.random.default_rng(5), spec=SMALL)
+        per_tube = (SMALL.points_per_branch * SMALL.segments * 2) + 2 * SMALL.segments
+        assert mesh.num_faces == 7 * per_tube
+
+    def test_vessel_dataset_spacing(self):
+        vessels = vessel_dataset(2, seed=6, region_high=(150, 150, 150), spec=SMALL)
+        assert len(vessels) == 2
+        assert box_mindist(vessels[0].aabb, vessels[1].aabb) > 0.0
+
+    def test_region_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            vessel_dataset(50, seed=0, region_high=(50, 50, 50), spec=SMALL)
+
+    def test_merge_requires_input(self):
+        with pytest.raises(ValueError):
+            merge_polyhedra([])
+
+    def test_merge_offsets_indices(self):
+        merged = merge_polyhedra([tetrahedron(), tetrahedron(center=(5, 0, 0))])
+        assert merged.num_vertices == 8
+        assert merged.num_faces == 8
+        validate_polyhedron(merged)

@@ -1,0 +1,222 @@
+"""Integration tests: every engine configuration against ground truth.
+
+The naive engine (exhaustive full-resolution evaluation, with provably
+safe MBB skipping) defines correct answers; every paradigm/acceleration
+cell of the paper's Table 1 must return exactly the same joins.
+"""
+
+import pytest
+
+from repro.baselines import NaiveEngine
+from repro.core import Accel, EngineConfig, ThreeDPro
+from repro.core.errors import DatasetNotLoadedError, EngineConfigError
+from repro.mesh import icosphere
+from repro.storage import Dataset
+
+WITHIN_DISTANCE = 1.0
+
+CONFIGS = [
+    EngineConfig(paradigm="fr"),
+    EngineConfig(paradigm="fpr"),
+    EngineConfig(paradigm="fr", accel=Accel(aabbtree=True)),
+    EngineConfig(paradigm="fpr", accel=Accel(aabbtree=True)),
+    EngineConfig(paradigm="fr", accel=Accel(gpu=True)),
+    EngineConfig(paradigm="fpr", accel=Accel(gpu=True)),
+    EngineConfig(paradigm="fpr", accel=Accel(partition=True), partition_min_faces=200),
+    EngineConfig(
+        paradigm="fpr", accel=Accel(partition=True, gpu=True), partition_min_faces=200
+    ),
+]
+
+CONFIG_IDS = [c.label for c in CONFIGS]
+
+
+@pytest.fixture(scope="module")
+def truth_int(small_scene):
+    return NaiveEngine(small_scene.nuclei_a, small_scene.nuclei_b, prefilter=True).intersection_join()
+
+
+@pytest.fixture(scope="module")
+def truth_wn(small_scene):
+    return NaiveEngine(small_scene.nuclei_a, small_scene.nuclei_b, prefilter=True).within_join(WITHIN_DISTANCE)
+
+
+@pytest.fixture(scope="module")
+def truth_nn(small_scene):
+    return NaiveEngine(small_scene.nuclei_a, small_scene.vessels, prefilter=True).nn_join()
+
+
+def build_engine(config, datasets):
+    engine = ThreeDPro(config)
+    for dataset in datasets.values():
+        engine.load_dataset(dataset)
+    return engine
+
+
+class TestJoinCorrectness:
+    @pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
+    def test_intersection_join_matches_truth(self, config, datasets, truth_int):
+        engine = build_engine(config, datasets)
+        result = engine.intersection_join("nuclei_a", "nuclei_b")
+        assert result.pairs == truth_int
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
+    def test_within_join_matches_truth(self, config, datasets, truth_wn):
+        engine = build_engine(config, datasets)
+        result = engine.within_join("nuclei_a", "nuclei_b", WITHIN_DISTANCE)
+        assert result.pairs == truth_wn
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
+    def test_nn_join_matches_truth(self, config, datasets, truth_nn):
+        engine = build_engine(config, datasets)
+        result = engine.nn_join("nuclei_a", "vessels")
+        assert set(result.pairs) == set(truth_nn)
+        for tid, (true_sid, true_dist) in truth_nn.items():
+            matches = result.pairs[tid]
+            assert len(matches) == 1
+            sid, dist, exact = matches[0]
+            assert sid == true_sid
+            if exact:
+                assert dist == pytest.approx(true_dist, abs=1e-9)
+            else:
+                # Early-returned NN: the reported bound upper-bounds truth.
+                assert dist >= true_dist - 1e-9
+
+    def test_knn_matches_truth(self, datasets, small_scene):
+        truth = NaiveEngine(
+            small_scene.nuclei_a, small_scene.vessels, prefilter=True
+        ).knn_join(2)
+        engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        result = engine.knn_join("nuclei_a", "vessels", k=2)
+        for tid, expected in truth.items():
+            got = result.pairs[tid]
+            # The k-nearest *set* is always correct; the order is only
+            # guaranteed when refinement ran to exact distances (an early
+            # FPR return leaves it sorted by upper bound).
+            assert {sid for sid, _d, _e in got} == {sid for sid, _d in expected}
+            if all(exact for _sid, _d, exact in got):
+                assert [sid for sid, _d, _e in got] == [sid for sid, _d in expected]
+
+    def test_knn_exact_under_fr_matches_truth_order(self, datasets, small_scene):
+        truth = NaiveEngine(
+            small_scene.nuclei_a, small_scene.vessels, prefilter=True
+        ).knn_join(2)
+        engine = build_engine(EngineConfig(paradigm="fr"), datasets)
+        result = engine.knn_join("nuclei_a", "vessels", k=2)
+        for tid, expected in truth.items():
+            got = result.pairs[tid]
+            assert [sid for sid, _d, _e in got] == [sid for sid, _d in expected]
+            for (_sid, dist, exact), (_tsid, tdist) in zip(got, expected):
+                assert exact
+                assert dist == pytest.approx(tdist, abs=1e-9)
+
+
+class TestParadigmBehaviour:
+    def test_fpr_evaluates_fewer_face_pairs_than_fr(self, datasets):
+        fr = build_engine(EngineConfig(paradigm="fr"), datasets)
+        fpr = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        fr_stats = fr.intersection_join("nuclei_a", "nuclei_b").stats
+        fpr_stats = fpr.intersection_join("nuclei_a", "nuclei_b").stats
+        assert fpr_stats.face_pairs_total < fr_stats.face_pairs_total
+
+    def test_fr_uses_single_lod(self, datasets):
+        engine = build_engine(EngineConfig(paradigm="fr"), datasets)
+        stats = engine.intersection_join("nuclei_a", "nuclei_b").stats
+        assert len(stats.pairs_evaluated_by_lod) == 1
+
+    def test_fpr_touches_low_lods(self, datasets):
+        engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        stats = engine.intersection_join("nuclei_a", "nuclei_b").stats
+        assert 0 in stats.pairs_evaluated_by_lod
+
+    def test_custom_lod_list_respected(self, datasets):
+        engine = build_engine(
+            EngineConfig(paradigm="fpr", lod_list=(0, 2)), datasets
+        )
+        stats = engine.within_join("nuclei_a", "nuclei_b", WITHIN_DISTANCE).stats
+        lods = set(stats.pairs_evaluated_by_lod)
+        top = max(lods)
+        assert lods <= {0, 2, top}
+
+    def test_time_accounting_sums_to_total(self, datasets):
+        engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        stats = engine.within_join("nuclei_a", "nuclei_b", WITHIN_DISTANCE).stats
+        accounted = (
+            stats.filter_seconds + stats.decode_seconds + stats.compute_seconds
+        )
+        assert accounted <= stats.total_seconds + 1e-6
+
+    def test_cache_hits_accumulate_across_queries(self, datasets):
+        engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        first = engine.within_join("nuclei_a", "nuclei_b", WITHIN_DISTANCE).stats
+        second = engine.within_join("nuclei_a", "nuclei_b", WITHIN_DISTANCE).stats
+        assert second.cache_hits > first.cache_hits or second.cache_misses == 0
+
+
+class TestContainment:
+    def test_nested_spheres_intersect(self):
+        # Surfaces disjoint, small sphere strictly inside the big one:
+        # Algorithm 1's containment stage must still report intersection.
+        big = icosphere(2, radius=3.0)
+        small = icosphere(2, radius=0.5)
+        engine = ThreeDPro(EngineConfig(paradigm="fpr"))
+        engine.load_dataset(Dataset("big", [__import__("repro.compression", fromlist=["PPVPEncoder"]).PPVPEncoder().encode(big)]))
+        engine.load_dataset(Dataset("small", [__import__("repro.compression", fromlist=["PPVPEncoder"]).PPVPEncoder().encode(small)]))
+        assert engine.intersection_join("big", "small").pairs == {0: [0]}
+        assert engine.intersection_join("small", "big").pairs == {0: [0]}
+
+    def test_disjoint_spheres_do_not_intersect(self):
+        from repro.compression import PPVPEncoder
+
+        a = icosphere(1, center=(0, 0, 0))
+        b = icosphere(1, center=(5, 0, 0))
+        engine = ThreeDPro(EngineConfig(paradigm="fpr"))
+        engine.load_dataset(Dataset("a", [PPVPEncoder().encode(a)]))
+        engine.load_dataset(Dataset("b", [PPVPEncoder().encode(b)]))
+        assert engine.intersection_join("a", "b").pairs == {}
+
+
+class TestProbeQueries:
+    def test_intersection_query(self, datasets, small_scene):
+        engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        probe = small_scene.nuclei_a[0]
+        hits = engine.intersection_query("nuclei_b", probe)
+        truth = NaiveEngine([probe], small_scene.nuclei_b, prefilter=True).intersection_join()
+        assert sorted(hits) == truth.get(0, [])
+
+    def test_within_query(self, datasets, small_scene):
+        engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        probe = small_scene.nuclei_a[3]
+        hits = engine.within_query("nuclei_b", probe, WITHIN_DISTANCE)
+        truth = NaiveEngine([probe], small_scene.nuclei_b, prefilter=True).within_join(WITHIN_DISTANCE)
+        assert sorted(hits) == truth.get(0, [])
+
+    def test_nn_query(self, datasets, small_scene):
+        engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        probe = small_scene.nuclei_a[5]
+        got = engine.nn_query("vessels", probe)
+        truth = NaiveEngine([probe], small_scene.vessels, prefilter=True).nn_join()
+        assert got is not None
+        assert got[0] == truth[0][0]
+
+    def test_probe_dataset_cleaned_up(self, datasets, small_scene):
+        engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        engine.nn_query("vessels", small_scene.nuclei_a[0])
+        assert "__probe__" not in engine.dataset_names
+
+
+class TestErrors:
+    def test_unknown_dataset(self, datasets):
+        engine = build_engine(EngineConfig(), datasets)
+        with pytest.raises(DatasetNotLoadedError):
+            engine.intersection_join("nuclei_a", "nope")
+
+    def test_negative_distance(self, datasets):
+        engine = build_engine(EngineConfig(), datasets)
+        with pytest.raises(EngineConfigError):
+            engine.within_join("nuclei_a", "nuclei_b", -1.0)
+
+    def test_bad_k(self, datasets):
+        engine = build_engine(EngineConfig(), datasets)
+        with pytest.raises(EngineConfigError):
+            engine.knn_join("nuclei_a", "nuclei_b", k=0)

@@ -1,0 +1,39 @@
+"""Smoke checks for the example scripts.
+
+Every example must at least compile; the fastest one runs end to end so
+a broken public API surfaces immediately. (The slower examples are
+exercised by their underlying integration tests.)
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 4
+
+
+def test_compression_explorer_runs():
+    result = subprocess.run(
+        [sys.executable, "examples/compression_explorer.py"],
+        cwd=Path(__file__).parent.parent,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "subset guarantee" in result.stdout
+    assert "persistence" in result.stdout

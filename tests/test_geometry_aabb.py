@@ -1,0 +1,145 @@
+"""Tests for AABB construction, set operations, and distance ranges."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, box_maxdist, box_mindist
+from repro.geometry.aabb import (
+    boxes_intersect_batch,
+    boxes_maxdist_batch,
+    boxes_mindist_batch,
+)
+
+UNIT = AABB((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+
+
+def box(lo, hi):
+    return AABB(tuple(float(v) for v in lo), tuple(float(v) for v in hi))
+
+
+class TestConstruction:
+    def test_of_points_is_tight(self):
+        pts = np.array([[0, 0, 0], [2, -1, 3], [1, 5, -2]], dtype=float)
+        b = AABB.of_points(pts)
+        assert b.low == (0.0, -1.0, -2.0)
+        assert b.high == (2.0, 5.0, 3.0)
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AABB.of_points(np.zeros((0, 3)))
+
+    def test_single_point_box_is_degenerate_but_valid(self):
+        b = AABB.of_points(np.array([[1.0, 2.0, 3.0]]))
+        assert not b.is_empty
+        assert b.volume == 0.0
+        assert b.diagonal == 0.0
+
+    def test_empty_box(self):
+        e = AABB.empty()
+        assert e.is_empty
+        assert e.volume == 0.0
+        assert e.diagonal == 0.0
+
+
+class TestSetOperations:
+    def test_union_covers_both(self):
+        a = box((0, 0, 0), (1, 1, 1))
+        b = box((2, -1, 0.5), (3, 0.5, 4))
+        u = a.union(b)
+        assert u.contains_box(a) and u.contains_box(b)
+        assert u.low == (0.0, -1.0, 0.0)
+        assert u.high == (3.0, 1.0, 4.0)
+
+    def test_union_with_empty_is_identity(self):
+        assert UNIT.union(AABB.empty()) == UNIT
+        assert AABB.empty().union(UNIT) == UNIT
+
+    def test_touching_boxes_intersect(self):
+        a = box((0, 0, 0), (1, 1, 1))
+        b = box((1, 0, 0), (2, 1, 1))
+        assert a.intersects(b)
+
+    def test_separated_boxes_do_not_intersect(self):
+        a = box((0, 0, 0), (1, 1, 1))
+        b = box((1.001, 0, 0), (2, 1, 1))
+        assert not a.intersects(b)
+
+    def test_contains_point_boundary_inclusive(self):
+        assert UNIT.contains_point((1.0, 0.0, 0.5))
+        assert not UNIT.contains_point((1.0001, 0.0, 0.5))
+
+    def test_expanded(self):
+        g = UNIT.expanded(0.5)
+        assert g.low == (-0.5, -0.5, -0.5)
+        assert g.high == (1.5, 1.5, 1.5)
+
+
+class TestDistanceRanges:
+    def test_mindist_overlapping_is_zero(self):
+        assert box_mindist(UNIT, box((0.5, 0.5, 0.5), (2, 2, 2))) == 0.0
+
+    def test_mindist_axis_gap(self):
+        b = box((3, 0, 0), (4, 1, 1))
+        assert box_mindist(UNIT, b) == pytest.approx(2.0)
+
+    def test_mindist_diagonal_gap(self):
+        b = box((2, 2, 2), (3, 3, 3))
+        assert box_mindist(UNIT, b) == pytest.approx(math.sqrt(3.0))
+
+    def test_maxdist_is_union_diagonal(self):
+        b = box((2, 0, 0), (3, 1, 1))
+        # union is [0,3]x[0,1]x[0,1]
+        assert box_maxdist(UNIT, b) == pytest.approx(math.sqrt(9 + 1 + 1))
+
+    def test_maxdist_bounds_point_pair_distances(self):
+        rng = np.random.default_rng(7)
+        a = box((0, 0, 0), (1, 2, 1))
+        b = box((4, -1, 3), (5, 0, 6))
+        md = box_maxdist(a, b)
+        pa = rng.uniform(a.low, a.high, size=(200, 3))
+        pb = rng.uniform(b.low, b.high, size=(200, 3))
+        assert (np.linalg.norm(pa - pb, axis=1) <= md + 1e-9).all()
+
+    @given(
+        st.lists(st.floats(-50, 50), min_size=12, max_size=12),
+    )
+    def test_mindist_le_maxdist_property(self, values):
+        lo1 = [min(values[i], values[i + 3]) for i in range(3)]
+        hi1 = [max(values[i], values[i + 3]) for i in range(3)]
+        lo2 = [min(values[i + 6], values[i + 9]) for i in range(3)]
+        hi2 = [max(values[i + 6], values[i + 9]) for i in range(3)]
+        a, b = box(lo1, hi1), box(lo2, hi2)
+        assert box_mindist(a, b) <= box_maxdist(a, b) + 1e-9
+
+    def test_mindist_symmetric(self):
+        a = box((0, 0, 0), (1, 2, 3))
+        b = box((5, -2, 1), (6, 0, 2))
+        assert box_mindist(a, b) == pytest.approx(box_mindist(b, a))
+
+
+class TestBatchKernels:
+    def _pack(self, boxes):
+        return np.array([list(b.low) + list(b.high) for b in boxes])
+
+    def test_batch_matches_scalar(self):
+        others = [
+            box((2, 0, 0), (3, 1, 1)),
+            box((0.5, 0.5, 0.5), (0.6, 0.6, 0.6)),
+            box((-5, -5, -5), (-4, -4, -4)),
+        ]
+        packed = self._pack(others)
+        mind = boxes_mindist_batch(packed, UNIT)
+        maxd = boxes_maxdist_batch(packed, UNIT)
+        hits = boxes_intersect_batch(packed, UNIT)
+        for i, b in enumerate(others):
+            assert mind[i] == pytest.approx(box_mindist(UNIT, b))
+            assert maxd[i] == pytest.approx(box_maxdist(UNIT, b))
+            assert hits[i] == UNIT.intersects(b)
+
+    def test_batch_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            boxes_mindist_batch(np.zeros((3, 5)), UNIT)

@@ -1,0 +1,74 @@
+"""Additional AABB invariants: transformation behavior and batch parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, box_maxdist, box_mindist
+from repro.geometry.aabb import boxes_maxdist_batch, boxes_mindist_batch
+
+
+def random_box(rng, scale=10.0):
+    lo = rng.uniform(-scale, scale, size=3)
+    return AABB(tuple(lo), tuple(lo + rng.uniform(0.01, scale, size=3)))
+
+
+class TestTranslationInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_distances_translation_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = random_box(rng), random_box(rng)
+        shift = rng.uniform(-100, 100, size=3)
+
+        def moved(box):
+            return AABB(
+                tuple(np.asarray(box.low) + shift), tuple(np.asarray(box.high) + shift)
+            )
+
+        assert box_mindist(a, b) == pytest.approx(box_mindist(moved(a), moved(b)))
+        assert box_maxdist(a, b) == pytest.approx(box_maxdist(moved(a), moved(b)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_mindist_zero_iff_intersecting(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = random_box(rng), random_box(rng)
+        assert (box_mindist(a, b) == 0.0) == a.intersects(b)
+
+
+class TestBatchParity:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_batch_kernels_match_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        query = random_box(rng)
+        others = [random_box(rng) for _ in range(17)]
+        packed = np.array([list(b.low) + list(b.high) for b in others])
+        mind = boxes_mindist_batch(packed, query)
+        maxd = boxes_maxdist_batch(packed, query)
+        for i, box in enumerate(others):
+            assert mind[i] == pytest.approx(box_mindist(query, box))
+            assert maxd[i] == pytest.approx(box_maxdist(query, box))
+
+
+class TestContainmentAlgebra:
+    def test_union_is_commutative_and_associative(self):
+        rng = np.random.default_rng(3)
+        a, b, c = (random_box(rng) for _ in range(3))
+        assert a.union(b) == b.union(a)
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    def test_contains_box_transitive(self):
+        inner = AABB((0.4, 0.4, 0.4), (0.6, 0.6, 0.6))
+        middle = AABB((0.2, 0.2, 0.2), (0.8, 0.8, 0.8))
+        outer = AABB((0, 0, 0), (1, 1, 1))
+        assert outer.contains_box(middle)
+        assert middle.contains_box(inner)
+        assert outer.contains_box(inner)
+
+    def test_expanded_contains_original(self):
+        rng = np.random.default_rng(4)
+        box = random_box(rng)
+        assert box.expanded(1.0).contains_box(box)

@@ -1,0 +1,157 @@
+"""Tests for point/segment/triangle distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    point_triangle_distance,
+    segment_segment_distance,
+    tri_tri_distance,
+    tri_tri_distance_batch,
+    tri_tri_intersect,
+)
+from repro.geometry.distance import (
+    closest_point_on_triangle_batch,
+    point_triangle_distance_batch,
+    segment_segment_distance_batch,
+)
+
+XY = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+
+
+class TestPointTriangle:
+    def test_point_above_interior(self):
+        assert point_triangle_distance((0.2, 0.2, 3.0), XY) == pytest.approx(3.0)
+
+    def test_point_on_triangle(self):
+        assert point_triangle_distance((0.2, 0.2, 0.0), XY) == pytest.approx(0.0)
+
+    def test_point_at_vertex_region(self):
+        assert point_triangle_distance((-1.0, -1.0, 0.0), XY) == pytest.approx(np.sqrt(2))
+
+    def test_point_in_edge_region(self):
+        # Beyond edge AB (y < 0), closest point is the projection on AB.
+        assert point_triangle_distance((0.5, -2.0, 0.0), XY) == pytest.approx(2.0)
+
+    def test_point_beyond_hypotenuse(self):
+        d = point_triangle_distance((1.0, 1.0, 0.0), XY)
+        assert d == pytest.approx(np.sqrt(2) / 2)
+
+    def test_closest_point_lies_on_triangle_plane(self):
+        pts = np.array([[0.2, 0.2, 5.0], [-3, -3, 1], [2, 2, -4.0]])
+        tris = np.broadcast_to(XY, (3, 3, 3))
+        closest = closest_point_on_triangle_batch(pts, tris)
+        assert np.allclose(closest[:, 2], 0.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_matches_dense_sampling(self, seed):
+        rng = np.random.default_rng(seed)
+        tri = rng.uniform(-1, 1, size=(3, 3))
+        p = rng.uniform(-2, 2, size=3)
+        d = point_triangle_distance(p, tri)
+        # Dense barycentric sampling can only find distances >= true d.
+        grid = []
+        n = 24
+        for i in range(n + 1):
+            for j in range(n + 1 - i):
+                u, v = i / n, j / n
+                grid.append((1 - u - v, u, v))
+        samples = np.asarray(grid) @ tri
+        sampled = np.linalg.norm(samples - p, axis=1).min()
+        assert d <= sampled + 1e-9
+        assert sampled - d <= 0.2  # sampling resolution bound
+
+
+class TestSegmentSegment:
+    def test_parallel_segments(self):
+        d = segment_segment_distance((0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0))
+        assert d == pytest.approx(1.0)
+
+    def test_crossing_segments(self):
+        d = segment_segment_distance((0, 0, 0), (1, 1, 0), (0, 1, 0), (1, 0, 0))
+        assert d == pytest.approx(0.0, abs=1e-12)
+
+    def test_skew_segments(self):
+        d = segment_segment_distance((0, 0, 0), (1, 0, 0), (0.5, -1, 2), (0.5, 1, 2))
+        assert d == pytest.approx(2.0)
+
+    def test_endpoint_to_endpoint(self):
+        d = segment_segment_distance((0, 0, 0), (1, 0, 0), (3, 0, 0), (4, 0, 0))
+        assert d == pytest.approx(2.0)
+
+    def test_degenerate_segment_is_point(self):
+        d = segment_segment_distance((0, 0, 0), (0, 0, 0), (1, 0, 0), (1, 1, 0))
+        assert d == pytest.approx(1.0)
+
+    def test_both_degenerate(self):
+        d = segment_segment_distance((0, 0, 0), (0, 0, 0), (3, 4, 0), (3, 4, 0))
+        assert d == pytest.approx(5.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_never_exceeds_sampled_minimum(self, seed):
+        rng = np.random.default_rng(seed)
+        p1, q1, p2, q2 = rng.uniform(-1, 1, size=(4, 3))
+        d = segment_segment_distance(p1, q1, p2, q2)
+        t = np.linspace(0, 1, 64)
+        s1 = p1[None] * (1 - t)[:, None] + q1[None] * t[:, None]
+        s2 = p2[None] * (1 - t)[:, None] + q2[None] * t[:, None]
+        sampled = np.sqrt(((s1[:, None] - s2[None, :]) ** 2).sum(-1)).min()
+        assert d <= sampled + 1e-9
+
+
+class TestTriTriDistance:
+    def test_parallel_triangles(self):
+        other = XY + np.array([0, 0, 2.5])
+        assert tri_tri_distance(XY, other) == pytest.approx(2.5)
+
+    def test_intersecting_triangles_zero(self):
+        other = np.array([[0.2, 0.2, -1], [0.2, 0.2, 1], [0.4, 0.5, 1]], dtype=float)
+        assert tri_tri_distance(XY, other) == pytest.approx(0.0)
+
+    def test_vertex_closest_feature(self):
+        other = np.array([[2, 0, 0], [3, 0, 0], [2, 1, 0]], dtype=float)
+        assert tri_tri_distance(XY, other) == pytest.approx(1.0)
+
+    def test_edge_edge_closest_feature(self):
+        # Two skew triangles whose closest features are edge interiors.
+        a = np.array([[0, -1, 0], [0, 1, 0], [-2, 0, 0]], dtype=float)
+        b = np.array([[1, 0, -1], [1, 0, 1], [3, 0, 0]], dtype=float)
+        assert tri_tri_distance(a, b) == pytest.approx(1.0)
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        a = rng.uniform(-1, 1, size=(32, 3, 3))
+        b = rng.uniform(-1, 1, size=(32, 3, 3)) + np.array([3.0, 0, 0])
+        batch = tri_tri_distance_batch(a, b)
+        for i in range(32):
+            assert batch[i] == pytest.approx(tri_tri_distance(a[i], b[i]))
+
+    def test_empty_batch(self):
+        empty = np.zeros((0, 3, 3))
+        assert tri_tri_distance_batch(empty, empty).shape == (0,)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_lower_bounds_sampled_distance(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, size=(3, 3))
+        b = rng.uniform(-1, 1, size=(3, 3)) + rng.uniform(0, 3, size=3)
+        d = tri_tri_distance(a, b)
+        grid = []
+        n = 10
+        for i in range(n + 1):
+            for j in range(n + 1 - i):
+                u, v = i / n, j / n
+                grid.append((1 - u - v, u, v))
+        w = np.asarray(grid)
+        pa, pb = w @ a, w @ b
+        sampled = np.sqrt(((pa[:, None] - pb[None, :]) ** 2).sum(-1)).min()
+        assert d <= sampled + 1e-9
+        if not tri_tri_intersect(a, b):
+            # For disjoint pairs the feature minimum is exact; dense
+            # sampling should get close to it.
+            assert sampled - d <= 0.5

@@ -1,0 +1,56 @@
+"""Tests for scalar triangle utilities."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import triangle_area, triangle_centroid, triangle_normal
+from repro.geometry.triangle import is_degenerate_triangle, triangle_unit_normal
+
+XY = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+
+
+class TestNormals:
+    def test_ccw_normal_points_up(self):
+        normal = triangle_normal(XY)
+        assert normal[2] > 0
+        assert np.allclose(normal, [0, 0, 1])
+
+    def test_unit_normal(self):
+        big = XY * 10.0
+        assert np.allclose(triangle_unit_normal(big), [0, 0, 1])
+
+    def test_flipped_winding_flips_normal(self):
+        flipped = XY[::-1].copy()
+        assert np.allclose(triangle_normal(flipped), [0, 0, -1])
+
+    def test_degenerate_has_no_unit_normal(self):
+        line = np.array([[0, 0, 0], [1, 0, 0], [2, 0, 0]], dtype=float)
+        with pytest.raises(ValueError):
+            triangle_unit_normal(line)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            triangle_normal(np.zeros((4, 3)))
+
+
+class TestMeasures:
+    def test_area(self):
+        assert triangle_area(XY) == pytest.approx(0.5)
+        assert triangle_area(XY * 2) == pytest.approx(2.0)
+
+    def test_centroid(self):
+        assert np.allclose(triangle_centroid(XY), [1 / 3, 1 / 3, 0])
+
+    def test_degeneracy_detection(self):
+        assert is_degenerate_triangle(
+            np.array([[0, 0, 0], [1, 1, 1], [2, 2, 2]], dtype=float)
+        )
+        assert not is_degenerate_triangle(XY)
+
+    def test_magnitude_is_twice_area(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            tri = rng.normal(size=(3, 3))
+            assert np.linalg.norm(triangle_normal(tri)) == pytest.approx(
+                2 * triangle_area(tri)
+            )

@@ -1,0 +1,213 @@
+"""Tests for the STR R-tree and its distance-range traversals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, box_maxdist, box_mindist
+from repro.index import RTree, RTreeEntry
+
+
+def grid_boxes(n_per_axis=5, size=0.4, spacing=2.0):
+    """A cubic lattice of small boxes, payloads are lattice indices."""
+    boxes = []
+    for i in range(n_per_axis):
+        for j in range(n_per_axis):
+            for k in range(n_per_axis):
+                low = (i * spacing, j * spacing, k * spacing)
+                high = tuple(v + size for v in low)
+                boxes.append(AABB(low, high))
+    return boxes
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    boxes = grid_boxes()
+    return boxes, RTree.from_boxes(boxes, leaf_capacity=8)
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert len(tree) == 0
+        assert tree.query_intersecting(AABB((0, 0, 0), (1, 1, 1))) == []
+        assert tree.query_nn_candidates(AABB((0, 0, 0), (1, 1, 1))) == []
+
+    def test_single_entry(self):
+        box = AABB((0, 0, 0), (1, 1, 1))
+        tree = RTree([RTreeEntry(box, "only")])
+        assert tree.query_intersecting(box) == ["only"]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RTree([], leaf_capacity=1)
+
+    def test_height_grows_logarithmically(self, lattice):
+        _boxes, tree = lattice
+        assert 2 <= tree.height <= 4  # 125 entries, capacity 8
+
+
+class TestIntersecting:
+    def test_point_query_hits_one(self, lattice):
+        boxes, tree = lattice
+        probe = AABB((0.1, 0.1, 0.1), (0.2, 0.2, 0.2))
+        assert tree.query_intersecting(probe) == [0]
+
+    def test_range_query_matches_bruteforce(self, lattice):
+        boxes, tree = lattice
+        probe = AABB((1.0, 1.0, 1.0), (5.0, 3.0, 7.0))
+        expected = {i for i, b in enumerate(boxes) if b.intersects(probe)}
+        assert set(tree.query_intersecting(probe)) == expected
+
+    def test_miss_everything(self, lattice):
+        _boxes, tree = lattice
+        probe = AABB((100, 100, 100), (101, 101, 101))
+        assert tree.query_intersecting(probe) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_random_queries_match_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        lows = rng.uniform(0, 10, size=(60, 3))
+        boxes = [AABB(tuple(lo), tuple(lo + rng.uniform(0.1, 2, size=3))) for lo in lows]
+        tree = RTree.from_boxes(boxes, leaf_capacity=4)
+        qlo = rng.uniform(0, 10, size=3)
+        probe = AABB(tuple(qlo), tuple(qlo + rng.uniform(0.5, 4, size=3)))
+        expected = {i for i, b in enumerate(boxes) if b.intersects(probe)}
+        assert set(tree.query_intersecting(probe)) == expected
+
+
+class TestWithin:
+    def test_definite_plus_candidates_cover_all_near_boxes(self, lattice):
+        boxes, tree = lattice
+        probe = AABB((0, 0, 0), (0.4, 0.4, 0.4))
+        threshold = 2.0
+        result = tree.query_within(probe, threshold)
+        returned = set(result.definite) | set(result.candidates)
+        must_have = {
+            i for i, b in enumerate(boxes) if box_mindist(b, probe) <= threshold
+        }
+        # Nothing beyond the threshold may be reported as definite...
+        for payload in result.definite:
+            assert box_maxdist(boxes[payload], probe) <= threshold
+        # ...and every box possibly within range must be returned somewhere.
+        assert must_have == returned
+
+    def test_zero_threshold_equals_touching(self, lattice):
+        boxes, tree = lattice
+        probe = AABB((0.4, 0.0, 0.0), (2.0, 0.4, 0.4))
+        result = tree.query_within(probe, 0.0)
+        returned = set(result.definite) | set(result.candidates)
+        expected = {i for i, b in enumerate(boxes) if box_mindist(b, probe) == 0.0}
+        assert returned == expected
+
+    def test_huge_threshold_returns_everything(self, lattice):
+        boxes, tree = lattice
+        probe = AABB((0, 0, 0), (0.1, 0.1, 0.1))
+        result = tree.query_within(probe, 1e6)
+        assert len(result.definite) == len(boxes)
+        assert not result.candidates
+
+
+class TestNearestNeighbor:
+    def test_true_nn_always_among_candidates(self, lattice):
+        boxes, tree = lattice
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            lo = rng.uniform(-2, 10, size=3)
+            probe = AABB(tuple(lo), tuple(lo + 0.3))
+            candidates = tree.query_nn_candidates(probe)
+            assert candidates
+            payloads = {c[0] for c in candidates}
+            true_nn = min(range(len(boxes)), key=lambda i: box_mindist(boxes[i], probe))
+            assert true_nn in payloads
+
+    def test_candidate_ranges_are_consistent(self, lattice):
+        boxes, tree = lattice
+        probe = AABB((3.0, 3.0, 3.0), (3.3, 3.3, 3.3))
+        for payload, mind, maxd in tree.query_nn_candidates(probe):
+            assert mind == pytest.approx(box_mindist(boxes[payload], probe))
+            assert maxd == pytest.approx(box_maxdist(boxes[payload], probe))
+            assert mind <= maxd
+
+    def test_minmax_pruning_filters_far_objects(self, lattice):
+        boxes, tree = lattice
+        probe = AABB((0, 0, 0), (0.4, 0.4, 0.4))
+        candidates = tree.query_nn_candidates(probe)
+        # The probe overlaps box 0 whose MAXDIST is tiny, so distant
+        # lattice boxes must all have been pruned.
+        assert len(candidates) < len(boxes) / 4
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_nn_candidates_sound_on_random_data(self, seed):
+        rng = np.random.default_rng(seed)
+        lows = rng.uniform(0, 10, size=(40, 3))
+        boxes = [AABB(tuple(lo), tuple(lo + rng.uniform(0.1, 1, size=3))) for lo in lows]
+        tree = RTree.from_boxes(boxes, leaf_capacity=4)
+        qlo = rng.uniform(0, 10, size=3)
+        probe = AABB(tuple(qlo), tuple(qlo + 0.2))
+        payloads = {c[0] for c in tree.query_nn_candidates(probe)}
+        # Any object whose MINDIST is <= every other object's MAXDIST
+        # could be the nearest neighbor and must be a candidate.
+        minmax = min(box_maxdist(b, probe) for b in boxes)
+        for i, b in enumerate(boxes):
+            if box_mindist(b, probe) <= minmax:
+                assert i in payloads
+
+
+class TestDynamicInsert:
+    def test_insert_into_empty(self):
+        tree = RTree([])
+        tree.insert(RTreeEntry(AABB((0, 0, 0), (1, 1, 1)), "a"))
+        assert len(tree) == 1
+        assert tree.query_intersecting(AABB((0, 0, 0), (2, 2, 2))) == ["a"]
+
+    def test_insert_many_matches_bruteforce(self):
+        rng = np.random.default_rng(13)
+        tree = RTree([], leaf_capacity=4)
+        boxes = []
+        for i in range(120):
+            lo = rng.uniform(0, 20, size=3)
+            box = AABB(tuple(lo), tuple(lo + rng.uniform(0.2, 2, size=3)))
+            boxes.append(box)
+            tree.insert(RTreeEntry(box, i))
+        assert len(tree) == 120
+        probe = AABB((5, 5, 5), (9, 9, 9))
+        expected = {i for i, b in enumerate(boxes) if b.intersects(probe)}
+        assert set(tree.query_intersecting(probe)) == expected
+
+    def test_insert_after_bulk_load(self):
+        boxes = grid_boxes(3)
+        tree = RTree.from_boxes(boxes, leaf_capacity=4)
+        extra = AABB((100, 100, 100), (101, 101, 101))
+        tree.insert(RTreeEntry(extra, "extra"))
+        assert tree.query_intersecting(AABB((99, 99, 99), (102, 102, 102))) == ["extra"]
+        # Old entries still reachable.
+        assert tree.query_intersecting(AABB((0, 0, 0), (0.5, 0.5, 0.5))) == [0]
+
+    def test_nn_traversal_after_inserts(self):
+        rng = np.random.default_rng(14)
+        tree = RTree([], leaf_capacity=4)
+        boxes = []
+        for i in range(60):
+            lo = rng.uniform(0, 15, size=3)
+            box = AABB(tuple(lo), tuple(lo + 0.5))
+            boxes.append(box)
+            tree.insert(RTreeEntry(box, i))
+        probe = AABB((7, 7, 7), (7.2, 7.2, 7.2))
+        payloads = {c[0] for c in tree.query_nn_candidates(probe)}
+        true_nn = min(range(len(boxes)), key=lambda i: box_mindist(boxes[i], probe))
+        assert true_nn in payloads
+
+    def test_within_traversal_after_inserts(self):
+        tree = RTree([], leaf_capacity=4)
+        boxes = grid_boxes(3)
+        for i, box in enumerate(boxes):
+            tree.insert(RTreeEntry(box, i))
+        probe = AABB((0, 0, 0), (0.4, 0.4, 0.4))
+        result = tree.query_within(probe, 2.0)
+        returned = set(result.definite) | set(result.candidates)
+        expected = {i for i, b in enumerate(boxes) if box_mindist(b, probe) <= 2.0}
+        assert returned == expected

@@ -1,0 +1,129 @@
+"""Tests for OFF and binary STL readers/writers."""
+
+import numpy as np
+import pytest
+
+from repro.io import read_off, read_stl, write_off, write_stl
+from repro.io.off import OFFFormatError
+from repro.io.stl import STLFormatError
+from repro.mesh import box_mesh, icosphere, mesh_volume, tetrahedron, validate_polyhedron
+
+
+class TestOFF:
+    def test_roundtrip_preserves_geometry(self, tmp_path):
+        mesh = icosphere(2, radius=1.5, center=(1, 2, 3))
+        path = tmp_path / "sphere.off"
+        write_off(path, mesh)
+        loaded = read_off(path)
+        assert loaded.num_vertices == mesh.num_vertices
+        assert loaded.canonical_face_set() == mesh.canonical_face_set()
+        assert np.allclose(loaded.vertices, mesh.vertices)
+        validate_polyhedron(loaded)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "commented.off"
+        path.write_text(
+            "# a comment\nOFF\n\n4 4 6  # counts\n"
+            "1 1 1\n1 -1 -1\n-1 1 -1\n-1 -1 1\n"
+            "3 0 1 2\n3 0 3 1\n3 0 2 3\n3 1 3 2\n"
+        )
+        mesh = read_off(path)
+        assert mesh.num_faces == 4
+        validate_polyhedron(mesh)
+
+    def test_counts_on_header_line(self, tmp_path):
+        path = tmp_path / "inline.off"
+        path.write_text(
+            "OFF 4 4 6\n1 1 1\n1 -1 -1\n-1 1 -1\n-1 -1 1\n"
+            "3 0 1 2\n3 0 3 1\n3 0 2 3\n3 1 3 2\n"
+        )
+        assert read_off(path).num_faces == 4
+
+    def test_quad_faces_are_triangulated(self, tmp_path):
+        # A cube written with quad faces loads as 12 triangles.
+        box = box_mesh((0, 0, 0), (1, 1, 1))
+        path = tmp_path / "cube.off"
+        quads = [
+            (0, 3, 2, 1), (4, 5, 6, 7), (0, 1, 5, 4),
+            (2, 3, 7, 6), (0, 4, 7, 3), (1, 2, 6, 5),
+        ]
+        lines = ["OFF", "8 6 0"]
+        lines += [" ".join(map(str, v)) for v in box.vertices.tolist()]
+        lines += ["4 " + " ".join(map(str, q)) for q in quads]
+        path.write_text("\n".join(lines))
+        mesh = read_off(path)
+        assert mesh.num_faces == 12
+        validate_polyhedron(mesh)
+        assert mesh_volume(mesh) == pytest.approx(1.0)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.off"
+        path.write_text("# nothing\n")
+        with pytest.raises(OFFFormatError):
+            read_off(path)
+
+    def test_truncated_vertices_rejected(self, tmp_path):
+        path = tmp_path / "trunc.off"
+        path.write_text("OFF\n4 4 0\n0 0 0\n1 0 0\n")
+        with pytest.raises(OFFFormatError):
+            read_off(path)
+
+    def test_out_of_range_face_rejected(self, tmp_path):
+        path = tmp_path / "bad.off"
+        path.write_text("OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 7\n")
+        with pytest.raises(OFFFormatError):
+            read_off(path)
+
+
+class TestSTL:
+    def test_roundtrip_geometry(self, tmp_path):
+        mesh = icosphere(1, radius=2.0)
+        path = tmp_path / "sphere.stl"
+        write_stl(path, mesh)
+        loaded = read_stl(path)
+        assert loaded.num_faces == mesh.num_faces
+        validate_polyhedron(loaded)
+        # float32 storage: volume matches to single precision.
+        assert mesh_volume(loaded) == pytest.approx(mesh_volume(mesh), rel=1e-5)
+
+    def test_welding_restores_shared_vertices(self, tmp_path):
+        mesh = tetrahedron()
+        path = tmp_path / "tet.stl"
+        write_stl(path, mesh)
+        loaded = read_stl(path)
+        assert loaded.num_vertices == 4  # soup welded back to 4 vertices
+
+    def test_orientation_preserved(self, tmp_path):
+        mesh = box_mesh((0, 0, 0), (2, 2, 2))
+        path = tmp_path / "box.stl"
+        write_stl(path, mesh)
+        assert mesh_volume(read_stl(path)) == pytest.approx(8.0, rel=1e-6)
+
+    def test_custom_header_kept_to_80_bytes(self, tmp_path):
+        path = tmp_path / "h.stl"
+        write_stl(path, tetrahedron(), header=b"x" * 200)
+        data = path.read_bytes()
+        assert data[:80] == b"x" * 80
+        read_stl(path)  # still parseable
+
+    def test_too_short_rejected(self, tmp_path):
+        path = tmp_path / "short.stl"
+        path.write_bytes(b"tiny")
+        with pytest.raises(STLFormatError):
+            read_stl(path)
+
+    def test_truncated_body_rejected(self, tmp_path):
+        path = tmp_path / "trunc.stl"
+        write_stl(path, tetrahedron())
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(STLFormatError):
+            read_stl(path)
+
+    def test_stl_feeds_the_codec(self, tmp_path):
+        from repro.compression import PPVPEncoder
+
+        path = tmp_path / "n.stl"
+        write_stl(path, icosphere(1))
+        loaded = read_stl(path)
+        obj = PPVPEncoder(max_lods=3).encode(loaded)
+        assert obj.max_lod >= 1

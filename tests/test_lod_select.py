@@ -1,0 +1,102 @@
+"""Tests for profiling-driven LOD selection (Sections 4.4 / 6.5)."""
+
+import pytest
+
+from repro.core import EngineConfig, ThreeDPro, choose_lod_list, profile_pruning
+from repro.core.lod_select import LODProfile, measure_face_growth
+
+
+@pytest.fixture(scope="module")
+def engine(datasets):
+    eng = ThreeDPro(EngineConfig(paradigm="fpr"))
+    for dataset in datasets.values():
+        eng.load_dataset(dataset)
+    return eng
+
+
+class TestProfile:
+    def test_face_growth_near_two(self, datasets):
+        # One LOD = two decimation rounds, each halving-ish the faces, so
+        # the growth factor r should be around 2 (Fig. 11).
+        growth = measure_face_growth(datasets["nuclei_a"])
+        assert 1.3 < growth < 3.5
+
+    def test_profile_intersection(self, engine):
+        profile = profile_pruning(engine, "nuclei_a", "nuclei_b", "intersection", sample_size=10)
+        assert profile.query == "intersection"
+        assert profile.lods[-1] == max(profile.lods)
+        total_evaluated = sum(profile.evaluated.values())
+        assert total_evaluated > 0
+        for lod in profile.lods:
+            assert 0.0 <= profile.pruned_fraction(lod) <= 1.0
+
+    def test_profile_within_requires_distance(self, engine):
+        with pytest.raises(ValueError):
+            profile_pruning(engine, "nuclei_a", "nuclei_b", "within")
+
+    def test_profile_unknown_query(self, engine):
+        with pytest.raises(ValueError):
+            profile_pruning(engine, "nuclei_a", "nuclei_b", "containment")
+
+    def test_profile_requires_full_fpr(self, datasets):
+        engine = ThreeDPro(EngineConfig(paradigm="fr"))
+        for dataset in datasets.values():
+            engine.load_dataset(dataset)
+        with pytest.raises(ValueError):
+            profile_pruning(engine, "nuclei_a", "nuclei_b", "intersection")
+
+    def test_sample_dataset_cleaned_up(self, engine):
+        profile_pruning(engine, "nuclei_a", "nuclei_b", "intersection", sample_size=5)
+        assert not any(name.startswith("__sample") for name in engine.dataset_names)
+
+
+class TestChooseLodList:
+    def make_profile(self, fractions, growth=2.0):
+        lods = tuple(range(len(fractions)))
+        evaluated = {lod: 100 for lod in lods}
+        pruned = {lod: int(100 * f) for lod, f in zip(lods, fractions)}
+        return LODProfile("intersection", lods, evaluated, pruned, growth)
+
+    def test_consecutive_rule_matches_paper(self):
+        profile = self.make_profile([0.6, 0.1, 0.3, 0.05])
+        # Paper's Section 4.4: threshold = 1/r^2 = 0.25 -> keep 0 and 2,
+        # plus the top LOD 3.
+        assert choose_lod_list(profile, rule="consecutive") == (0, 2, 3)
+
+    def test_to_top_rule_keeps_cheap_early_lods(self):
+        profile = self.make_profile([0.6, 0.1, 0.3, 0.05])
+        # Cost-vs-top thresholds with r=2: lod0 1/64, lod1 1/16, lod2 1/4.
+        # LOD1's 10% pruning clears 1/16, so the non-myopic rule keeps it.
+        assert choose_lod_list(profile) == (0, 1, 2, 3)
+
+    def test_top_lod_always_included(self):
+        profile = self.make_profile([0.0, 0.0, 0.0])
+        assert choose_lod_list(profile) == (2,)
+        assert choose_lod_list(profile, rule="consecutive") == (2,)
+
+    def test_custom_threshold(self):
+        profile = self.make_profile([0.6, 0.1, 0.3, 0.05])
+        assert choose_lod_list(profile, threshold=0.05) == (0, 1, 2, 3)
+        assert choose_lod_list(profile, threshold=0.5) == (0, 3)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            choose_lod_list(self.make_profile([0.5, 0.5]), rule="greedy")
+
+    def test_consecutive_break_even_scales_with_growth(self):
+        gentle = self.make_profile([0.3, 0.0], growth=1.5)  # 1/2.25 ~ 0.44
+        steep = self.make_profile([0.3, 0.0], growth=3.0)  # 1/9 ~ 0.11
+        assert choose_lod_list(gentle, rule="consecutive") == (1,)
+        assert choose_lod_list(steep, rule="consecutive") == (0, 1)
+
+    def test_end_to_end_selection_improves_or_matches(self, engine, datasets):
+        """A profiled LOD list must keep answers identical."""
+        profile = profile_pruning(engine, "nuclei_a", "nuclei_b", "intersection", sample_size=10)
+        lods = choose_lod_list(profile)
+        tuned = ThreeDPro(EngineConfig(paradigm="fpr", lod_list=lods))
+        for dataset in datasets.values():
+            tuned.load_dataset(dataset)
+        assert (
+            tuned.intersection_join("nuclei_a", "nuclei_b").pairs
+            == engine.intersection_join("nuclei_a", "nuclei_b").pairs
+        )

@@ -1,0 +1,152 @@
+"""Tests for EditableMesh: face surgery, vertex removal, reinsertion."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    EditableMesh,
+    box_mesh,
+    icosphere,
+    mesh_volume,
+    tetrahedron,
+    validate_polyhedron,
+)
+from repro.mesh.adjacency import MeshAdjacency, ordered_ring
+
+
+class TestAdjacency:
+    def test_degree_matches_star_size(self):
+        mesh = icosphere(1)
+        adj = MeshAdjacency(mesh.faces)
+        # On an icosphere every vertex has degree 5 or 6.
+        for v in range(mesh.num_vertices):
+            assert adj.degree(v) in (5, 6)
+
+    def test_neighbors_of_tetra_vertex(self):
+        adj = MeshAdjacency(tetrahedron().faces)
+        assert adj.neighbors(0) == {1, 2, 3}
+
+    def test_ring_is_cycle_of_neighbors(self):
+        mesh = icosphere(1)
+        adj = MeshAdjacency(mesh.faces)
+        ring = adj.ring(7)
+        assert ring is not None
+        assert set(ring) == adj.neighbors(7)
+
+    def test_ring_orientation_matches_faces(self):
+        # For each consecutive ring pair (a, b) there must be a face (v, a, b).
+        mesh = icosphere(1)
+        adj = MeshAdjacency(mesh.faces)
+        v = 3
+        ring = adj.ring(v)
+        face_set = {tuple(f) for f in mesh.faces.tolist()}
+
+        def has_oriented(a, b, c):
+            return (a, b, c) in face_set or (b, c, a) in face_set or (c, a, b) in face_set
+
+        for i, a in enumerate(ring):
+            b = ring[(i + 1) % len(ring)]
+            assert has_oriented(v, a, b)
+
+    def test_ordered_ring_rejects_open_fan(self):
+        # Remove one star face: the fan is open, no ring exists.
+        mesh = icosphere(0)
+        adj = MeshAdjacency(mesh.faces)
+        star = [tuple(mesh.faces[f]) for f in adj.vertex_faces[0]]
+        assert ordered_ring(0, star[:-1]) is None
+
+
+class TestFaceSurgery:
+    def test_add_remove_roundtrip(self):
+        mesh = EditableMesh.from_polyhedron(box_mesh())
+        before = mesh.face_array().shape
+        mesh.remove_face(0, 2, 1)
+        assert mesh.num_faces == 11
+        mesh.add_face(0, 2, 1)
+        assert mesh.face_array().shape == before
+
+    def test_add_duplicate_raises(self):
+        mesh = EditableMesh.from_polyhedron(tetrahedron())
+        with pytest.raises(ValueError):
+            mesh.add_face(0, 1, 2)
+
+    def test_remove_missing_raises(self):
+        mesh = EditableMesh.from_polyhedron(tetrahedron())
+        with pytest.raises(KeyError):
+            mesh.remove_face(0, 1, 99)
+
+    def test_edge_bookkeeping(self):
+        mesh = EditableMesh.from_polyhedron(tetrahedron())
+        assert mesh.has_edge(0, 1)
+        mesh.remove_face(0, 1, 2)
+        assert mesh.has_edge(0, 1)  # still used by the other face
+        mesh.remove_face(0, 3, 1)
+        assert not mesh.has_edge(0, 1)
+
+
+class TestVertexRemoval:
+    def test_tetrahedron_vertex_not_removable(self):
+        # Removing any tetra vertex would duplicate the opposite face.
+        mesh = EditableMesh.from_polyhedron(tetrahedron())
+        assert mesh.try_remove_vertex(0) is None
+
+    def test_icosphere_vertex_removal_keeps_mesh_valid(self):
+        mesh = EditableMesh.from_polyhedron(icosphere(1))
+        patch = mesh.try_remove_vertex(5)
+        assert patch is not None
+        assert patch.vertex == 5
+        assert len(patch.patch_faces) == len(patch.star_faces) - 2
+        validate_polyhedron(mesh.to_polyhedron(compact=True))
+
+    def test_removal_reduces_face_count_by_two(self):
+        mesh = EditableMesh.from_polyhedron(icosphere(1))
+        before = mesh.num_faces
+        assert mesh.try_remove_vertex(0) is not None
+        assert mesh.num_faces == before - 2
+
+    def test_removed_vertex_no_longer_live(self):
+        mesh = EditableMesh.from_polyhedron(icosphere(1))
+        assert 0 in mesh.live_vertices
+        mesh.try_remove_vertex(0)
+        assert 0 not in mesh.live_vertices
+
+    def test_accept_predicate_can_veto(self):
+        mesh = EditableMesh.from_polyhedron(icosphere(1))
+        assert mesh.try_remove_vertex(0, accept=lambda v, patch: False) is None
+        assert mesh.num_faces == icosphere(1).num_faces  # untouched
+
+    def test_reinsert_restores_surface_exactly(self):
+        original = icosphere(2)
+        mesh = EditableMesh.from_polyhedron(original)
+        patches = []
+        for v in (0, 17, 30):
+            patch = mesh.try_remove_vertex(v)
+            if patch is not None:
+                patches.append(patch)
+        assert patches
+        for patch in reversed(patches):
+            mesh.reinsert(patch)
+        assert (
+            mesh.to_polyhedron().canonical_face_set()
+            == original.canonical_face_set()
+        )
+
+    def test_removal_shrinks_volume_of_convex_mesh(self):
+        # Every vertex of a convex mesh is protruding: removal cuts solid.
+        original = icosphere(2)
+        mesh = EditableMesh.from_polyhedron(original)
+        assert mesh.try_remove_vertex(3) is not None
+        assert mesh_volume(mesh.to_polyhedron()) < mesh_volume(original)
+
+    def test_remove_recorded_replays_removal(self):
+        original = icosphere(1)
+        mesh = EditableMesh.from_polyhedron(original)
+        patch = mesh.try_remove_vertex(4)
+        mesh.reinsert(patch)
+        mesh.remove_recorded(patch)
+        other = EditableMesh.from_polyhedron(original)
+        other.try_remove_vertex(4)
+        assert (
+            mesh.to_polyhedron().canonical_face_set()
+            == other.to_polyhedron().canonical_face_set()
+        )

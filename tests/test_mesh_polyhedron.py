@@ -1,0 +1,142 @@
+"""Tests for the Polyhedron value type and mesh measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    MeshValidationError,
+    Polyhedron,
+    box_mesh,
+    icosphere,
+    mesh_surface_area,
+    mesh_volume,
+    tetrahedron,
+    validate_polyhedron,
+)
+from repro.mesh.measures import mesh_centroid
+
+
+class TestConstruction:
+    def test_rejects_bad_vertex_shape(self):
+        with pytest.raises(ValueError):
+            Polyhedron(np.zeros((3, 2)), [(0, 1, 2)])
+
+    def test_rejects_out_of_range_faces(self):
+        with pytest.raises(ValueError):
+            Polyhedron(np.zeros((3, 3)), [(0, 1, 5)])
+
+    def test_arrays_are_read_only(self):
+        mesh = tetrahedron()
+        with pytest.raises(ValueError):
+            mesh.vertices[0, 0] = 99.0
+
+    def test_triangles_shape(self):
+        mesh = box_mesh()
+        assert mesh.triangles.shape == (12, 3, 3)
+
+    def test_aabb_uses_referenced_vertices_only(self):
+        # An extra far-away vertex not referenced by any face must not
+        # inflate the bounding box (LOD meshes share the full table).
+        base = box_mesh((0, 0, 0), (1, 1, 1))
+        vertices = np.vstack([base.vertices, [100.0, 100.0, 100.0]])
+        mesh = Polyhedron(vertices, base.faces)
+        assert mesh.aabb.high == (1.0, 1.0, 1.0)
+
+    def test_compacted_drops_unused(self):
+        base = box_mesh()
+        vertices = np.vstack([base.vertices, [9.0, 9.0, 9.0]])
+        mesh = Polyhedron(vertices, base.faces).compacted()
+        assert mesh.num_vertices == 8
+        validate_polyhedron(mesh)
+
+    def test_translated_and_scaled(self):
+        mesh = box_mesh((0, 0, 0), (2, 2, 2)).translated((1, 0, 0))
+        assert mesh.aabb.low == (1.0, 0.0, 0.0)
+        shrunk = mesh.scaled(0.5)
+        assert shrunk.aabb.extents == pytest.approx((1.0, 1.0, 1.0))
+        # scaling about the center keeps the center fixed
+        assert shrunk.aabb.center == pytest.approx(mesh.aabb.center)
+
+    def test_canonical_face_set_rotation_invariant(self):
+        a = Polyhedron(np.eye(3), [(0, 1, 2)])
+        b = Polyhedron(np.eye(3), [(1, 2, 0)])
+        c = Polyhedron(np.eye(3), [(0, 2, 1)])  # flipped orientation
+        assert a.canonical_face_set() == b.canonical_face_set()
+        assert a.canonical_face_set() != c.canonical_face_set()
+
+
+class TestMeasures:
+    def test_box_volume_and_area(self):
+        mesh = box_mesh((0, 0, 0), (2, 3, 4))
+        assert mesh_volume(mesh) == pytest.approx(24.0)
+        assert mesh_surface_area(mesh) == pytest.approx(2 * (6 + 8 + 12))
+
+    def test_volume_positive_means_outward_orientation(self):
+        for mesh in (tetrahedron(), box_mesh(), icosphere(1)):
+            assert mesh_volume(mesh) > 0
+
+    def test_icosphere_approaches_analytic_sphere(self):
+        coarse = icosphere(1, radius=2.0)
+        fine = icosphere(3, radius=2.0)
+        exact = 4.0 / 3.0 * math.pi * 8.0
+        err_coarse = abs(mesh_volume(coarse) - exact)
+        err_fine = abs(mesh_volume(fine) - exact)
+        assert err_fine < err_coarse
+        assert err_fine / exact < 0.01
+
+    def test_centroid_of_shifted_box(self):
+        mesh = box_mesh((1, 2, 3), (3, 4, 5))
+        assert mesh_centroid(mesh) == pytest.approx((2.0, 3.0, 4.0))
+
+
+class TestValidation:
+    def test_valid_primitives_pass(self):
+        for mesh in (tetrahedron(), box_mesh(), icosphere(0), icosphere(2)):
+            validate_polyhedron(mesh)
+
+    def test_open_mesh_rejected(self):
+        mesh = box_mesh()
+        open_mesh = Polyhedron(mesh.vertices, mesh.faces[:-1])
+        with pytest.raises(MeshValidationError):
+            validate_polyhedron(open_mesh)
+
+    def test_too_few_faces_rejected(self):
+        with pytest.raises(MeshValidationError):
+            validate_polyhedron(Polyhedron(np.eye(3), [(0, 1, 2)]))
+
+    def test_inconsistent_orientation_rejected(self):
+        mesh = tetrahedron()
+        faces = mesh.faces.copy()
+        faces[0] = faces[0][::-1]
+        with pytest.raises(MeshValidationError):
+            validate_polyhedron(Polyhedron(mesh.vertices, faces))
+
+    def test_duplicate_face_rejected(self):
+        mesh = tetrahedron()
+        faces = np.vstack([mesh.faces, mesh.faces[0]])
+        with pytest.raises(MeshValidationError):
+            validate_polyhedron(Polyhedron(mesh.vertices, faces))
+
+    def test_degenerate_face_rejected(self):
+        vertices = np.array(
+            [(0, 0, 0), (1, 0, 0), (1, 0, 0), (0, 1, 0)], dtype=float
+        )
+        # Face 0-1-2 has two coincident positions.
+        faces = [(0, 1, 2), (0, 2, 3), (0, 3, 1), (1, 3, 2)]
+        with pytest.raises(MeshValidationError):
+            validate_polyhedron(Polyhedron(vertices, faces))
+
+    def test_repeated_vertex_in_face_rejected(self):
+        with pytest.raises(MeshValidationError):
+            validate_polyhedron(
+                Polyhedron(np.eye(3), [(0, 0, 1), (0, 1, 2), (1, 0, 2), (2, 0, 1)])
+            )
+
+    def test_two_disjoint_components_are_valid(self):
+        a = tetrahedron()
+        b = tetrahedron(center=(10, 0, 0))
+        vertices = np.vstack([a.vertices, b.vertices])
+        faces = np.vstack([a.faces, b.faces + 4])
+        validate_polyhedron(Polyhedron(vertices, faces))

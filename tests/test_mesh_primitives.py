@@ -1,0 +1,89 @@
+"""Tests for procedural mesh primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    box_mesh,
+    icosphere,
+    mesh_volume,
+    tetrahedron,
+    tube_along_path,
+    validate_polyhedron,
+)
+from repro.mesh.primitives import icosahedron
+
+
+class TestIcosphere:
+    def test_face_count_formula(self):
+        for k in range(4):
+            assert icosphere(k).num_faces == 20 * 4**k
+
+    def test_all_vertices_on_sphere(self):
+        mesh = icosphere(2, radius=3.0, center=(1, 2, 3))
+        radius = np.linalg.norm(mesh.vertices - np.array([1.0, 2.0, 3.0]), axis=1)
+        assert np.allclose(radius, 3.0)
+
+    def test_structurally_valid(self):
+        for k in range(4):
+            validate_polyhedron(icosphere(k))
+
+    def test_negative_subdivision_rejected(self):
+        with pytest.raises(ValueError):
+            icosphere(-1)
+
+    def test_icosahedron_valid(self):
+        validate_polyhedron(icosahedron())
+
+
+class TestBoxAndTetra:
+    def test_box_valid_and_positive_volume(self):
+        mesh = box_mesh((-1, -2, -3), (1, 2, 3))
+        validate_polyhedron(mesh)
+        assert mesh_volume(mesh) == pytest.approx(48.0)
+
+    def test_box_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            box_mesh((0, 0, 0), (1, -1, 1))
+
+    def test_tetrahedron_valid(self):
+        validate_polyhedron(tetrahedron(scale=2.5, center=(4, 5, 6)))
+
+
+class TestTube:
+    def test_straight_tube_is_valid_cylinder(self):
+        path = [(0, 0, 0), (0, 0, 1), (0, 0, 2)]
+        mesh = tube_along_path(path, radii=0.5, segments=16)
+        validate_polyhedron(mesh)
+        # Volume approaches pi * r^2 * length for many segments.
+        expected = math.pi * 0.25 * 2.0
+        assert mesh_volume(mesh) == pytest.approx(expected, rel=0.05)
+
+    def test_bent_tube_valid(self):
+        path = [(0, 0, 0), (1, 0, 0), (2, 1, 0), (2, 2, 1)]
+        mesh = tube_along_path(path, radii=[0.3, 0.3, 0.2, 0.1], segments=10)
+        validate_polyhedron(mesh)
+        assert mesh_volume(mesh) > 0
+
+    def test_face_count(self):
+        mesh = tube_along_path([(0, 0, 0), (0, 0, 1)], radii=1.0, segments=8)
+        # 1 span * 8 segments * 2 triangles + 2 caps * 8 fans
+        assert mesh.num_faces == 16 + 16
+
+    def test_rejects_short_path(self):
+        with pytest.raises(ValueError):
+            tube_along_path([(0, 0, 0)], radii=1.0)
+
+    def test_rejects_bad_segments(self):
+        with pytest.raises(ValueError):
+            tube_along_path([(0, 0, 0), (1, 0, 0)], radii=1.0, segments=2)
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            tube_along_path([(0, 0, 0), (1, 0, 0)], radii=0.0)
+
+    def test_rejects_coincident_points(self):
+        with pytest.raises(ValueError):
+            tube_along_path([(0, 0, 0), (0, 0, 0), (1, 0, 0)], radii=0.5)

@@ -1,0 +1,121 @@
+"""Tests for the geometry computer and task scheduling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import tri_tri_distance_batch
+from repro.index import TriangleAABBTree
+from repro.mesh import icosphere
+from repro.parallel import Device, GeometryComputer, TaskScheduler, iter_pair_blocks
+
+
+def brute_distance(tris_a, tris_b):
+    ii, jj = np.meshgrid(np.arange(len(tris_a)), np.arange(len(tris_b)), indexing="ij")
+    return float(
+        tri_tri_distance_batch(
+            tris_a[ii.ravel()], tris_b[jj.ravel()], check_intersection=False
+        ).min()
+    )
+
+
+class TestPairBlocks:
+    def test_covers_all_pairs_exactly_once(self):
+        seen = set()
+        for ii, jj in iter_pair_blocks(7, 5, 8):
+            seen.update(zip(ii.tolist(), jj.tolist()))
+        assert seen == {(i, j) for i in range(7) for j in range(5)}
+
+    def test_block_sizes(self):
+        blocks = list(iter_pair_blocks(4, 4, 6))
+        assert [len(ii) for ii, _ in blocks] == [6, 6, 4]
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            list(iter_pair_blocks(2, 2, 0))
+
+
+class TestScheduler:
+    def test_inline_map(self):
+        assert TaskScheduler(1).map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_threaded_map_same_results(self):
+        items = list(range(50))
+        inline = TaskScheduler(1).map(lambda x: x * x, items)
+        threaded = TaskScheduler(4).map(lambda x: x * x, items)
+        assert inline == threaded
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            TaskScheduler(0)
+
+
+class TestGeometryComputer:
+    @pytest.fixture(scope="class")
+    def spheres(self):
+        a = icosphere(2, center=(0, 0, 0)).triangles
+        b = icosphere(2, center=(3, 0.5, -0.2)).triangles
+        return a, b
+
+    def test_cpu_and_gpu_agree_on_intersection(self, spheres):
+        a, b = spheres
+        touching = icosphere(2, center=(1.5, 0, 0)).triangles
+        for other, expected in ((b, False), (touching, True)):
+            cpu = GeometryComputer(Device.CPU).intersects(a, other)
+            gpu = GeometryComputer(Device.GPU).intersects(a, other)
+            assert cpu == gpu == expected
+
+    def test_cpu_and_gpu_agree_on_distance(self, spheres):
+        a, b = spheres
+        expected = brute_distance(a, b)
+        assert GeometryComputer(Device.CPU).min_distance(a, b) == pytest.approx(expected)
+        assert GeometryComputer(Device.GPU).min_distance(a, b) == pytest.approx(expected)
+
+    def test_tree_path_agrees(self, spheres):
+        a, b = spheres
+        computer = GeometryComputer(Device.CPU)
+        tree_a, tree_b = TriangleAABBTree(a), TriangleAABBTree(b)
+        assert computer.min_distance(
+            a, b, tree_a=tree_a, tree_b=tree_b
+        ) == pytest.approx(brute_distance(a, b))
+        assert computer.intersects(a, b, tree_a=tree_a, tree_b=tree_b) is False
+
+    def test_stop_below_early_exit_counts_fewer_pairs(self, spheres):
+        a, b = spheres
+        computer = GeometryComputer(Device.CPU, cpu_block=64)
+        full_stats, early_stats = {}, {}
+        computer.min_distance(a, b, stats=full_stats)
+        computer.min_distance(a, b, stop_below=100.0, stats=early_stats)
+        assert early_stats["pairs"] < full_stats["pairs"]
+
+    def test_gpu_uses_fewer_kernel_launches_than_cpu(self, spheres):
+        # The GPU device batches at the kernel-saturating size; far fewer
+        # launches than the CPU's small fixed tasks over the same pairs.
+        a, b = spheres
+        gpu = GeometryComputer(Device.GPU)
+        cpu = GeometryComputer(Device.CPU)
+        gpu_blocks = list(iter_pair_blocks(len(a), len(b), gpu.block_size))
+        cpu_blocks = list(iter_pair_blocks(len(a), len(b), cpu.block_size))
+        assert len(gpu_blocks) * 8 <= len(cpu_blocks)
+
+    def test_pairwise_min_distances_matches_loop(self, spheres):
+        a, b = spheres
+        c = icosphere(1, center=(-4, 0, 0)).triangles
+        jobs = [(a, b), (a, c), (b, c)]
+        expected = [brute_distance(x, y) for x, y in jobs]
+        for device in (Device.CPU, Device.GPU):
+            got = GeometryComputer(device).pairwise_min_distances(jobs)
+            assert got == pytest.approx(expected)
+
+    def test_pairwise_empty_jobs(self):
+        assert GeometryComputer(Device.GPU).pairwise_min_distances([]) == []
+
+    def test_fused_batch_splits_large_jobs(self):
+        # Jobs larger than the gpu block must still be exact.
+        a = icosphere(2).triangles
+        b = icosphere(2, center=(2.7, 0, 0)).triangles
+        small_block = GeometryComputer(Device.GPU, gpu_block=1000)
+        expected = brute_distance(a, b)
+        assert small_block.pairwise_min_distances([(a, b)])[0] == pytest.approx(expected)
+        assert small_block.min_distance(a, b) == pytest.approx(expected)

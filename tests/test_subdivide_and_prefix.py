@@ -1,0 +1,97 @@
+"""Tests for midpoint subdivision and progressive blob prefixes."""
+
+import numpy as np
+import pytest
+
+from repro.compression import PPVPEncoder, deserialize_object, serialize_object
+from repro.compression.serialize import extract_lod_prefix
+from repro.mesh import (
+    icosphere,
+    mesh_surface_area,
+    mesh_volume,
+    subdivide_midpoint,
+    tetrahedron,
+    validate_polyhedron,
+)
+
+
+class TestSubdivision:
+    def test_face_count_quadruples(self):
+        mesh = icosphere(1)
+        assert subdivide_midpoint(mesh).num_faces == 4 * mesh.num_faces
+        assert subdivide_midpoint(mesh, rounds=2).num_faces == 16 * mesh.num_faces
+
+    def test_zero_rounds_identity(self):
+        mesh = tetrahedron()
+        out = subdivide_midpoint(mesh, rounds=0)
+        assert out.canonical_face_set() == mesh.canonical_face_set()
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            subdivide_midpoint(tetrahedron(), rounds=-1)
+
+    def test_surface_preserved_exactly(self):
+        # Midpoint split keeps the surface point set: volume and area equal.
+        mesh = icosphere(1, radius=1.5)
+        fine = subdivide_midpoint(mesh)
+        assert mesh_volume(fine) == pytest.approx(mesh_volume(mesh))
+        assert mesh_surface_area(fine) == pytest.approx(mesh_surface_area(mesh))
+
+    def test_result_is_valid_closed_mesh(self):
+        for base in (tetrahedron(), icosphere(1)):
+            validate_polyhedron(subdivide_midpoint(base, rounds=2))
+
+    def test_subdivided_mesh_feeds_the_codec(self):
+        mesh = subdivide_midpoint(tetrahedron(), rounds=3)  # 256 faces
+        obj = PPVPEncoder(max_lods=4).encode(mesh)
+        assert obj.max_lod >= 2
+        restored = obj.decode(obj.max_lod)
+        assert restored.canonical_face_set() == mesh.canonical_face_set()
+
+
+class TestLodPrefix:
+    @pytest.fixture(scope="class")
+    def blob(self):
+        return serialize_object(PPVPEncoder(max_lods=5).encode(icosphere(2)))
+
+    def test_prefix_is_smaller(self, blob):
+        full = deserialize_object(blob)
+        for lod in range(full.max_lod):
+            assert len(extract_lod_prefix(blob, lod)) < len(blob)
+
+    def test_full_prefix_equals_original(self, blob):
+        full = deserialize_object(blob)
+        again = deserialize_object(extract_lod_prefix(blob, full.max_lod))
+        assert again.num_rounds == full.num_rounds
+        assert (
+            again.decode(again.max_lod).canonical_face_set()
+            == full.decode(full.max_lod).canonical_face_set()
+        )
+
+    def test_prefix_decodes_to_matching_lod(self, blob):
+        full = deserialize_object(blob)
+        for lod in full.lods:
+            prefix = deserialize_object(extract_lod_prefix(blob, lod))
+            assert (
+                prefix.decode(prefix.max_lod).canonical_face_set()
+                == full.decode(lod).canonical_face_set()
+            )
+
+    def test_prefix_sizes_monotone(self, blob):
+        full = deserialize_object(blob)
+        sizes = [len(extract_lod_prefix(blob, lod)) for lod in full.lods]
+        assert sizes == sorted(sizes)
+
+    def test_prefix_preserves_original_mbb(self, blob):
+        # The MBB in the header is the original object's (used by the
+        # global index even before refinement data arrives).
+        full = deserialize_object(blob)
+        coarse = deserialize_object(extract_lod_prefix(blob, 0))
+        assert coarse.aabb == full.aabb
+
+    def test_bad_lod_rejected(self, blob):
+        full = deserialize_object(blob)
+        with pytest.raises(ValueError):
+            extract_lod_prefix(blob, full.max_lod + 1)
+        with pytest.raises(ValueError):
+            extract_lod_prefix(blob, -1)
