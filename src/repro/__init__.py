@@ -29,8 +29,9 @@ Quickstart::
 
 from repro.compression import PPVPEncoder
 from repro.core import Accel, EngineConfig, JoinResult, QueryStats, ThreeDPro
+from repro.faults import FaultInjector, InjectedFault
 from repro.mesh import Polyhedron
-from repro.storage import Dataset
+from repro.storage import Dataset, LoadReport
 
 __version__ = "1.0.0"
 
@@ -43,5 +44,8 @@ __all__ = [
     "ThreeDPro",
     "Polyhedron",
     "Dataset",
+    "LoadReport",
+    "FaultInjector",
+    "InjectedFault",
     "__version__",
 ]

@@ -20,6 +20,7 @@ from repro.compression.ppvp import PPVPEncoder
 from repro.compression.serialize import serialized_segment_sizes, serialize_object
 from repro.core.config import Accel, EngineConfig
 from repro.core.engine import ThreeDPro
+from repro.core.errors import StorageError
 from repro.core.lod_select import choose_lod_list, profile_pruning
 from repro.storage.store import Dataset, load_dataset, save_dataset
 
@@ -56,14 +57,21 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--max-lods", type=int, default=6)
     comp.add_argument("--quant-bits", type=int, default=16)
 
+    salvage_help = (
+        "load damaged dataset directories best-effort instead of failing "
+        "(quarantines unreadable files, keeps salvageable objects)"
+    )
+
     ins = sub.add_parser("inspect", help="summarize a dataset directory")
     ins.add_argument("dataset", type=Path)
+    ins.add_argument("--salvage", action="store_true", help=salvage_help)
 
     dec = sub.add_parser("decode", help="export one object at one LOD")
     dec.add_argument("dataset", type=Path)
     dec.add_argument("--object", type=int, default=0)
     dec.add_argument("--lod", type=int, default=None, help="default: highest")
     dec.add_argument("--output", "-o", type=Path, required=True, help=".off or .stl")
+    dec.add_argument("--salvage", action="store_true", help=salvage_help)
 
     qry = sub.add_parser("query", help="run a spatial join between two datasets")
     qry.add_argument("target", type=Path)
@@ -74,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--paradigm", choices=["fr", "fpr"], default="fpr")
     qry.add_argument("--accel", choices=sorted(_ACCEL), default="none")
     qry.add_argument("--limit", type=int, default=10, help="result rows to print")
+    qry.add_argument("--salvage", action="store_true", help=salvage_help)
 
     prof = sub.add_parser("profile", help="profile the LOD schedule for a join")
     prof.add_argument("target", type=Path)
@@ -81,7 +90,26 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--query", choices=["intersection", "within", "nn"], default="nn")
     prof.add_argument("--distance", type=float, default=None)
     prof.add_argument("--sample", type=int, default=16)
+    prof.add_argument("--salvage", action="store_true", help=salvage_help)
     return parser
+
+
+def _load_dataset_cli(path: Path, salvage: bool):
+    """Load a dataset in the requested mode, reporting any data loss."""
+    try:
+        dataset = load_dataset(path, mode="salvage" if salvage else "strict")
+    except (StorageError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if isinstance(exc, StorageError) and not salvage:
+            print(
+                f"hint: retry with --salvage to load what survives of {path}",
+                file=sys.stderr,
+            )
+        raise SystemExit(2) from exc
+    report = dataset.load_report
+    if report is not None and not report.ok:
+        print(f"warning: {path}: {report.summary()}", file=sys.stderr)
+    return dataset
 
 
 def _load_mesh(path: Path):
@@ -133,8 +161,11 @@ def _cmd_compress(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
-    dataset = load_dataset(args.dataset)
+    dataset = _load_dataset_cli(args.dataset, args.salvage)
     print(f"dataset {dataset.name!r}: {len(dataset)} objects")
+    report = dataset.load_report
+    if report is not None and not report.ok:
+        print(f"  load report: {report.summary()}")
     total_faces = dataset.total_faces()
     print(f"  faces at top LOD: {total_faces}")
     for obj_id, obj in enumerate(dataset.objects[:8]):
@@ -152,7 +183,7 @@ def _cmd_decode(args) -> int:
     from repro.io.off import write_off
     from repro.io.stl import write_stl
 
-    dataset = load_dataset(args.dataset)
+    dataset = _load_dataset_cli(args.dataset, args.salvage)
     if not 0 <= args.object < len(dataset):
         raise SystemExit(f"object must be in [0, {len(dataset) - 1}]")
     obj = dataset.objects[args.object]
@@ -172,8 +203,9 @@ def _cmd_decode(args) -> int:
 def _make_engine(args) -> tuple[ThreeDPro, str, str]:
     engine = ThreeDPro(EngineConfig(paradigm=getattr(args, "paradigm", "fpr"),
                                     accel=_ACCEL[getattr(args, "accel", "none")]))
-    target = load_dataset(args.target)
-    source = load_dataset(args.source)
+    salvage = getattr(args, "salvage", False)
+    target = _load_dataset_cli(args.target, salvage)
+    source = _load_dataset_cli(args.source, salvage)
     engine.load_dataset(target)
     engine.load_dataset(source)
     return engine, target.name, source.name
@@ -192,6 +224,11 @@ def _cmd_query(args) -> int:
     else:
         result = engine.knn_join(target, source, k=args.k)
     print(result.stats.summary())
+    if result.degraded_targets:
+        print(
+            f"  degraded: {len(result.degraded_targets)} target answers are "
+            f"correct subsets (see stats.degraded_objects)"
+        )
     shown = 0
     for tid in sorted(result.pairs):
         if shown >= args.limit:
@@ -204,8 +241,8 @@ def _cmd_query(args) -> int:
 
 def _cmd_profile(args) -> int:
     engine = ThreeDPro(EngineConfig(paradigm="fpr"))
-    target = load_dataset(args.target)
-    source = load_dataset(args.source)
+    target = _load_dataset_cli(args.target, args.salvage)
+    source = _load_dataset_cli(args.source, args.salvage)
     engine.load_dataset(target)
     engine.load_dataset(source)
     profile = profile_pruning(

@@ -14,12 +14,22 @@ each segment is independently entropy-coded (canonical Huffman by
 default, zlib or raw also available). Quantization is the only lossy
 stage: every LOD of a deserialized object snaps to the same grid, so the
 progressive-subset property is preserved within the quantized geometry.
+
+Format v2 adds integrity metadata: every segment-table entry carries the
+CRC32 of its (entropy-coded) segment, and the blob ends with a 4-byte
+little-endian CRC32 of all preceding bytes. Corruption is therefore
+*detected* (:class:`~repro.core.errors.BlobChecksumError`) instead of
+parsed into garbage geometry, and :func:`salvage_object_blob` can
+recover the longest checksum-valid LOD prefix of a damaged blob — the
+storage-level counterpart of the paper's progressive-subset property.
+v1 blobs (no checksums) remain readable.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -32,12 +42,15 @@ from repro.geometry.aabb import AABB
 __all__ = [
     "serialize_object",
     "deserialize_object",
+    "salvage_object_blob",
     "serialized_segment_sizes",
     "SerializationError",
+    "BLOB_FORMAT_VERSION",
 ]
 
 _MAGIC = b"3DPR"
-_VERSION = 1
+BLOB_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _BACKENDS = {"none": 0, "huffman": 1, "zlib": 2}
 _BACKEND_NAMES = {v: k for k, v in _BACKENDS.items()}
 
@@ -216,6 +229,14 @@ def _parse_round_segment(
     return tuple(records), vids, quant
 
 
+def _checksum_error(message: str) -> Exception:
+    # Imported lazily: repro.core.errors lives above repro.compression in
+    # the package import order, so a module-level import would be cyclic.
+    from repro.core.errors import BlobChecksumError
+
+    return BlobChecksumError(message)
+
+
 def serialize_object(
     obj: CompressedObject, quant_bits: int = 16, backend: str = "huffman"
 ) -> bytes:
@@ -236,7 +257,7 @@ def serialize_object(
 
     out = bytearray()
     out += _MAGIC
-    out.append(_VERSION)
+    out.append(BLOB_FORMAT_VERSION)
     out.append(_BACKENDS[backend])
     out.append(quant_bits)
     write_uvarint(out, obj.rounds_per_lod)
@@ -245,16 +266,45 @@ def serialize_object(
     out += struct.pack("<6d", *aabb.low, *aabb.high)
     for segment in segments:
         write_uvarint(out, len(segment))
+        write_uvarint(out, zlib.crc32(segment))
     for segment in segments:
         out += segment
+    out += zlib.crc32(bytes(out)).to_bytes(4, "little")
     return bytes(out)
 
 
-def _parse_header(blob: bytes):
+@dataclass
+class _Header:
+    """Parsed blob header plus the segment table."""
+
+    version: int
+    backend: str
+    quant_bits: int
+    rounds_per_lod: int
+    num_vertices: int
+    num_rounds: int
+    aabb: AABB
+    seg_lengths: list[int]
+    seg_crcs: list[int]
+    offset: int  # first byte of segment data
+    body_end: int  # one past the last segment byte (trailer excluded)
+
+
+def _parse_header(blob: bytes, verify: bool = True) -> _Header:
     if blob[:4] != _MAGIC:
         raise SerializationError("bad magic")
-    if blob[4] != _VERSION:
-        raise SerializationError(f"unsupported version {blob[4]}")
+    version = blob[4]
+    if version not in _SUPPORTED_VERSIONS:
+        raise SerializationError(f"unsupported version {version}")
+    body_end = len(blob)
+    if version >= 2:
+        if len(blob) < 9:
+            raise SerializationError("truncated blob")
+        if verify:
+            stored = int.from_bytes(blob[-4:], "little")
+            if zlib.crc32(blob[:-4]) != stored:
+                raise _checksum_error("blob checksum mismatch")
+        body_end = len(blob) - 4
     backend = _BACKEND_NAMES.get(blob[5])
     if backend is None:
         raise SerializationError(f"unknown backend id {blob[5]}")
@@ -263,53 +313,141 @@ def _parse_header(blob: bytes):
     rounds_per_lod, offset = read_uvarint(blob, offset)
     num_vertices, offset = read_uvarint(blob, offset)
     num_rounds, offset = read_uvarint(blob, offset)
+    if num_rounds > body_end:
+        raise SerializationError(f"implausible round count {num_rounds}")
     coords = struct.unpack_from("<6d", blob, offset)
     offset += 48
     aabb = AABB(coords[:3], coords[3:])
     seg_lengths = []
+    seg_crcs = []
     for _ in range(num_rounds + 1):
         length, offset = read_uvarint(blob, offset)
         seg_lengths.append(length)
-    return backend, quant_bits, rounds_per_lod, num_vertices, num_rounds, aabb, seg_lengths, offset
+        crc = 0
+        if version >= 2:
+            crc, offset = read_uvarint(blob, offset)
+        seg_crcs.append(crc)
+    return _Header(
+        version, backend, quant_bits, rounds_per_lod, num_vertices, num_rounds,
+        aabb, seg_lengths, seg_crcs, offset, body_end,
+    )
 
 
 def deserialize_object(blob: bytes) -> CompressedObject:
-    """Rebuild a :class:`CompressedObject` (positions snapped to the grid)."""
-    (
-        backend,
-        quant_bits,
-        rounds_per_lod,
-        num_vertices,
-        num_rounds,
-        aabb,
-        seg_lengths,
-        offset,
-    ) = _parse_header(blob)
+    """Rebuild a :class:`CompressedObject` (positions snapped to the grid).
 
+    v2 blobs have their trailing CRC32 verified first; any corruption
+    raises :class:`~repro.core.errors.BlobChecksumError` rather than
+    parsing into garbage geometry. Malformed bytes of any provenance
+    (including a corrupted version byte demoting a v2 blob to the
+    checksum-free v1 layout) surface as :class:`SerializationError`,
+    never as a raw parser exception.
+    """
+    from repro.core.errors import BlobChecksumError
+
+    try:
+        return _deserialize(blob)
+    except (SerializationError, BlobChecksumError):
+        raise
+    except Exception as exc:
+        raise SerializationError(f"malformed blob: {exc!r}") from exc
+
+
+def _deserialize(blob: bytes) -> CompressedObject:
+    head = _parse_header(blob)
+    offset = head.offset
     segments = []
-    for length in seg_lengths:
+    for length in head.seg_lengths:
         segments.append(_decompress(blob[offset : offset + length]))
         offset += length
+    if offset != head.body_end:
+        raise SerializationError(f"{head.body_end - offset} trailing bytes")
 
-    quant_table = np.zeros((num_vertices, 3), dtype=np.int64)
-    base_ids, base_faces, base_quant = _parse_base_segment(segments[0], quant_bits)
+    quant_table = np.zeros((head.num_vertices, 3), dtype=np.int64)
+    base_ids, base_faces, base_quant = _parse_base_segment(segments[0], head.quant_bits)
     quant_table[np.asarray(base_ids, dtype=np.int64)] = base_quant
 
     rounds: list[tuple[RemovalRecord, ...]] = []
     for segment in segments[1:]:
-        records, vids, round_quant = _parse_round_segment(segment, quant_bits)
+        records, vids, round_quant = _parse_round_segment(segment, head.quant_bits)
         if vids:
             quant_table[np.asarray(vids, dtype=np.int64)] = round_quant
         rounds.append(records)
 
-    positions = _dequantize(quant_table, aabb, quant_bits)
+    positions = _dequantize(quant_table, head.aabb, head.quant_bits)
     return CompressedObject(
         positions=positions,
         base_faces=base_faces,
         rounds=tuple(rounds),
-        rounds_per_lod=rounds_per_lod,
-        metadata={"aabb": aabb, "quant_bits": quant_bits},
+        rounds_per_lod=head.rounds_per_lod,
+        metadata={"aabb": head.aabb, "quant_bits": head.quant_bits},
     )
+
+
+def salvage_object_blob(blob: bytes) -> tuple[CompressedObject, int]:
+    """Best-effort partial deserialize of a corrupted blob.
+
+    Checksums are used for *localization* instead of rejection: the
+    header and segment table must parse, the base segment must be intact,
+    and the longest checksum-valid **suffix** of round segments is kept
+    (the decoder reinserts rounds from the back, so a valid suffix is
+    exactly what lower LODs need — the truncated object's every LOD is
+    identical to the same LOD of the original). Returns
+    ``(object, rounds_dropped)``; raises :class:`SerializationError` if
+    not even the base mesh can be recovered.
+    """
+    head = _parse_header(blob, verify=False)
+
+    raw_segments: list[bytes | None] = []
+    offset = head.offset
+    for length, crc in zip(head.seg_lengths, head.seg_crcs):
+        end = offset + length
+        if end > head.body_end:
+            raw_segments.append(None)  # truncated
+        else:
+            segment = blob[offset:end]
+            ok = zlib.crc32(segment) == crc if head.version >= 2 else True
+            raw_segments.append(segment if ok else None)
+        offset = end
+
+    if raw_segments[0] is None:
+        raise SerializationError("base segment unrecoverable")
+    base_payload = _decompress(raw_segments[0])
+    base_ids, base_faces, base_quant = _parse_base_segment(base_payload, head.quant_bits)
+
+    # Longest valid suffix of rounds: scan from the last round backwards.
+    parsed: list[tuple] = []
+    for segment in reversed(raw_segments[1:]):
+        if segment is None:
+            break
+        try:
+            parsed.append(_parse_round_segment(_decompress(segment), head.quant_bits))
+        except Exception:
+            break
+    parsed.reverse()
+    dropped = head.num_rounds - len(parsed)
+
+    quant_table = np.zeros((head.num_vertices, 3), dtype=np.int64)
+    quant_table[np.asarray(base_ids, dtype=np.int64)] = base_quant
+    rounds: list[tuple[RemovalRecord, ...]] = []
+    for records, vids, round_quant in parsed:
+        if vids:
+            quant_table[np.asarray(vids, dtype=np.int64)] = round_quant
+        rounds.append(records)
+
+    positions = _dequantize(quant_table, head.aabb, head.quant_bits)
+    obj = CompressedObject(
+        positions=positions,
+        base_faces=base_faces,
+        rounds=tuple(rounds),
+        rounds_per_lod=head.rounds_per_lod,
+        metadata={
+            "aabb": head.aabb,
+            "quant_bits": head.quant_bits,
+            "salvaged_rounds_dropped": dropped,
+        },
+    )
+    return obj, dropped
 
 
 def extract_lod_prefix(blob: bytes, lod: int) -> bytes:
@@ -322,44 +460,37 @@ def extract_lod_prefix(blob: bytes, lod: int) -> bytes:
     to an object whose top LOD is ``lod`` — the receiver can refine as
     more segments arrive by re-extracting at a higher LOD.
     """
-    (
-        backend,
-        quant_bits,
-        rounds_per_lod,
-        num_vertices,
-        num_rounds,
-        aabb,
-        seg_lengths,
-        offset,
-    ) = _parse_header(blob)
+    head = _parse_header(blob)
 
-    max_lod = -(-num_rounds // rounds_per_lod)
+    max_lod = -(-head.num_rounds // head.rounds_per_lod)
     if not 0 <= lod <= max_lod:
         raise ValueError(f"lod must be in [0, {max_lod}], got {lod}")
-    keep_rounds = min(num_rounds, lod * rounds_per_lod)
+    keep_rounds = min(head.num_rounds, lod * head.rounds_per_lod)
 
     segments = []
-    cursor = offset
-    for length in seg_lengths:
+    cursor = head.offset
+    for length in head.seg_lengths:
         segments.append(blob[cursor : cursor + length])
         cursor += length
     # Segment 0 is the base; rounds are stored in encode order, and the
     # decoder consumes them from the back, so keep the LAST ``keep_rounds``.
-    kept = [segments[0]] + segments[1 + (num_rounds - keep_rounds) :]
+    kept = [segments[0]] + segments[1 + (head.num_rounds - keep_rounds) :]
 
     out = bytearray()
     out += _MAGIC
-    out.append(_VERSION)
-    out.append(_BACKENDS[backend])
-    out.append(quant_bits)
-    write_uvarint(out, rounds_per_lod)
-    write_uvarint(out, num_vertices)
+    out.append(BLOB_FORMAT_VERSION)
+    out.append(_BACKENDS[head.backend])
+    out.append(head.quant_bits)
+    write_uvarint(out, head.rounds_per_lod)
+    write_uvarint(out, head.num_vertices)
     write_uvarint(out, keep_rounds)
-    out += struct.pack("<6d", *aabb.low, *aabb.high)
+    out += struct.pack("<6d", *head.aabb.low, *head.aabb.high)
     for segment in kept:
         write_uvarint(out, len(segment))
+        write_uvarint(out, zlib.crc32(segment))
     for segment in kept:
         out += segment
+    out += zlib.crc32(bytes(out)).to_bytes(4, "little")
     return bytes(out)
 
 
@@ -367,12 +498,14 @@ def serialized_segment_sizes(blob: bytes) -> dict:
     """Byte counts of the header, the base segment, and each round segment.
 
     This is the raw material for the paper's Fig. 9 ("portions of space
-    taken by different LODs").
+    taken by different LODs"). ``header`` covers everything before the
+    first segment; ``trailer`` is the v2 integrity trailer (0 for v1).
     """
-    *_head, seg_lengths, offset = _parse_header(blob)
+    head = _parse_header(blob)
     return {
-        "header": offset,
-        "base": seg_lengths[0],
-        "rounds": list(seg_lengths[1:]),
+        "header": head.offset,
+        "base": head.seg_lengths[0],
+        "rounds": list(head.seg_lengths[1:]),
+        "trailer": len(blob) - head.body_end,
         "total": len(blob),
     }

@@ -16,7 +16,18 @@ batching) compose with both paradigms, as in the paper's Table 1.
 
 from repro.core.config import Accel, EngineConfig
 from repro.core.engine import JoinResult, ThreeDPro
-from repro.core.errors import DatasetNotLoadedError, EngineConfigError
+from repro.core.errors import (
+    BlobChecksumError,
+    CuboidFormatError,
+    DatasetFormatError,
+    DatasetNotLoadedError,
+    DecodeFailureError,
+    EngineConfigError,
+    EngineError,
+    ErrorBudgetExceededError,
+    StorageError,
+    TaskExecutionError,
+)
 from repro.core.lod_select import LODProfile, choose_lod_list, profile_pruning
 from repro.core.stats import QueryStats
 
@@ -25,8 +36,16 @@ __all__ = [
     "EngineConfig",
     "JoinResult",
     "ThreeDPro",
-    "DatasetNotLoadedError",
+    "EngineError",
     "EngineConfigError",
+    "DatasetNotLoadedError",
+    "StorageError",
+    "CuboidFormatError",
+    "BlobChecksumError",
+    "DatasetFormatError",
+    "DecodeFailureError",
+    "ErrorBudgetExceededError",
+    "TaskExecutionError",
     "LODProfile",
     "choose_lod_list",
     "profile_pruning",

@@ -74,12 +74,28 @@ class EngineConfig:
     # final top-LOD distance evaluation for the reported neighbors -
     # costlier, but every returned distance is exact.
     exact_nn_distances: bool = False
+    # Error budget: abort a query with ErrorBudgetExceededError once more
+    # than this many distinct objects have degraded (decode fallback or
+    # total decode failure). None disables the budget.
+    max_decode_failures: int | None = None
+    # Task-level fault tolerance (see repro.parallel.tasks.TaskScheduler).
+    task_retries: int = 2
+    task_backoff_seconds: float = 0.0
+    # Optional repro.faults.FaultInjector threaded into the decode
+    # provider and task scheduler for chaos testing.
+    fault_injector: object = None
 
     def __post_init__(self):
         if self.paradigm not in ("fr", "fpr"):
             raise EngineConfigError(f"paradigm must be 'fr' or 'fpr', got {self.paradigm!r}")
         if self.partition_parts < 1:
             raise EngineConfigError("partition_parts must be >= 1")
+        if self.max_decode_failures is not None and self.max_decode_failures < 0:
+            raise EngineConfigError("max_decode_failures must be None or >= 0")
+        if self.task_retries < 0:
+            raise EngineConfigError("task_retries must be >= 0")
+        if self.task_backoff_seconds < 0:
+            raise EngineConfigError("task_backoff_seconds must be >= 0")
         if self.lod_list is not None:
             if not self.lod_list:
                 raise EngineConfigError("lod_list must be non-empty when given")

@@ -14,11 +14,16 @@ The engine owns (Fig. 8 of the paper):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.compression.ppvp import PPVPEncoder
 from repro.core.config import EngineConfig
-from repro.core.errors import DatasetNotLoadedError, EngineConfigError
+from repro.core.errors import (
+    DatasetNotLoadedError,
+    DecodeFailureError,
+    EngineConfigError,
+    ErrorBudgetExceededError,
+)
 from repro.core.refine import (
     NNCandidate,
     RefineContext,
@@ -48,14 +53,25 @@ class JoinResult:
     ``(source_id, distance, exact)`` triples for NN/kNN joins (when the
     FPR paradigm settles a nearest neighbor early, ``distance`` is the
     best known upper bound and ``exact`` is False).
+
+    ``degraded_targets`` holds the target ids whose answers leaned on
+    degraded geometry (a decode fell back to a lower LOD, a salvaged
+    object, or MBB-only evaluation): those answers are guaranteed
+    correct *subsets* of the clean answer rather than exact matches.
     """
 
     pairs: dict
     stats: QueryStats
+    degraded_targets: set = field(default_factory=set)
 
     @property
     def total_matches(self) -> int:
         return sum(len(v) for v in self.pairs.values())
+
+    @property
+    def degraded_objects(self) -> int:
+        """Distinct objects served below requested fidelity (from stats)."""
+        return self.stats.degraded_objects
 
 
 class _LoadedDataset:
@@ -85,9 +101,15 @@ class ThreeDPro:
             device=device,
             cpu_block=self.config.cpu_block,
             gpu_block=self.config.gpu_block,
-            scheduler=TaskScheduler(workers=self.config.workers),
+            scheduler=TaskScheduler(
+                workers=self.config.workers,
+                max_retries=self.config.task_retries,
+                backoff_seconds=self.config.task_backoff_seconds,
+                fault_injector=self.config.fault_injector,
+            ),
         )
         self._datasets: dict[str, _LoadedDataset] = {}
+        self._probe_seq = 0
 
     # -- loading ---------------------------------------------------------------
 
@@ -98,6 +120,8 @@ class ThreeDPro:
             dataset.objects,
             self.cache,
             tree_leaf_size=self.config.tree_leaf_size,
+            fault_injector=self.config.fault_injector,
+            salvaged_ids=dataset.degraded_ids,
         )
         partitions: dict[int, object] = {}
         entries: list[RTreeEntry] = []
@@ -106,8 +130,14 @@ class ThreeDPro:
                 self.config.accel.partition
                 and obj.face_count_at_lod(obj.max_lod) >= self.config.partition_min_faces
             ):
-                full = obj.decode(obj.max_lod)
-                partition = partition_faces(full, self.config.partition_parts)
+                try:
+                    full = obj.decode(obj.max_lod)
+                    partition = partition_faces(full, self.config.partition_parts)
+                except Exception:
+                    # Undecodable (e.g. salvage-recovered) object: index
+                    # its whole MBB instead of sub-object boxes.
+                    entries.append(RTreeEntry(obj.aabb, (obj_id, None)))
+                    continue
                 partitions[obj_id] = partition
                 entries.extend(
                     RTreeEntry(sub.aabb, (obj_id, sub.index))
@@ -179,12 +209,15 @@ class ThreeDPro:
             lods=lods,
             use_tree=self.config.accel.aabbtree,
             exact_nn_distances=self.config.exact_nn_distances,
+            max_decode_failures=self.config.max_decode_failures,
         )
 
-    def _new_stats(self, query: str) -> QueryStats:
+    def _new_stats(self, query: str, providers=()) -> QueryStats:
         stats = QueryStats(query=query, config_label=self.config.label)
         stats.cache_hits = -self.cache.hits
         stats.cache_misses = -self.cache.misses
+        stats.decode_seconds_base = sum(p.decode_seconds for p in providers)
+        stats.decode_failures_base = sum(p.decode_failures for p in providers)
         return stats
 
     def _finish_stats(self, stats: QueryStats, started: float, providers) -> None:
@@ -195,6 +228,9 @@ class ThreeDPro:
         stats.decode_seconds = decode
         stats.compute_seconds = max(0.0, stats.compute_seconds - decode)
         stats.decoded_vertices = sum(p.decoded_vertices for p in providers)
+        stats.decode_failures = (
+            sum(p.decode_failures for p in providers) - stats.decode_failures_base
+        )
 
     # -- joins ----------------------------------------------------------------------
 
@@ -202,14 +238,14 @@ class ThreeDPro:
         """For every target object, the source objects intersecting it."""
         target, source = self._get(target_name), self._get(source_name)
         lods = self._lod_schedule(target, source)
-        stats = self._new_stats("intersection_join")
-        stats.decode_seconds_base = sum(
-            p.decode_seconds for p in (target.provider, source.provider)
+        stats = self._new_stats(
+            "intersection_join", (target.provider, source.provider)
         )
         ctx = self._refine_context(target, source, stats, lods)
         started = time.perf_counter()
 
         pairs: dict[int, list[int]] = {}
+        degraded_targets: set[int] = set()
         for batch in target.dataset.cuboid_batches():
             for tid in batch:
                 stats.targets += 1
@@ -218,13 +254,16 @@ class ThreeDPro:
                     payloads = source.rtree.query_intersecting(box)
                     candidates = self._merge_payloads(payloads)
                 stats.candidates += len(candidates)
+                ctx.touched_degraded = False
                 with stats.clock("compute"):
                     matches = refine_intersection(ctx, tid, candidates)
+                if ctx.touched_degraded:
+                    degraded_targets.add(tid)
                 if matches:
                     pairs[tid] = sorted(matches)
                     stats.results += len(matches)
         self._finish_stats(stats, started, (target.provider, source.provider))
-        return JoinResult(pairs, stats)
+        return JoinResult(pairs, stats, degraded_targets)
 
     def within_join(
         self, target_name: str, source_name: str, distance: float
@@ -234,14 +273,12 @@ class ThreeDPro:
             raise EngineConfigError("distance must be >= 0")
         target, source = self._get(target_name), self._get(source_name)
         lods = self._lod_schedule(target, source)
-        stats = self._new_stats("within_join")
-        stats.decode_seconds_base = sum(
-            p.decode_seconds for p in (target.provider, source.provider)
-        )
+        stats = self._new_stats("within_join", (target.provider, source.provider))
         ctx = self._refine_context(target, source, stats, lods)
         started = time.perf_counter()
 
         pairs: dict[int, list[int]] = {}
+        degraded_targets: set[int] = set()
         for batch in target.dataset.cuboid_batches():
             for tid in batch:
                 stats.targets += 1
@@ -253,15 +290,18 @@ class ThreeDPro:
                         p for p in found.candidates if p[0] not in definite
                     )
                 stats.candidates += len(candidates)
+                ctx.touched_degraded = False
                 with stats.clock("compute"):
                     matches = set(definite) | set(
                         refine_within(ctx, tid, candidates, distance)
                     )
+                if ctx.touched_degraded:
+                    degraded_targets.add(tid)
                 if matches:
                     pairs[tid] = sorted(matches)
                     stats.results += len(matches)
         self._finish_stats(stats, started, (target.provider, source.provider))
-        return JoinResult(pairs, stats)
+        return JoinResult(pairs, stats, degraded_targets)
 
     def nn_join(self, target_name: str, source_name: str) -> JoinResult:
         """All-nearest-neighbor join (ANN): the closest source per target."""
@@ -273,14 +313,15 @@ class ThreeDPro:
             raise EngineConfigError("k must be >= 1")
         target, source = self._get(target_name), self._get(source_name)
         lods = self._lod_schedule(target, source)
-        stats = self._new_stats("nn_join" if k == 1 else f"knn_join(k={k})")
-        stats.decode_seconds_base = sum(
-            p.decode_seconds for p in (target.provider, source.provider)
+        stats = self._new_stats(
+            "nn_join" if k == 1 else f"knn_join(k={k})",
+            (target.provider, source.provider),
         )
         ctx = self._refine_context(target, source, stats, lods)
         started = time.perf_counter()
 
         pairs: dict[int, list[tuple[int, float, bool]]] = {}
+        degraded_targets: set[int] = set()
         for batch in target.dataset.cuboid_batches():
             for tid in batch:
                 stats.targets += 1
@@ -299,13 +340,16 @@ class ThreeDPro:
                     raw = source.rtree.query_nn_candidates(box, k=k_entries)
                     candidates = self._merge_nn_payloads(raw)
                 stats.candidates += len(candidates)
+                ctx.touched_degraded = False
                 with stats.clock("compute"):
                     nearest = refine_nn(ctx, tid, candidates, k=k)
+                if ctx.touched_degraded:
+                    degraded_targets.add(tid)
                 if nearest:
                     pairs[tid] = [(c.sid, c.maxdist, c.exact) for c in nearest]
                     stats.results += len(nearest)
         self._finish_stats(stats, started, (target.provider, source.provider))
-        return JoinResult(pairs, stats)
+        return JoinResult(pairs, stats, degraded_targets)
 
     @staticmethod
     def _merge_nn_payloads(raw) -> list[NNCandidate]:
@@ -354,8 +398,7 @@ class ThreeDPro:
         from repro.geometry.raycast import point_in_polyhedron
 
         source = self._get(source_name)
-        stats = self._new_stats("containment_query")
-        stats.decode_seconds_base = source.provider.decode_seconds
+        stats = self._new_stats("containment_query", (source.provider,))
         started = time.perf_counter()
         point = tuple(float(v) for v in point)
         probe = AABB(point, point)
@@ -364,6 +407,18 @@ class ThreeDPro:
             payloads = source.rtree.query_intersecting(probe)
             candidates = sorted({obj_id for obj_id, _part in payloads})
         stats.candidates = len(candidates)
+
+        degraded_seen: set[int] = set()
+
+        def note_degraded(sid: int) -> None:
+            if sid not in degraded_seen:
+                degraded_seen.add(sid)
+                stats.degraded_objects += 1
+            budget = self.config.max_decode_failures
+            if budget is not None and len(degraded_seen) > budget:
+                raise ErrorBudgetExceededError(
+                    budget, len(degraded_seen), query=stats.query
+                )
 
         top = max((source.provider.max_lod(sid) for sid in candidates), default=0)
         lods = (top,) if self.config.paradigm == "fr" else tuple(range(top + 1))
@@ -376,7 +431,17 @@ class ThreeDPro:
                 stats.pairs_evaluated_by_lod[lod] += len(survivors)
                 remaining = []
                 for sid in survivors:
-                    dec = source.provider.get(sid, min(lod, source.provider.max_lod(sid)))
+                    try:
+                        dec = source.provider.get(
+                            sid, min(lod, source.provider.max_lod(sid))
+                        )
+                    except DecodeFailureError:
+                        # MBB containment proves nothing about the mesh:
+                        # drop the candidate (subset-correct).
+                        note_degraded(sid)
+                        continue
+                    if dec.degraded:
+                        note_degraded(sid)
                     if point_in_polyhedron(point, dec.triangles):
                         matches.append(sid)  # inside a subset => inside
                     elif lod < top:
@@ -388,15 +453,21 @@ class ThreeDPro:
         return sorted(matches), stats
 
     def _probe_join(self, source_name, probe, kind, distance=None):
-        probe_dataset = Dataset.from_polyhedra("__probe__", [probe])
+        # Unique per-probe name AND a cache purge on the way out: the
+        # decode cache is keyed by (dataset, object, LOD), so a reused
+        # probe name would serve a previous probe's decoded geometry.
+        self._probe_seq += 1
+        name = f"__probe__{self._probe_seq}"
+        probe_dataset = Dataset.from_polyhedra(name, [probe])
         self.load_dataset(probe_dataset)
         try:
             if kind == "intersection":
-                result = self.intersection_join("__probe__", source_name)
+                result = self.intersection_join(name, source_name)
             elif kind == "within":
-                result = self.within_join("__probe__", source_name, distance)
+                result = self.within_join(name, source_name, distance)
             else:
-                result = self.nn_join("__probe__", source_name)
+                result = self.nn_join(name, source_name)
             return result.pairs.get(0, [])
         finally:
-            del self._datasets["__probe__"]
+            del self._datasets[name]
+            self.cache.purge_dataset(name)

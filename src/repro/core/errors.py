@@ -1,6 +1,25 @@
-"""Engine error types."""
+"""Engine error taxonomy.
 
-__all__ = ["EngineError", "EngineConfigError", "DatasetNotLoadedError"]
+Every failure the engine can surface derives from :class:`EngineError`,
+so callers can catch one base class. The storage branch distinguishes
+*format* problems (structurally unparseable bytes) from *integrity*
+problems (well-formed bytes whose checksum says they were corrupted) —
+the distinction salvage loading keys on: format errors quarantine a
+whole container file, integrity errors quarantine a single blob.
+"""
+
+__all__ = [
+    "EngineError",
+    "EngineConfigError",
+    "DatasetNotLoadedError",
+    "StorageError",
+    "CuboidFormatError",
+    "BlobChecksumError",
+    "DatasetFormatError",
+    "DecodeFailureError",
+    "ErrorBudgetExceededError",
+    "TaskExecutionError",
+]
 
 
 class EngineError(Exception):
@@ -13,3 +32,57 @@ class EngineConfigError(EngineError, ValueError):
 
 class DatasetNotLoadedError(EngineError, KeyError):
     """Raised when a query references a dataset name that is not loaded."""
+
+
+class StorageError(EngineError):
+    """Base class for persistent-storage failures (containers, blobs)."""
+
+
+class CuboidFormatError(StorageError, ValueError):
+    """Raised for malformed or corrupted cuboid container files."""
+
+
+class BlobChecksumError(StorageError, ValueError):
+    """Raised when a blob's CRC32 does not match its payload.
+
+    Distinguishes *detected corruption* (well-formed framing, bad bytes)
+    from :class:`CuboidFormatError` (unparseable framing).
+    """
+
+
+class DatasetFormatError(StorageError, ValueError):
+    """Raised for inconsistent dataset directories (manifest/object-id problems)."""
+
+
+class DecodeFailureError(EngineError):
+    """An object could not be decoded at any LOD (not even the base mesh).
+
+    Carries enough context for degraded-mode query execution to fall
+    back to MBB-only evaluation ("LOD -1") for the object.
+    """
+
+    def __init__(self, dataset: str, obj_id: int, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"object {obj_id} of dataset {dataset!r} failed to decode at every LOD{detail}"
+        )
+        self.dataset = dataset
+        self.obj_id = obj_id
+        self.reason = reason
+
+
+class ErrorBudgetExceededError(EngineError):
+    """A query degraded more objects than ``EngineConfig.max_decode_failures`` allows."""
+
+    def __init__(self, budget: int, degraded: int, query: str = ""):
+        label = f" during {query}" if query else ""
+        super().__init__(
+            f"decode-failure budget exceeded{label}: {degraded} degraded objects "
+            f"> budget of {budget}"
+        )
+        self.budget = budget
+        self.degraded = degraded
+
+
+class TaskExecutionError(EngineError):
+    """A scheduled task failed every attempt (including the serial fallback)."""

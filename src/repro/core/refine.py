@@ -14,6 +14,24 @@ as the progressive-approximation properties allow:
 
 Under the FR paradigm the same functions run with a single-entry LOD
 schedule (the top LOD), which reduces them to classical refinement.
+
+Degraded mode: when an object's stored geometry cannot be decoded even
+at LOD 0 (see :class:`~repro.core.errors.DecodeFailureError`), each
+algorithm falls back to the last rung of the ladder — MBB-only
+evaluation at "LOD -1" — in whatever way keeps the returned results a
+*correct subset* of the clean answer:
+
+* intersection — an MBB overlap proves nothing about the meshes, so an
+  undecodable candidate is dropped and an undecodable target yields only
+  the pairs already confirmed;
+* within — MAXDIST of the two MBBs upper-bounds the true distance, so
+  ``MAXDIST <= D`` still soundly *confirms* a pair; pairs it cannot
+  confirm are dropped;
+* nearest neighbor — undecodable candidates keep their MBB
+  ``[MINDIST, MAXDIST]`` ranges and are never marked ``exact``.
+
+Every degraded object is charged against the context's error budget
+(:class:`~repro.core.errors.ErrorBudgetExceededError` when exceeded).
 """
 
 from __future__ import annotations
@@ -23,12 +41,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.errors import DecodeFailureError, ErrorBudgetExceededError
+from repro.geometry.aabb import box_maxdist
 from repro.geometry.raycast import point_in_polyhedron
 from repro.parallel.executor import Device
 
 __all__ = ["RefineContext", "NNCandidate", "refine_intersection", "refine_within", "refine_nn"]
 
 _ALL_PARTS = None  # candidate part sentinel: evaluate every face
+_NO_TRIANGLES = np.zeros((0, 3, 3))  # stand-in job for undecodable sources
 
 
 @dataclass
@@ -55,17 +76,85 @@ class RefineContext:
     lods: tuple[int, ...] = ()
     use_tree: bool = False
     exact_nn_distances: bool = False
+    # Degraded-mode bookkeeping: distinct degraded (side, id) keys seen,
+    # the per-target "this answer touched degraded geometry" flag the
+    # engine resets between targets, and the error budget (None = off).
+    max_decode_failures: int | None = None
+    degraded_keys: set = field(default_factory=set)
+    touched_degraded: bool = False
+
+    # -- degraded-mode accounting ----------------------------------------------
+
+    def note_degraded(self, side: str, obj_id: int) -> None:
+        """Record that this answer leaned on degraded geometry.
+
+        Raises :class:`ErrorBudgetExceededError` when the number of
+        distinct degraded objects exceeds ``max_decode_failures``.
+        """
+        self.touched_degraded = True
+        key = (side, obj_id)
+        if key not in self.degraded_keys:
+            self.degraded_keys.add(key)
+            self.stats.degraded_objects += 1
+        if (
+            self.max_decode_failures is not None
+            and len(self.degraded_keys) > self.max_decode_failures
+        ):
+            raise ErrorBudgetExceededError(
+                self.max_decode_failures,
+                len(self.degraded_keys),
+                query=getattr(self.stats, "query", ""),
+            )
+
+    def box_upper_bound(self, target_id: int | None, source_id: int) -> float:
+        """MBB-based upper bound on the target-source distance ("LOD -1")."""
+        if target_id is None:
+            return math.inf
+        return box_maxdist(
+            self.target_provider.objects[target_id].aabb,
+            self.source_provider.objects[source_id].aabb,
+        )
 
     # -- decoding -------------------------------------------------------------
 
     def decode_target(self, obj_id: int, lod: int):
-        return self.target_provider.get(
-            obj_id, min(lod, self.target_provider.max_lod(obj_id))
-        )
+        try:
+            dec = self.target_provider.get(
+                obj_id, min(lod, self.target_provider.max_lod(obj_id))
+            )
+        except DecodeFailureError:
+            self.note_degraded("target", obj_id)
+            raise
+        if dec.degraded:
+            self.note_degraded("target", obj_id)
+        return dec
 
     def decode_source(self, obj_id: int, lod: int):
-        return self.source_provider.get(
-            obj_id, min(lod, self.source_provider.max_lod(obj_id))
+        try:
+            dec = self.source_provider.get(
+                obj_id, min(lod, self.source_provider.max_lod(obj_id))
+            )
+        except DecodeFailureError:
+            self.note_degraded("source", obj_id)
+            raise
+        if dec.degraded:
+            self.note_degraded("source", obj_id)
+        return dec
+
+    def _decode_source_or_none(self, obj_id: int, lod: int):
+        try:
+            return self.decode_source(obj_id, lod)
+        except DecodeFailureError:
+            return None
+
+    def source_inexact(self, sid: int) -> bool:
+        """True when ``sid``'s decodes cannot be trusted as full resolution
+        (salvaged geometry, LOD fallback, or total decode failure)."""
+        provider = self.source_provider
+        return (
+            sid in provider.failed_ids
+            or sid in provider.degraded_ids
+            or sid in provider.salvaged_ids
         )
 
     # -- face selection (partition acceleration) -------------------------------
@@ -127,7 +216,12 @@ class RefineContext:
         return dist
 
     def batch_min_distances(
-        self, dec_t, survivors: list, lod: int, stop_below: float = 0.0
+        self,
+        dec_t,
+        survivors: list,
+        lod: int,
+        stop_below: float = 0.0,
+        target_id: int | None = None,
     ) -> list[float]:
         """Distances from the target to many candidates at one LOD.
 
@@ -135,11 +229,18 @@ class RefineContext:
         exact distance is needed) are fused into saturating batches;
         early-exit evaluations (within: a threshold settles pairs) run
         per candidate so the exit can actually fire.
+
+        A candidate whose geometry is undecodable contributes its
+        MBB-based :meth:`box_upper_bound` instead — still a valid upper
+        bound on the true distance, so threshold confirms stay sound.
         """
         if self.use_tree or self.computer.device is not Device.GPU or stop_below > 0.0:
             out = []
             for sid, parts in survivors:
-                dec_s = self.decode_source(sid, lod)
+                dec_s = self._decode_source_or_none(sid, lod)
+                if dec_s is None:
+                    out.append(self.box_upper_bound(target_id, sid))
+                    continue
                 out.append(
                     self.pair_min_distance(
                         dec_t, dec_s, sid, parts, lod, stop_below=stop_below
@@ -147,8 +248,13 @@ class RefineContext:
                 )
             return out
         jobs = []
-        for sid, parts in survivors:
-            dec_s = self.decode_source(sid, lod)
+        fallback: dict[int, float] = {}
+        for i, (sid, parts) in enumerate(survivors):
+            dec_s = self._decode_source_or_none(sid, lod)
+            if dec_s is None:
+                jobs.append((dec_t.triangles, _NO_TRIANGLES))
+                fallback[i] = self.box_upper_bound(target_id, sid)
+                continue
             tris_s = self.source_faces(dec_s, sid, parts)
             jobs.append((dec_t.triangles, tris_s))
         kernel_stats: dict = {}
@@ -157,7 +263,7 @@ class RefineContext:
             [job for _i, job in nonempty], stats=kernel_stats
         )
         self.stats.face_pairs_by_lod[lod] += kernel_stats.get("pairs", 0)
-        out = [math.inf] * len(jobs)
+        out = [fallback.get(i, math.inf) for i in range(len(jobs))]
         for (i, _job), dist in zip(nonempty, dists):
             out[i] = dist
         return out
@@ -167,18 +273,31 @@ class RefineContext:
 
 
 def refine_intersection(ctx: RefineContext, target_id: int, candidates: dict) -> list[int]:
-    """Source ids that truly intersect the target (Algorithm 1)."""
+    """Source ids that truly intersect the target (Algorithm 1).
+
+    MBB overlap cannot *confirm* a mesh intersection, so degraded mode
+    only ever shrinks this answer: an undecodable candidate is dropped,
+    and an undecodable target returns the pairs already confirmed at the
+    LODs that did decode (a correct subset, by property 1).
+    """
     results: list[int] = []
     survivors = dict(candidates)
     top_lod = ctx.lods[-1]
     for lod in ctx.lods:
         if not survivors:
             break
-        dec_t = ctx.decode_target(target_id, lod)
+        try:
+            dec_t = ctx.decode_target(target_id, lod)
+        except DecodeFailureError:
+            return results
         ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
         settled = []
         for sid, parts in survivors.items():
-            dec_s = ctx.decode_source(sid, lod)
+            try:
+                dec_s = ctx.decode_source(sid, lod)
+            except DecodeFailureError:
+                settled.append(sid)  # unconfirmable candidate: drop
+                continue
             if ctx.pair_intersects(dec_t, dec_s, sid, parts, lod):
                 results.append(sid)
                 settled.append(sid)
@@ -189,10 +308,16 @@ def refine_intersection(ctx: RefineContext, target_id: int, candidates: dict) ->
     # Containment stage (Algorithm 1 steps 8-12): no face pair intersects,
     # but one object may contain the other entirely.
     if survivors:
-        dec_t = ctx.decode_target(target_id, top_lod)
+        try:
+            dec_t = ctx.decode_target(target_id, top_lod)
+        except DecodeFailureError:
+            return results
         t_box = _faces_aabb(dec_t)
         for sid in survivors:
-            dec_s = ctx.decode_source(sid, top_lod)
+            try:
+                dec_s = ctx.decode_source(sid, top_lod)
+            except DecodeFailureError:
+                continue
             s_box = _faces_aabb(dec_s)
             if _box_contains(t_box, s_box):
                 probe = dec_s.triangles[0, 0]
@@ -222,16 +347,31 @@ def _box_contains(outer, inner) -> bool:
 def refine_within(
     ctx: RefineContext, target_id: int, candidates: dict, distance: float
 ) -> list[int]:
-    """Source ids truly within ``distance`` of the target (Algorithm 2)."""
+    """Source ids truly within ``distance`` of the target (Algorithm 2).
+
+    In degraded mode a measured distance is replaced by the MBB MAXDIST
+    upper bound ("LOD -1"): ``MAXDIST <= distance`` still soundly
+    confirms a pair, and anything unconfirmable is excluded — the answer
+    stays a correct subset.
+    """
     results: list[int] = []
     survivors = list(candidates.items())
     top_lod = ctx.lods[-1]
     for lod in ctx.lods:
         if not survivors:
             break
-        dec_t = ctx.decode_target(target_id, lod)
+        try:
+            dec_t = ctx.decode_target(target_id, lod)
+        except DecodeFailureError:
+            # MBB-only: confirm what the box upper bound alone can prove.
+            for sid, _parts in survivors:
+                if ctx.box_upper_bound(target_id, sid) <= distance:
+                    results.append(sid)
+            return results
         ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
-        dists = ctx.batch_min_distances(dec_t, survivors, lod, stop_below=distance)
+        dists = ctx.batch_min_distances(
+            dec_t, survivors, lod, stop_below=distance, target_id=target_id
+        )
         remaining = []
         settled = 0
         for (sid, parts), dist in zip(survivors, dists):
@@ -278,13 +418,18 @@ def refine_nn(
             # Early NN determination without decoding further LODs.
             break
 
-        dec_t = ctx.decode_target(target_id, lod)
+        try:
+            dec_t = ctx.decode_target(target_id, lod)
+        except DecodeFailureError:
+            # MBB-only: candidates keep whatever ranges are already
+            # established; none of them can be called exact.
+            break
         ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
         dists = ctx.batch_min_distances(
-            dec_t, [(c.sid, c.parts) for c in survivors], lod
+            dec_t, [(c.sid, c.parts) for c in survivors], lod, target_id=target_id
         )
         for cand, dist in zip(survivors, dists):
-            if lod == top_lod:
+            if lod == top_lod and not dec_t.degraded and not ctx.source_inexact(cand.sid):
                 # Collapse the range to the exact distance. Do NOT keep a
                 # previously-tightened MAXDIST here: kernel summation
                 # order differs between LODs, so an earlier bound can sit
@@ -294,6 +439,10 @@ def refine_nn(
                 cand.mindist = float(dist)
                 cand.exact = True
             else:
+                # A pre-top LOD, a degraded decode on either side (the
+                # measured distance is only an upper bound then), or an
+                # undecodable candidate whose "distance" is the MBB upper
+                # bound — tighten, never collapse or mark exact.
                 cand.maxdist = min(cand.maxdist, float(dist))
 
         # Prune with the ranges this LOD just tightened, crediting the
@@ -305,13 +454,26 @@ def refine_nn(
         survivors = kept
 
     if ctx.exact_nn_distances:
-        pending = [c for c in survivors if not c.exact]
+        # Undecodable candidates can never be made exact; leave their
+        # ranges open rather than pretending.
+        pending = [
+            c
+            for c in survivors
+            if not c.exact and c.sid not in ctx.source_provider.failed_ids
+        ]
         if pending:
-            dec_t = ctx.decode_target(target_id, top_lod)
+            try:
+                dec_t = ctx.decode_target(target_id, top_lod)
+            except DecodeFailureError:
+                pending = []
+        if pending:
             dists = ctx.batch_min_distances(
-                dec_t, [(c.sid, c.parts) for c in pending], top_lod
+                dec_t, [(c.sid, c.parts) for c in pending], top_lod, target_id=target_id
             )
             for cand, dist in zip(pending, dists):
+                if dec_t.degraded or ctx.source_inexact(cand.sid):
+                    cand.maxdist = min(cand.maxdist, float(dist))
+                    continue
                 cand.maxdist = cand.mindist = float(dist)
                 cand.exact = True
 

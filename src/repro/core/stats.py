@@ -47,9 +47,17 @@ class QueryStats:
     cache_hits: int = 0
     cache_misses: int = 0
 
-    # Snapshot of the providers' cumulative decode time taken when the
-    # query starts; the engine uses it to attribute decode deltas.
+    # Degraded-mode accounting: distinct objects whose geometry was
+    # served below the requested fidelity (LOD fallback, salvage, or
+    # total decode failure), and individual decode attempts that raised.
+    degraded_objects: int = 0
+    decode_failures: int = 0
+
+    # Snapshots of the providers' cumulative decode time / failure count
+    # taken when the query starts; the engine uses them to attribute the
+    # per-query deltas.
     decode_seconds_base: float = 0.0
+    decode_failures_base: int = 0
 
     @contextmanager
     def clock(self, phase: str):
@@ -97,6 +105,8 @@ class QueryStats:
         self.decoded_vertices += other.decoded_vertices
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.degraded_objects += other.degraded_objects
+        self.decode_failures += other.decode_failures
         for lod, count in other.pairs_evaluated_by_lod.items():
             self.pairs_evaluated_by_lod[lod] += count
         for lod, count in other.pairs_pruned_by_lod.items():
@@ -122,11 +132,13 @@ class QueryStats:
             "decoded_vertices": self.decoded_vertices,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "degraded_objects": self.degraded_objects,
+            "decode_failures": self.decode_failures,
         }
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        line = (
             f"{self.query or 'query'} [{self.config_label}] "
             f"total={self.total_seconds:.3f}s "
             f"(filter={self.filter_seconds:.3f} decode={self.decode_seconds:.3f} "
@@ -134,3 +146,9 @@ class QueryStats:
             f"targets={self.targets} candidates={self.candidates} "
             f"results={self.results} face_pairs={self.face_pairs_total}"
         )
+        if self.degraded_objects or self.decode_failures:
+            line += (
+                f" degraded_objects={self.degraded_objects}"
+                f" decode_failures={self.decode_failures}"
+            )
+        return line

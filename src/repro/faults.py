@@ -1,0 +1,104 @@
+"""Deterministic, seed-driven fault injection.
+
+The chaos-testing substrate: one :class:`FaultInjector` can be handed to
+the storage layer (bit-flips in blobs as they are written), the decode
+provider (raised decoder errors), and the task scheduler (failed or
+delayed tasks). Every decision is a pure function of ``(seed, kind,
+key)`` — not of call order — so a test that replays the same workload
+with the same seed injects exactly the same faults, and a fault observed
+in a failure log can be reproduced in isolation.
+
+Typical chaos-test wiring::
+
+    from repro.faults import FaultInjector
+
+    inj = FaultInjector(seed=7, decode_error_rate=0.3)
+    engine = ThreeDPro(EngineConfig(fault_injector=inj))
+    # ... degraded-but-correct-subset joins, inj.counts tells you what fired
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = ["InjectedFault", "FaultInjector"]
+
+
+class InjectedFault(RuntimeError):
+    """The synthetic failure raised by an injector hook."""
+
+
+@dataclass
+class FaultInjector:
+    """Seeded fault source; all rates are probabilities in ``[0, 1]``.
+
+    ``max_faults`` caps the total number of injected faults (useful for
+    "exactly one failure, then clean" retry scenarios). ``counts`` tracks
+    fired faults per kind for test assertions.
+    """
+
+    seed: int = 0
+    blob_flip_rate: float = 0.0
+    decode_error_rate: float = 0.0
+    task_error_rate: float = 0.0
+    task_delay_rate: float = 0.0
+    task_delay_seconds: float = 0.0
+    max_faults: int | None = None
+    counts: dict = field(default_factory=dict)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def _roll(self, kind: str, key: str) -> float:
+        """Deterministic uniform draw in [0, 1) from (seed, kind, key)."""
+        return zlib.crc32(f"{self.seed}|{kind}|{key}".encode()) / 2**32
+
+    def _fire(self, kind: str, rate: float, key: str) -> bool:
+        if rate <= 0.0:
+            return False
+        if self.max_faults is not None and self.total_injected >= self.max_faults:
+            return False
+        if self._roll(kind, key) < rate:
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+            return True
+        return False
+
+    # -- hooks ---------------------------------------------------------------
+
+    def corrupt_blob(self, blob: bytes, key: str) -> bytes:
+        """Maybe flip one bit of ``blob`` (storage write hook)."""
+        if not blob or not self._fire("blob_flip", self.blob_flip_rate, key):
+            return blob
+        pos = zlib.crc32(f"{self.seed}|pos|{key}".encode()) % len(blob)
+        bit = 1 << (zlib.crc32(f"{self.seed}|bit|{key}".encode()) % 8)
+        out = bytearray(blob)
+        out[pos] ^= bit
+        return bytes(out)
+
+    def before_decode(self, dataset: str, obj_id: int, lod: int) -> None:
+        """Maybe raise in place of a decode (provider hook).
+
+        Keyed by ``(dataset, object, lod)``: an object can deterministically
+        fail at its top LOD yet still decode at lower ones — exactly the
+        shape the degraded-refinement fallback ladder is built for.
+        """
+        if self._fire("decode", self.decode_error_rate, f"{dataset}:{obj_id}:{lod}"):
+            raise InjectedFault(
+                f"injected decode failure: {dataset}[{obj_id}] at LOD {lod}"
+            )
+
+    def before_task(self, index: int, attempt: int = 0) -> None:
+        """Maybe fail or delay a scheduled task (scheduler hook).
+
+        Keyed by ``(index, attempt)`` so retries of a failed task can
+        deterministically succeed (or keep failing, at rate 1.0).
+        """
+        if self._fire("task", self.task_error_rate, f"{index}:{attempt}"):
+            raise InjectedFault(f"injected task failure: task {index} attempt {attempt}")
+        if self.task_delay_seconds > 0 and self._fire(
+            "delay", self.task_delay_rate, f"{index}:{attempt}"
+        ):
+            time.sleep(self.task_delay_seconds)

@@ -4,14 +4,24 @@ A "task" is a contiguous block of the flattened ``n_a x n_b`` pair index
 space; block size is the device's batch granularity (paper Section 5.2:
 "geometric computations ... are grouped into small tasks with a fixed
 number of face pair evaluations").
+
+The scheduler is fault-tolerant: a task that raises is retried up to
+``max_retries`` times with optional exponential backoff, and tasks that
+fail inside the thread pool are re-run serially (a worker-thread crash
+must not take down the whole query). Only when a task exhausts its
+retries does the scheduler raise
+:class:`~repro.core.errors.TaskExecutionError`.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
+
+from repro.core.errors import TaskExecutionError
 
 __all__ = ["iter_pair_blocks", "TaskScheduler"]
 
@@ -40,16 +50,80 @@ class TaskScheduler:
     submitted as thunks and executed by whichever worker is free. With
     ``workers <= 1`` everything runs inline (the default for
     reproducible single-thread benchmarks).
+
+    ``max_retries`` bounds re-execution of a failing task (0 disables
+    retry); ``backoff_seconds`` is the base of an exponential backoff
+    slept between attempts. ``fault_injector`` (see :mod:`repro.faults`)
+    may synthesize failures/delays per ``(task index, attempt)`` for
+    chaos tests. ``retries`` and ``serial_fallbacks`` count what
+    actually happened.
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(
+        self,
+        workers: int = 1,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.0,
+        fault_injector=None,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
         self.workers = workers
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.fault_injector = fault_injector
+        self.retries = 0
+        self.serial_fallbacks = 0
+
+    def _run(self, fn: Callable, item, index: int, first_attempt: int = 0):
+        """Run one task with retry; raises TaskExecutionError when spent."""
+        last: Exception | None = None
+        for attempt in range(first_attempt, self.max_retries + 1):
+            if attempt > first_attempt:
+                self.retries += 1
+                if self.backoff_seconds > 0:
+                    time.sleep(self.backoff_seconds * 2 ** (attempt - 1))
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.before_task(index, attempt)
+                return fn(item)
+            except Exception as exc:
+                last = exc
+        raise TaskExecutionError(
+            f"task {index} failed after {self.max_retries + 1 - first_attempt} "
+            f"attempt(s): {last!r}"
+        ) from last
 
     def map(self, fn: Callable, items: Iterable) -> list:
         items = list(items)
         if self.workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return [self._run(fn, item, i) for i, item in enumerate(items)]
+
+        def pooled(pair):
+            """First attempt only; failures are retried serially by the caller."""
+            index, item = pair
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.before_task(index, 0)
+                return True, fn(item)
+            except Exception as exc:
+                return False, exc
+
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(fn, items))
+            outcomes = list(pool.map(pooled, enumerate(items)))
+        results = []
+        for index, (ok, value) in enumerate(outcomes):
+            if ok:
+                results.append(value)
+                continue
+            self.serial_fallbacks += 1
+            if self.max_retries == 0:
+                raise TaskExecutionError(
+                    f"task {index} failed after 1 attempt(s): {value!r}"
+                ) from value
+            results.append(self._run(fn, items[index], index, first_attempt=1))
+        return results

@@ -9,17 +9,25 @@ same representation twice (Table 2).
 
 from repro.storage.cache import DecodeCache, DecodedLOD, DecodedObjectProvider
 from repro.storage.cuboid import CuboidGrid
-from repro.storage.fileformat import read_cuboid_file, write_cuboid_file
-from repro.storage.store import Dataset, load_dataset, save_dataset
+from repro.storage.fileformat import (
+    BlobFault,
+    read_cuboid_file,
+    salvage_cuboid_file,
+    write_cuboid_file,
+)
+from repro.storage.store import Dataset, LoadReport, load_dataset, save_dataset
 
 __all__ = [
     "DecodeCache",
     "DecodedLOD",
     "DecodedObjectProvider",
     "CuboidGrid",
+    "BlobFault",
     "read_cuboid_file",
+    "salvage_cuboid_file",
     "write_cuboid_file",
     "Dataset",
+    "LoadReport",
     "load_dataset",
     "save_dataset",
 ]

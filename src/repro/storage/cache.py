@@ -7,6 +7,15 @@ array, AABB-tree, partition grouping). The provider owns the progressive
 decoders: a cache miss advances the object's decoder forward (cheap) or
 restarts it from the base when a lower LOD than the decoder's current
 position is requested after eviction.
+
+Decoding is also where corruption surfaces at query time, so the
+provider implements the first rungs of the degradation ladder: a decoder
+failure at the requested LOD falls back to the highest LOD that still
+decodes (every lower LOD is a valid spatial subset of the object, so
+queries stay *correct*, just less complete), and an object that cannot
+produce even its base mesh raises
+:class:`~repro.core.errors.DecodeFailureError` — the signal for MBB-only
+("LOD -1") evaluation upstream.
 """
 
 from __future__ import annotations
@@ -16,20 +25,38 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.core.errors import DecodeFailureError
 from repro.index.aabbtree import TriangleAABBTree
 
 __all__ = ["DecodedLOD", "DecodeCache", "DecodedObjectProvider"]
 
 
 class DecodedLOD:
-    """One object's geometry at one LOD, with lazy derived structures."""
+    """One object's geometry at one LOD, with lazy derived structures.
 
-    __slots__ = ("positions", "faces", "_triangles", "_tree", "_groups", "tree_leaf_size")
+    ``lod`` is the LOD actually decoded; ``degraded`` marks geometry of
+    reduced fidelity — a decode that fell back below the requested LOD,
+    or an object only partially recovered by salvage loading.
+    """
 
-    def __init__(self, positions: np.ndarray, faces: np.ndarray, tree_leaf_size: int = 8):
+    __slots__ = (
+        "positions", "faces", "_triangles", "_tree", "_groups",
+        "tree_leaf_size", "lod", "degraded",
+    )
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        faces: np.ndarray,
+        tree_leaf_size: int = 8,
+        lod: int = -1,
+        degraded: bool = False,
+    ):
         self.positions = positions
         self.faces = faces
         self.tree_leaf_size = tree_leaf_size
+        self.lod = lod
+        self.degraded = degraded
         self._triangles: np.ndarray | None = None
         self._tree: TriangleAABBTree | None = None
         self._groups: np.ndarray | None = None
@@ -110,6 +137,18 @@ class DecodeCache:
             self.bytes_used -= old.nbytes
             self.evictions += 1
 
+    def purge_dataset(self, name: str) -> int:
+        """Drop every entry belonging to dataset ``name``; returns count.
+
+        Used when a dataset is unloaded (notably ad-hoc probe datasets)
+        so a later dataset reusing the name can never be served another
+        dataset's decoded geometry.
+        """
+        stale = [key for key in self._entries if key[0] == name]
+        for key in stale:
+            self.bytes_used -= self._entries.pop(key).nbytes
+        return len(stale)
+
     def clear(self) -> None:
         self._entries.clear()
         self.bytes_used = 0
@@ -125,39 +164,92 @@ class DecodedObjectProvider:
 
     Decode wall-time is accumulated into ``decode_seconds`` so the engine
     can attribute it separately from geometry computation (Fig. 10).
+
+    ``fault_injector`` (see :mod:`repro.faults`) may force decode
+    failures; ``salvaged_ids`` marks objects whose stored geometry was
+    only partially recovered, so their decodes are flagged degraded.
+    Failure bookkeeping: ``degraded_ids`` maps objects to the fallback
+    LOD they last served, ``failed_ids`` holds objects that failed at
+    every LOD (subsequent ``get`` calls fail fast), and
+    ``decode_failures`` counts individual decode attempts that raised.
     """
 
-    def __init__(self, name: str, objects, cache: DecodeCache, tree_leaf_size: int = 8):
+    def __init__(
+        self,
+        name: str,
+        objects,
+        cache: DecodeCache,
+        tree_leaf_size: int = 8,
+        fault_injector=None,
+        salvaged_ids=(),
+    ):
         self.name = name
         self.objects = objects
         self.cache = cache
         self.tree_leaf_size = tree_leaf_size
+        self.fault_injector = fault_injector
+        self.salvaged_ids = frozenset(salvaged_ids)
         self._decoders: dict[int, object] = {}
         self.decode_seconds = 0.0
         self.decoded_vertices = 0
+        self.degraded_ids: dict[int, int] = {}
+        self.failed_ids: dict[int, str] = {}
+        self.decode_failures = 0
+
+    def _decode_at(self, obj_id: int, lod: int) -> DecodedLOD:
+        """One decode attempt at exactly ``lod``; may raise."""
+        if self.fault_injector is not None:
+            self.fault_injector.before_decode(self.name, obj_id, lod)
+        decoder = self._decoders.get(obj_id)
+        if decoder is None or decoder.current_lod > lod:
+            decoder = self.objects[obj_id].decoder()
+        before = decoder.vertices_reinserted
+        decoder.advance_to(lod)
+        # Commit the decoder only after a successful advance: a failed
+        # advance may leave it mid-round, poisoning later requests.
+        self._decoders[obj_id] = decoder
+        self.decoded_vertices += decoder.vertices_reinserted - before
+        return DecodedLOD(
+            decoder.compressed.positions,
+            decoder.face_array(),
+            tree_leaf_size=self.tree_leaf_size,
+            lod=lod,
+            degraded=obj_id in self.salvaged_ids,
+        )
 
     def get(self, obj_id: int, lod: int) -> DecodedLOD:
+        """Decode ``obj_id`` at ``lod``, degrading to a lower LOD on failure.
+
+        Raises :class:`DecodeFailureError` when no LOD decodes at all.
+        """
         key = (self.name, obj_id, lod)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
+        if obj_id in self.failed_ids:
+            raise DecodeFailureError(self.name, obj_id, self.failed_ids[obj_id])
 
         start = time.perf_counter()
-        decoder = self._decoders.get(obj_id)
-        if decoder is None or decoder.current_lod > lod:
-            decoder = self.objects[obj_id].decoder()
-            self._decoders[obj_id] = decoder
-        before = decoder.vertices_reinserted
-        decoder.advance_to(lod)
-        self.decoded_vertices += decoder.vertices_reinserted - before
-        decoded = DecodedLOD(
-            decoder.compressed.positions,
-            decoder.face_array(),
-            tree_leaf_size=self.tree_leaf_size,
-        )
-        self.decode_seconds += time.perf_counter() - start
-        self.cache.put(key, decoded)
-        return decoded
+        try:
+            last_error: Exception | None = None
+            for attempt_lod in range(lod, -1, -1):
+                try:
+                    decoded = self._decode_at(obj_id, attempt_lod)
+                except Exception as exc:
+                    self.decode_failures += 1
+                    self._decoders.pop(obj_id, None)
+                    last_error = exc
+                    continue
+                if attempt_lod < lod:
+                    decoded.degraded = True
+                    self.degraded_ids[obj_id] = attempt_lod
+                self.cache.put(key, decoded)
+                return decoded
+            reason = repr(last_error) if last_error is not None else "unknown"
+            self.failed_ids[obj_id] = reason
+            raise DecodeFailureError(self.name, obj_id, reason)
+        finally:
+            self.decode_seconds += time.perf_counter() - start
 
     def max_lod(self, obj_id: int) -> int:
         return self.objects[obj_id].max_lod

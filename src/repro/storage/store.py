@@ -5,6 +5,16 @@ compressed objects, their MBBs (read straight off the compressed
 headers), and the cuboid grid that batches them. ``save_dataset`` /
 ``load_dataset`` persist a dataset as one cuboid container file per
 non-empty cuboid plus a tiny manifest.
+
+Loading runs in one of two modes:
+
+* ``strict`` (default) — any corruption or inconsistency raises; the
+  dataset you get is exactly the dataset that was saved.
+* ``salvage`` — unreadable container files are quarantined, failing
+  blobs are skipped or partially recovered (their intact lower LODs
+  kept, see :func:`~repro.compression.serialize.salvage_object_blob`),
+  surviving objects are renumbered contiguously, and the whole outcome
+  is reported in a structured :class:`LoadReport`.
 """
 
 from __future__ import annotations
@@ -14,14 +24,91 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.compression.ppvp import CompressedObject, PPVPEncoder
-from repro.compression.serialize import deserialize_object, serialize_object
+from repro.compression.serialize import (
+    deserialize_object,
+    salvage_object_blob,
+    serialize_object,
+)
+from repro.core.errors import CuboidFormatError, DatasetFormatError
 from repro.geometry.aabb import AABB
 from repro.storage.cuboid import CuboidGrid
-from repro.storage.fileformat import read_cuboid_file, write_cuboid_file
+from repro.storage.fileformat import (
+    read_cuboid_file,
+    salvage_cuboid_file,
+    write_cuboid_file,
+)
 
-__all__ = ["Dataset", "save_dataset", "load_dataset"]
+__all__ = ["Dataset", "LoadReport", "save_dataset", "load_dataset"]
 
 _MANIFEST = "manifest.json"
+_MODES = ("strict", "salvage")
+
+
+@dataclass
+class LoadReport:
+    """Structured outcome of one :func:`load_dataset` call.
+
+    ``skipped_blobs`` and ``degraded_objects`` carry
+    ``(object_id, filename, reason)`` triples; skipped ids are the
+    *original* (manifest) ids, degraded ids the *final* (possibly
+    renumbered) ids. ``id_map`` maps original ids to final ids when
+    salvage renumbering applied (``None`` in strict mode).
+    """
+
+    mode: str
+    directory: str
+    objects_expected: int = 0
+    objects_loaded: int = 0
+    files_total: int = 0
+    files_loaded: int = 0
+    quarantined_files: list[tuple[str, str]] = field(default_factory=list)
+    skipped_blobs: list[tuple[int, str, str]] = field(default_factory=list)
+    degraded_objects: list[tuple[int, str, str]] = field(default_factory=list)
+    container_faults: list[str] = field(default_factory=list)
+    id_map: dict[int, int] | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing was lost, degraded, or integrity-suspect."""
+        return (
+            not self.quarantined_files
+            and not self.skipped_blobs
+            and not self.degraded_objects
+            and not self.container_faults
+            and self.objects_loaded == self.objects_expected
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        parts = [
+            f"loaded {self.objects_loaded}/{self.objects_expected} objects "
+            f"from {self.files_loaded}/{self.files_total} files [{self.mode}]"
+        ]
+        if self.quarantined_files:
+            parts.append(f"{len(self.quarantined_files)} files quarantined")
+        if self.skipped_blobs:
+            parts.append(f"{len(self.skipped_blobs)} blobs skipped")
+        if self.degraded_objects:
+            parts.append(f"{len(self.degraded_objects)} objects degraded")
+        if self.container_faults:
+            parts.append(f"{len(self.container_faults)} container checksum faults")
+        return ", ".join(parts)
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "directory": self.directory,
+            "objects_expected": self.objects_expected,
+            "objects_loaded": self.objects_loaded,
+            "files_total": self.files_total,
+            "files_loaded": self.files_loaded,
+            "quarantined_files": list(self.quarantined_files),
+            "skipped_blobs": list(self.skipped_blobs),
+            "degraded_objects": list(self.degraded_objects),
+            "container_faults": list(self.container_faults),
+            "id_map": dict(self.id_map) if self.id_map is not None else None,
+            "ok": self.ok,
+        }
 
 
 @dataclass
@@ -32,6 +119,10 @@ class Dataset:
     objects: list[CompressedObject]
     grid_shape: tuple[int, int, int] = (4, 4, 4)
     _grid: CuboidGrid | None = field(default=None, repr=False)
+    # Object ids whose geometry was only partially recovered (salvage
+    # loading); the engine marks query answers touching them as degraded.
+    degraded_ids: frozenset = field(default_factory=frozenset, repr=False)
+    load_report: LoadReport | None = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_polyhedra(
@@ -79,8 +170,13 @@ def save_dataset(
     directory,
     quant_bits: int = 16,
     backend: str = "huffman",
+    fault_injector=None,
 ) -> dict:
     """Persist a dataset: one cuboid file per non-empty cuboid + manifest.
+
+    ``fault_injector`` (a :class:`repro.faults.FaultInjector`) may flip
+    bits in serialized blobs before they hit disk — the deterministic
+    corruption source the chaos tests load back in salvage mode.
 
     Returns a summary dict with total bytes and per-cuboid sizes.
     """
@@ -96,6 +192,11 @@ def save_dataset(
             serialize_object(dataset.objects[i], quant_bits=quant_bits, backend=backend)
             for i in object_ids
         ]
+        if fault_injector is not None:
+            blobs = [
+                fault_injector.corrupt_blob(blob, key=f"{cuboid_id}:{obj_id}")
+                for obj_id, blob in zip(object_ids, blobs)
+            ]
         filename = f"cuboid_{cuboid_id:06d}.3dpc"
         size = write_cuboid_file(directory / filename, blobs, object_ids)
         files[filename] = size
@@ -115,25 +216,110 @@ def save_dataset(
     return {"total_bytes": total, "files": files}
 
 
-def load_dataset(directory) -> Dataset:
-    """Load a dataset saved by :func:`save_dataset` back into memory."""
+def load_dataset(directory, mode: str = "strict") -> Dataset:
+    """Load a dataset saved by :func:`save_dataset` back into memory.
+
+    ``mode="strict"`` raises on any corruption or inconsistency;
+    ``mode="salvage"`` loads whatever survives and reports the rest.
+    Either way the returned dataset carries a :class:`LoadReport` on its
+    ``load_report`` attribute.
+    """
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
     directory = Path(directory)
     manifest = json.loads((directory / _MANIFEST).read_text())
-    slots: dict[int, CompressedObject] = {}
-    for filename in manifest["files"]:
-        for obj_id, blob in read_cuboid_file(directory / filename):
-            slots[obj_id] = deserialize_object(blob)
-    if len(slots) != manifest["num_objects"]:
-        raise ValueError(
-            f"manifest promises {manifest['num_objects']} objects, "
-            f"found {len(slots)}"
+    report = LoadReport(
+        mode=mode,
+        directory=str(directory),
+        objects_expected=manifest["num_objects"],
+        files_total=len(manifest["files"]),
+    )
+
+    if mode == "strict":
+        slots: dict[int, CompressedObject] = {}
+        for filename in manifest["files"]:
+            for obj_id, blob in read_cuboid_file(directory / filename):
+                slots[obj_id] = deserialize_object(blob)
+            report.files_loaded += 1
+        if len(slots) != manifest["num_objects"]:
+            raise DatasetFormatError(
+                f"manifest promises {manifest['num_objects']} objects, "
+                f"found {len(slots)}"
+            )
+        missing = sorted(set(range(len(slots))) - set(slots))
+        if missing:
+            raise DatasetFormatError(
+                f"object ids are not contiguous: ids {sorted(slots)[:8]}... "
+                f"leave gaps at {missing[:8]} (of {len(missing)}); "
+                f"re-save the dataset or load with mode='salvage' to renumber"
+            )
+        objects = [slots[i] for i in range(len(slots))]
+        degraded_ids: frozenset = frozenset()
+    else:
+        slots = {}
+        degraded_original: dict[int, tuple[str, str]] = {}
+        for filename in manifest["files"]:
+            path = directory / filename
+            try:
+                pairs, faults, container_ok = salvage_cuboid_file(path)
+            except (CuboidFormatError, OSError, EOFError, ValueError) as exc:
+                report.quarantined_files.append((filename, str(exc)))
+                continue
+            report.files_loaded += 1
+            if not container_ok:
+                report.container_faults.append(filename)
+            for obj_id, blob in pairs:
+                try:
+                    slots[obj_id] = deserialize_object(blob)
+                except Exception as exc:
+                    _salvage_blob(
+                        slots, degraded_original, report, obj_id, blob, filename, exc
+                    )
+            for fault in faults:
+                if fault.object_id is None or fault.blob is None:
+                    report.skipped_blobs.append(
+                        (fault.object_id if fault.object_id is not None else -1,
+                         filename, fault.reason)
+                    )
+                    continue
+                _salvage_blob(
+                    slots, degraded_original, report,
+                    fault.object_id, fault.blob, filename, fault.reason,
+                )
+        ordered = sorted(slots)
+        report.id_map = {orig: new for new, orig in enumerate(ordered)}
+        objects = [slots[orig] for orig in ordered]
+        degraded_ids = frozenset(
+            report.id_map[orig] for orig in degraded_original if orig in report.id_map
         )
-    objects = [slots[i] for i in range(len(slots))]
+        for orig, (filename, detail) in sorted(degraded_original.items()):
+            report.degraded_objects.append((report.id_map[orig], filename, detail))
+
+    report.objects_loaded = len(objects)
     dataset = Dataset(
-        manifest["name"], objects, grid_shape=tuple(manifest["grid_shape"])
+        manifest["name"],
+        objects,
+        grid_shape=tuple(manifest["grid_shape"]),
+        degraded_ids=degraded_ids,
+        load_report=report,
     )
     dataset._grid = CuboidGrid(
         AABB(tuple(manifest["grid_low"]), tuple(manifest["grid_high"])),
         tuple(manifest["grid_shape"]),
     )
     return dataset
+
+
+def _salvage_blob(slots, degraded_original, report, obj_id, blob, filename, cause) -> None:
+    """Attempt object-level salvage of a failing blob (salvage mode only)."""
+    try:
+        obj, dropped = salvage_object_blob(blob)
+    except Exception:
+        report.skipped_blobs.append((obj_id, filename, f"unsalvageable: {cause}"))
+        return
+    slots[obj_id] = obj
+    detail = (
+        f"recovered base + {obj.num_rounds} of {obj.num_rounds + dropped} rounds "
+        f"(max LOD {obj.max_lod}); cause: {cause}"
+    )
+    degraded_original[obj_id] = (filename, detail)

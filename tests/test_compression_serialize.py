@@ -148,7 +148,10 @@ class TestObjectSerialization:
     def test_segment_sizes_sum_to_total(self, compressed):
         blob = serialize_object(compressed)
         sizes = serialized_segment_sizes(blob)
-        assert sizes["header"] + sizes["base"] + sum(sizes["rounds"]) == sizes["total"]
+        assert (
+            sizes["header"] + sizes["base"] + sum(sizes["rounds"]) + sizes["trailer"]
+            == sizes["total"]
+        )
         assert len(sizes["rounds"]) == compressed.num_rounds
 
     def test_compression_beats_flat_representation(self, compressed):

@@ -202,7 +202,24 @@ class TestProbeQueries:
     def test_probe_dataset_cleaned_up(self, datasets, small_scene):
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
         engine.nn_query("vessels", small_scene.nuclei_a[0])
-        assert "__probe__" not in engine.dataset_names
+        assert all("__probe__" not in name for name in engine.dataset_names)
+
+    def test_back_to_back_probes_do_not_share_state(self, datasets, small_scene):
+        """Regression: probe datasets used one fixed name, so a second
+        probe query could reuse the first probe's cached decodes."""
+        engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        probe_a, probe_b = small_scene.nuclei_a[0], small_scene.nuclei_a[7]
+        first = engine.intersection_query("nuclei_b", probe_a)
+        second = engine.intersection_query("nuclei_b", probe_b)
+
+        fresh = build_engine(EngineConfig(paradigm="fpr"), datasets)
+        assert sorted(second) == sorted(fresh.intersection_query("nuclei_b", probe_b))
+        # the first probe repeated on the warm engine still answers the same
+        assert sorted(engine.intersection_query("nuclei_b", probe_a)) == sorted(first)
+        # and no probe decodes linger in the shared cache
+        assert not any(
+            str(key[0]).startswith("__probe__") for key in engine.cache._entries
+        )
 
 
 class TestErrors:

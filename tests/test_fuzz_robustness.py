@@ -1,10 +1,15 @@
 """Failure injection: corrupted inputs must fail loudly, never hang.
 
 Serialized blobs, cuboid files, and OFF/STL content are parsed from
-untrusted bytes; random corruption should either round-trip to a valid
-structure (if the mutation hit a don't-care byte) or raise a clean
-exception — never crash the interpreter or loop forever.
+untrusted bytes. With format v2 (per-segment/per-blob CRC32s plus a
+whole-file checksum trailer), every single-byte corruption of a blob or
+container must be *detected* — either the mutation is a no-op (same byte
+written back) or loading raises a clean integrity error. Unversioned
+junk and OFF/STL text keep the weaker guarantee: raise or parse, never
+crash or loop forever.
 """
+
+import zlib
 
 import numpy as np
 import pytest
@@ -12,10 +17,18 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.compression import PPVPEncoder, deserialize_object, serialize_object
+from repro.compression.serialize import SerializationError
+from repro.core import EngineConfig, ThreeDPro
+from repro.core.errors import BlobChecksumError, CuboidFormatError
+from repro.faults import FaultInjector
 from repro.mesh import icosphere
 from repro.storage.fileformat import read_cuboid_file, write_cuboid_file
 
 ACCEPTABLE = (Exception,)  # any *raised* failure is fine; hangs/crashes are not
+
+# What a detected v2 integrity violation is allowed to look like.
+BLOB_INTEGRITY = (SerializationError, BlobChecksumError)
+CONTAINER_INTEGRITY = (CuboidFormatError, BlobChecksumError)
 
 
 @pytest.fixture(scope="module")
@@ -26,54 +39,113 @@ def blob():
 class TestBlobCorruption:
     @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(st.data())
-    def test_single_byte_flip_never_hangs(self, blob, data):
+    def test_single_byte_flip_is_detected(self, blob, data):
         index = data.draw(st.integers(0, len(blob) - 1))
         new_byte = data.draw(st.integers(0, 255))
         corrupted = bytearray(blob)
         corrupted[index] = new_byte
-        try:
-            restored = deserialize_object(bytes(corrupted))
-        except ACCEPTABLE:
+        if bytes(corrupted) == blob:
+            deserialize_object(bytes(corrupted))  # no-op draw must still load
             return
-        # Parsed despite the flip: the result must still be structurally
-        # consumable (decoding may legitimately fail on bad connectivity).
-        try:
-            restored.decode(restored.max_lod)
-        except ACCEPTABLE:
-            pass
+        # v2 integrity guarantee: any actual flip raises a clean
+        # integrity error — garbage is never parsed into geometry.
+        with pytest.raises(BLOB_INTEGRITY):
+            deserialize_object(bytes(corrupted))
 
     @settings(max_examples=40, deadline=None)
     @given(st.integers(0, 2**32 - 1))
     def test_truncation_raises(self, blob, seed):
         rng = np.random.default_rng(seed)
         cut = int(rng.integers(1, len(blob)))
-        try:
-            restored = deserialize_object(blob[:cut])
-            restored.decode(restored.max_lod)
-        except ACCEPTABLE:
-            return
+        with pytest.raises(BLOB_INTEGRITY):
+            deserialize_object(blob[:cut])
 
     @settings(max_examples=30, deadline=None)
     @given(st.binary(min_size=0, max_size=200))
     def test_garbage_rejected(self, junk):
-        with pytest.raises(Exception):
+        with pytest.raises(BLOB_INTEGRITY):
             deserialize_object(junk)
 
 
 class TestCuboidFileCorruption:
     @settings(max_examples=40, deadline=None)
     @given(st.integers(0, 2**32 - 1))
-    def test_random_mutation_never_hangs(self, tmp_path_factory, seed):
+    def test_random_mutation_is_detected(self, tmp_path_factory, seed):
         rng = np.random.default_rng(seed)
         path = tmp_path_factory.mktemp("fuzz") / "c.3dpc"
-        write_cuboid_file(path, [b"payload-one", b"payload-two" * 10], [1, 2])
-        data = bytearray(path.read_bytes())
+        blobs, ids = [b"payload-one", b"payload-two" * 10], [1, 2]
+        write_cuboid_file(path, blobs, ids)
+        original = path.read_bytes()
+        data = bytearray(original)
         data[int(rng.integers(0, len(data)))] = int(rng.integers(0, 256))
         path.write_bytes(bytes(data))
-        try:
+        if bytes(data) == original:
+            assert read_cuboid_file(path) == list(zip(ids, blobs))
+            return
+        # v2 container guarantee: any single-byte mutation fails the
+        # container (or per-blob) checksum.
+        with pytest.raises(CONTAINER_INTEGRITY):
             read_cuboid_file(path)
-        except ACCEPTABLE:
-            pass
+
+
+class TestChaosJoins:
+    """Joins under injected decode failures: degraded but never wrong.
+
+    A failed decode falls back to a lower LOD (still a valid spatial
+    subset of the object) or to MBB-only evaluation, so intersection
+    answers can only *lose* pairs — never gain a wrong one — and NN
+    distances can only move up from the true nearest distance.
+    """
+
+    def _engine(self, datasets, config=None):
+        engine = ThreeDPro(config or EngineConfig())
+        engine.load_dataset(datasets["nuclei_a"])
+        engine.load_dataset(datasets["nuclei_b"])
+        return engine
+
+    def test_intersection_join_degrades_to_correct_subset(self, datasets):
+        ref = self._engine(datasets).intersection_join("nuclei_a", "nuclei_b")
+
+        inj = FaultInjector(seed=11, decode_error_rate=0.3)
+        chaotic = self._engine(datasets, EngineConfig(fault_injector=inj))
+        res = chaotic.intersection_join("nuclei_a", "nuclei_b")
+
+        assert inj.counts.get("decode", 0) > 0, "no faults fired; change the seed"
+        assert res.stats.degraded_objects > 0
+        assert res.degraded_targets
+        for tid, sids in res.pairs.items():
+            assert set(sids) <= set(ref.pairs.get(tid, ()))
+
+    def test_chaos_runs_replay_exactly(self, datasets):
+        """Same seed, same workload -> bit-identical degraded answer."""
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(seed=11, decode_error_rate=0.3)
+            engine = self._engine(datasets, EngineConfig(fault_injector=inj))
+            res = engine.intersection_join("nuclei_a", "nuclei_b")
+            runs.append((res.pairs, sorted(res.degraded_targets), dict(inj.counts)))
+        assert runs[0] == runs[1]
+
+    def test_knn_join_degrades_to_upper_bounds(self, datasets, small_scene):
+        from repro.baselines import NaiveEngine
+
+        # True solid nearest distances (0.0 for intersecting pairs) —
+        # surface distances at *any* LOD are valid upper bounds of these.
+        truth = NaiveEngine(
+            small_scene.nuclei_a, small_scene.nuclei_b, prefilter=True
+        ).nn_join()
+
+        inj = FaultInjector(seed=11, decode_error_rate=0.3)
+        chaotic = self._engine(datasets, EngineConfig(fault_injector=inj))
+        res = chaotic.knn_join("nuclei_a", "nuclei_b", k=2)
+
+        assert inj.counts.get("decode", 0) > 0, "no faults fired; change the seed"
+        assert res.stats.degraded_objects > 0
+        for tid, cands in res.pairs.items():
+            assert len(cands) <= 2
+            for _sid, dist, _exact in cands:
+                # every reported distance upper-bounds the true nearest
+                assert dist + 1e-6 >= truth[tid][1]
 
 
 class TestOFFFuzz:
