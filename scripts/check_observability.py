@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""End-to-end observability check (CI gate).
+
+Runs a small traced join and validates the exported telemetry against
+the checked-in golden set:
+
+1. every metric series in ``tests/golden/metrics_series.txt`` appears in
+   the Prometheus dump;
+2. the Chrome trace export matches ``tests/golden/chrome_trace_schema.json``
+   (event keys, types, ``"X"`` phase, required span names) and survives a
+   JSON round-trip;
+3. the trace's filter/decode/compute totals match ``QueryStats`` within
+   rounding;
+4. with tracing disabled the engine hands out only the shared no-op span
+   and a join is not substantially slower than the traced run (overhead
+   smoke check — generous bound, this is not a benchmark).
+
+Usage: ``PYTHONPATH=src python scripts/check_observability.py``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+GOLDEN = ROOT / "tests" / "golden"
+
+from repro.compression import PPVPEncoder  # noqa: E402
+from repro.core import EngineConfig, ThreeDPro  # noqa: E402
+from repro.datagen import make_tissue_scene  # noqa: E402
+from repro.datagen.vessels import VesselSpec  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.trace import NOOP_SPAN, phase_totals  # noqa: E402
+from repro.storage import Dataset  # noqa: E402
+
+_FAILURES: list[str] = []
+
+_TYPE_CHECKS = {
+    "str": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "dict": lambda v: isinstance(v, dict),
+}
+
+
+def check(ok: bool, what: str) -> None:
+    print(f"  {'ok' if ok else 'FAIL'}: {what}")
+    if not ok:
+        _FAILURES.append(what)
+
+
+def build_datasets() -> dict[str, Dataset]:
+    scene = make_tissue_scene(
+        n_nuclei=24,
+        n_vessels=1,
+        seed=11,
+        region=80.0,
+        nucleus_subdivisions=1,
+        vessel_spec=VesselSpec(bifurcations=2, points_per_branch=4, segments=6),
+    )
+    encoder = PPVPEncoder(max_lods=6, rounds_per_lod=2)
+    return {
+        "nuclei_a": Dataset.from_polyhedra("nuclei_a", scene.nuclei_a, encoder),
+        "vessels": Dataset.from_polyhedra("vessels", scene.vessels, encoder),
+    }
+
+
+def run_join(datasets, tracing: bool):
+    engine = ThreeDPro(EngineConfig(tracing=tracing, metrics=MetricsRegistry()))
+    for dataset in datasets.values():
+        engine.load_dataset(dataset)
+    start = time.perf_counter()
+    result = engine.nn_join("nuclei_a", "vessels")
+    elapsed = time.perf_counter() - start
+    return engine, result, elapsed
+
+
+def check_prometheus(engine) -> None:
+    print("[2/4] Prometheus export vs golden series list")
+    text = engine.metrics.to_prometheus()
+    present = {
+        line.split("{")[0].split(" ")[0]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+    wanted = [
+        line.strip()
+        for line in (GOLDEN / "metrics_series.txt").read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+    for name in wanted:
+        # histograms expose name_bucket/_sum/_count series
+        hit = name in present or f"{name}_count" in present
+        check(hit, f"series {name} present")
+
+
+def check_chrome_trace(engine) -> None:
+    print("[3/4] Chrome trace vs golden schema")
+    schema = json.loads((GOLDEN / "chrome_trace_schema.json").read_text())
+    doc = json.loads(json.dumps(engine.tracer.to_chrome_trace()))
+    for key in schema["required_top_level"]:
+        check(key in doc, f"top-level key {key}")
+    check(doc.get("displayTimeUnit") == schema["display_time_unit"], "displayTimeUnit")
+    events = doc.get("traceEvents", [])
+    check(bool(events), "traceEvents non-empty")
+    event_schema = schema["event"]
+    bad = 0
+    for event in events:
+        for key in event_schema["required_keys"]:
+            if key not in event or not _TYPE_CHECKS[event_schema["types"][key]](event[key]):
+                bad += 1
+        if event.get("ph") != event_schema["ph"] or event.get("cat") != event_schema["cat"]:
+            bad += 1
+        if event.get("ts", -1) < 0 or event.get("dur", -1) < 0:
+            bad += 1
+    check(bad == 0, f"all {len(events)} events match the event schema")
+    names = {event["name"] for event in events}
+    for name in schema["required_span_names"]:
+        check(name in names, f"span name {name!r} present")
+
+
+def check_phase_agreement(engine, stats) -> None:
+    print("[1/4] trace phase totals vs QueryStats")
+    totals = phase_totals(engine.tracer)
+    for phase, value in (
+        ("filter", stats.filter_seconds),
+        ("decode", stats.decode_seconds),
+        ("compute", stats.compute_seconds),
+    ):
+        check(
+            abs(totals[phase] - value) < 1e-6,
+            f"{phase}: trace {totals[phase]:.6f}s == stats {value:.6f}s",
+        )
+    root = engine.tracer.roots[0]
+    check(
+        abs(root.wall_seconds - stats.total_seconds) < 1e-6,
+        "root span wall == stats.total_seconds",
+    )
+
+
+def check_disabled_overhead(datasets, traced_seconds: float) -> None:
+    print("[4/4] disabled-tracing fast path")
+    engine, result, elapsed = run_join(datasets, tracing=False)
+    check(engine.tracer.span("anything") is NOOP_SPAN, "disabled tracer hands out NOOP_SPAN")
+    check(engine.tracer.roots == [], "disabled tracer collected no spans")
+    check(result.stats.total_seconds > 0.0, "stats still populated when disabled")
+    # Generous bound: the untraced run must not be grossly slower than the
+    # traced one (catches accidental always-on instrumentation).
+    bound = max(2.0 * traced_seconds, traced_seconds + 0.5)
+    check(
+        elapsed <= bound,
+        f"untraced join {elapsed:.3f}s within bound {bound:.3f}s "
+        f"(traced {traced_seconds:.3f}s)",
+    )
+
+
+def main() -> int:
+    print("building datasets...")
+    datasets = build_datasets()
+    engine, result, traced_seconds = run_join(datasets, tracing=True)
+    check_phase_agreement(engine, result.stats)
+    check_prometheus(engine)
+    check_chrome_trace(engine)
+    check_disabled_overhead(datasets, traced_seconds)
+    if _FAILURES:
+        print(f"\n{len(_FAILURES)} check(s) FAILED:")
+        for failure in _FAILURES:
+            print(f"  - {failure}")
+        return 1
+    print("\nall observability checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

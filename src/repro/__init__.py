@@ -11,6 +11,7 @@ is organized bottom-up:
 * :mod:`repro.parallel` — batched face-pair execution (CPU / sim-GPU);
 * :mod:`repro.storage` — cuboid store and the LRU decode cache;
 * :mod:`repro.core` — the 3DPro engine (FR and FPR spatial joins);
+* :mod:`repro.obs` — span tracing, metrics registry, structured logs;
 * :mod:`repro.datagen` — synthetic nuclei/vessel datasets;
 * :mod:`repro.baselines` — naive ground truth and a PostGIS-like engine;
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
@@ -31,6 +32,7 @@ from repro.compression import PPVPEncoder
 from repro.core import Accel, EngineConfig, JoinResult, QueryStats, ThreeDPro
 from repro.faults import FaultInjector, InjectedFault
 from repro.mesh import Polyhedron
+from repro.obs import MetricsRegistry, Tracer
 from repro.storage import Dataset, LoadReport
 
 __version__ = "1.0.0"
@@ -47,5 +49,7 @@ __all__ = [
     "LoadReport",
     "FaultInjector",
     "InjectedFault",
+    "Tracer",
+    "MetricsRegistry",
     "__version__",
 ]

@@ -4,6 +4,11 @@
 machine-readable results; this module turns that file into the Table 1
 matrix (measured vs paper) and per-figure series, for pasting into
 EXPERIMENTS.md or downstream analysis.
+
+Every benchmark JSON also carries the process-wide metrics snapshot
+(cache behaviour, decode latency, retries — :mod:`repro.obs.metrics`)
+under a top-level ``repro_metrics`` key: ``embed_metrics`` adds it, and
+the benchmark conftest calls it automatically at session end.
 """
 
 from __future__ import annotations
@@ -12,14 +17,42 @@ import json
 from pathlib import Path
 
 from repro.bench.reporting import PAPER_TABLE1, format_table
+from repro.obs import metrics as obs_metrics
 
-__all__ = ["load_benchmark_json", "table1_matrix", "render_table1"]
+__all__ = [
+    "load_benchmark_json",
+    "table1_matrix",
+    "render_table1",
+    "metrics_snapshot",
+    "embed_metrics",
+]
 
 
 def load_benchmark_json(path) -> list[dict]:
     """The ``benchmarks`` records of a pytest-benchmark JSON file."""
     payload = json.loads(Path(path).read_text())
     return payload.get("benchmarks", [])
+
+
+def metrics_snapshot(registry: obs_metrics.MetricsRegistry | None = None) -> dict:
+    """A JSON-ready snapshot of the metrics registry (default: process-wide)."""
+    registry = registry if registry is not None else obs_metrics.REGISTRY
+    return registry.to_dict()
+
+
+def embed_metrics(path, registry: obs_metrics.MetricsRegistry | None = None) -> dict:
+    """Attach the metrics snapshot to a benchmark JSON file, in place.
+
+    The snapshot lands under a top-level ``repro_metrics`` key, so a
+    benchmark result file is self-describing: it carries not just the
+    timings but the cache/decode/retry counters that explain them.
+    Returns the updated payload.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    payload["repro_metrics"] = metrics_snapshot(registry)
+    path.write_text(json.dumps(payload, indent=2))
+    return payload
 
 
 def table1_matrix(records: list[dict]) -> dict[tuple[str, str, str], dict]:

@@ -7,7 +7,9 @@ Commands:
 * ``inspect``  — summarize a dataset directory (objects, LODs, bytes);
 * ``decode``   — export one object at one LOD to OFF or STL;
 * ``query``    — run a join between two dataset directories;
-* ``profile``  — print the Section 6.5 LOD-schedule profile for a join.
+* ``profile``  — print the Section 6.5 LOD-schedule profile for a join;
+* ``obs``      — run a traced join and export telemetry (span-tree JSON,
+  Chrome ``trace_event`` JSON, Prometheus text, metrics JSON).
 """
 
 from __future__ import annotations
@@ -91,6 +93,28 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--distance", type=float, default=None)
     prof.add_argument("--sample", type=int, default=16)
     prof.add_argument("--salvage", action="store_true", help=salvage_help)
+
+    obs = sub.add_parser(
+        "obs", help="run a traced join and export its telemetry"
+    )
+    obs.add_argument("target", type=Path)
+    obs.add_argument("source", type=Path)
+    obs.add_argument("--query", choices=["intersection", "within", "nn", "knn"], default="nn")
+    obs.add_argument("--distance", type=float, default=None, help="within threshold")
+    obs.add_argument("-k", type=int, default=2, help="neighbors for knn")
+    obs.add_argument("--paradigm", choices=["fr", "fpr"], default="fpr")
+    obs.add_argument("--accel", choices=sorted(_ACCEL), default="none")
+    obs.add_argument("--salvage", action="store_true", help=salvage_help)
+    obs.add_argument("--trace-json", type=Path, default=None,
+                     help="write the span tree as JSON")
+    obs.add_argument("--chrome-trace", type=Path, default=None,
+                     help="write Chrome trace_event JSON (chrome://tracing)")
+    obs.add_argument("--metrics-prom", type=Path, default=None,
+                     help="write the metrics registry as Prometheus text")
+    obs.add_argument("--metrics-json", type=Path, default=None,
+                     help="write the metrics registry as JSON")
+    obs.add_argument("--log-json", action="store_true",
+                     help="stream structured JSON events to stderr during the run")
     return parser
 
 
@@ -259,6 +283,73 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    """Run one traced join and dump its telemetry artifacts."""
+    import json
+    import logging
+
+    from repro.obs.logs import configure_json_logging
+    from repro.obs.metrics import REGISTRY as metrics
+    from repro.obs.trace import phase_totals
+
+    handler = None
+    if args.log_json:
+        handler = configure_json_logging(sys.stderr, level=logging.INFO)
+    try:
+        # One query per CLI process: the process-wide registry is the
+        # export, so module-level publishers (salvage loading, fault
+        # injection) land in the same dump as the engine's series.
+        engine = ThreeDPro(
+            EngineConfig(
+                paradigm=args.paradigm,
+                accel=_ACCEL[args.accel],
+                tracing=True,
+                metrics=metrics,
+            )
+        )
+        target = _load_dataset_cli(args.target, args.salvage)
+        source = _load_dataset_cli(args.source, args.salvage)
+        engine.load_dataset(target)
+        engine.load_dataset(source)
+        if args.query == "intersection":
+            result = engine.intersection_join(target.name, source.name)
+        elif args.query == "within":
+            if args.distance is None:
+                raise SystemExit("--distance is required for within queries")
+            result = engine.within_join(target.name, source.name, args.distance)
+        elif args.query == "nn":
+            result = engine.nn_join(target.name, source.name)
+        else:
+            result = engine.knn_join(target.name, source.name, k=args.k)
+
+        print(result.stats.summary())
+        totals = phase_totals(engine.tracer)
+        print(
+            "trace totals: "
+            + " ".join(f"{name}={seconds:.3f}s" for name, seconds in totals.items())
+        )
+        spans = sum(1 for _ in engine.tracer.walk())
+        print(f"trace: {spans} spans under {len(engine.tracer.roots)} root(s)")
+        if args.trace_json is not None:
+            args.trace_json.write_text(engine.tracer.to_json())
+            print(f"span tree -> {args.trace_json}")
+        if args.chrome_trace is not None:
+            args.chrome_trace.write_text(
+                json.dumps(engine.tracer.to_chrome_trace(), indent=2)
+            )
+            print(f"chrome trace -> {args.chrome_trace} (load in chrome://tracing)")
+        if args.metrics_prom is not None:
+            args.metrics_prom.write_text(metrics.to_prometheus())
+            print(f"prometheus metrics -> {args.metrics_prom}")
+        if args.metrics_json is not None:
+            args.metrics_json.write_text(json.dumps(metrics.to_dict(), indent=2))
+            print(f"metrics json -> {args.metrics_json}")
+        return 0
+    finally:
+        if handler is not None:
+            logging.getLogger("repro").removeHandler(handler)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compress": _cmd_compress,
@@ -266,6 +357,7 @@ _COMMANDS = {
     "decode": _cmd_decode,
     "query": _cmd_query,
     "profile": _cmd_profile,
+    "obs": _cmd_obs,
 }
 
 

@@ -84,6 +84,12 @@ class EngineConfig:
     # Optional repro.faults.FaultInjector threaded into the decode
     # provider and task scheduler for chaos testing.
     fault_injector: object = None
+    # Observability (repro.obs): span tracing is off by default — when
+    # disabled the engine's instrumented paths touch only the shared
+    # no-op span. `metrics` overrides the process-wide registry
+    # (repro.obs.metrics.REGISTRY) with a private MetricsRegistry.
+    tracing: bool = False
+    metrics: object = None
 
     def __post_init__(self):
         if self.paradigm not in ("fr", "fpr"):

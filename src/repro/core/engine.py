@@ -13,6 +13,7 @@ The engine owns (Fig. 8 of the paper):
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 
@@ -35,6 +36,9 @@ from repro.core.stats import QueryStats
 from repro.geometry.aabb import AABB
 from repro.index.rtree import RTree, RTreeEntry
 from repro.mesh.polyhedron import Polyhedron
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
+from repro.obs.trace import TimedPhase, Tracer
 from repro.parallel.executor import Device, GeometryComputer
 from repro.parallel.tasks import TaskScheduler
 from repro.partition.partitioner import partition_faces
@@ -42,6 +46,8 @@ from repro.storage.cache import DecodeCache, DecodedObjectProvider
 from repro.storage.store import Dataset
 
 __all__ = ["ThreeDPro", "JoinResult"]
+
+_LOG = get_logger("engine")
 
 
 @dataclass
@@ -93,8 +99,16 @@ class ThreeDPro:
 
     def __init__(self, config: EngineConfig | None = None):
         self.config = config or EngineConfig()
+        self.metrics = (
+            self.config.metrics
+            if self.config.metrics is not None
+            else obs_metrics.REGISTRY
+        )
+        self.tracer = Tracer(enabled=self.config.tracing)
         self.cache = DecodeCache(
-            capacity_bytes=self.config.cache_bytes, enabled=self.config.cache_enabled
+            capacity_bytes=self.config.cache_bytes,
+            enabled=self.config.cache_enabled,
+            metrics=self.metrics,
         )
         device = Device.GPU if self.config.accel.gpu else Device.CPU
         self.computer = GeometryComputer(
@@ -106,7 +120,19 @@ class ThreeDPro:
                 max_retries=self.config.task_retries,
                 backoff_seconds=self.config.task_backoff_seconds,
                 fault_injector=self.config.fault_injector,
+                metrics=self.metrics,
             ),
+            metrics=self.metrics,
+        )
+        self._m_queries = self.metrics.counter(
+            "repro_queries_total", "Queries executed, labeled by join kind"
+        )
+        self._m_query_seconds = self.metrics.histogram(
+            "repro_query_seconds", "End-to-end query wall time"
+        )
+        self._m_degraded = self.metrics.counter(
+            "repro_degraded_objects_total",
+            "Distinct objects served below requested fidelity, per query",
         )
         self._datasets: dict[str, _LoadedDataset] = {}
         self._probe_seq = 0
@@ -122,6 +148,8 @@ class ThreeDPro:
             tree_leaf_size=self.config.tree_leaf_size,
             fault_injector=self.config.fault_injector,
             salvaged_ids=dataset.degraded_ids,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         partitions: dict[int, object] = {}
         entries: list[RTreeEntry] = []
@@ -210,6 +238,20 @@ class ThreeDPro:
             use_tree=self.config.accel.aabbtree,
             exact_nn_distances=self.config.exact_nn_distances,
             max_decode_failures=self.config.max_decode_failures,
+            tracer=self.tracer,
+        )
+
+    def _phase(self, stats: QueryStats, name: str, **attrs) -> TimedPhase:
+        """A filter/compute phase: timed once into both stats and a span."""
+        return TimedPhase(self.tracer, stats, name, **attrs)
+
+    def _root_span(self, stats: QueryStats, target_name: str, source_name: str):
+        return self.tracer.span(
+            "query",
+            query=stats.query,
+            config=self.config.label,
+            target=target_name,
+            source=source_name,
         )
 
     def _new_stats(self, query: str, providers=()) -> QueryStats:
@@ -220,8 +262,13 @@ class ThreeDPro:
         stats.decode_failures_base = sum(p.decode_failures for p in providers)
         return stats
 
-    def _finish_stats(self, stats: QueryStats, started: float, providers) -> None:
-        stats.total_seconds = time.perf_counter() - started
+    def _finish_stats(self, stats: QueryStats, started: float, providers, root=None) -> None:
+        # When tracing, the root span's wall clock IS total_seconds — the
+        # stats summary is populated from the trace, never in parallel.
+        wall = getattr(root, "wall_seconds", None) if root is not None else None
+        stats.total_seconds = (
+            wall if wall is not None else time.perf_counter() - started
+        )
         stats.cache_hits += self.cache.hits
         stats.cache_misses += self.cache.misses
         decode = sum(p.decode_seconds for p in providers) - stats.decode_seconds_base
@@ -231,6 +278,25 @@ class ThreeDPro:
         stats.decode_failures = (
             sum(p.decode_failures for p in providers) - stats.decode_failures_base
         )
+        if root is not None and root.enabled:
+            root.set(
+                targets=stats.targets,
+                candidates=stats.candidates,
+                results=stats.results,
+                face_pairs=stats.face_pairs_total,
+                degraded_objects=stats.degraded_objects,
+                decode_failures=stats.decode_failures,
+            )
+        self._m_queries.inc(query=stats.query)
+        self._m_query_seconds.observe(stats.total_seconds)
+        if stats.degraded_objects:
+            self._m_degraded.inc(stats.degraded_objects)
+            log_event(
+                _LOG, "degraded_query", level=logging.WARNING,
+                query=stats.query, config=stats.config_label,
+                degraded_objects=stats.degraded_objects,
+                decode_failures=stats.decode_failures,
+            )
 
     # -- joins ----------------------------------------------------------------------
 
@@ -246,23 +312,25 @@ class ThreeDPro:
 
         pairs: dict[int, list[int]] = {}
         degraded_targets: set[int] = set()
-        for batch in target.dataset.cuboid_batches():
-            for tid in batch:
-                stats.targets += 1
-                box = target.dataset.objects[tid].aabb
-                with stats.clock("filter"):
-                    payloads = source.rtree.query_intersecting(box)
-                    candidates = self._merge_payloads(payloads)
-                stats.candidates += len(candidates)
-                ctx.touched_degraded = False
-                with stats.clock("compute"):
-                    matches = refine_intersection(ctx, tid, candidates)
-                if ctx.touched_degraded:
-                    degraded_targets.add(tid)
-                if matches:
-                    pairs[tid] = sorted(matches)
-                    stats.results += len(matches)
-        self._finish_stats(stats, started, (target.provider, source.provider))
+        root = self._root_span(stats, target_name, source_name)
+        with root:
+            for batch in target.dataset.cuboid_batches():
+                for tid in batch:
+                    stats.targets += 1
+                    box = target.dataset.objects[tid].aabb
+                    with self._phase(stats, "filter"):
+                        payloads = source.rtree.query_intersecting(box)
+                        candidates = self._merge_payloads(payloads)
+                    stats.candidates += len(candidates)
+                    ctx.touched_degraded = False
+                    with self._phase(stats, "compute", target=tid):
+                        matches = refine_intersection(ctx, tid, candidates)
+                    if ctx.touched_degraded:
+                        degraded_targets.add(tid)
+                    if matches:
+                        pairs[tid] = sorted(matches)
+                        stats.results += len(matches)
+        self._finish_stats(stats, started, (target.provider, source.provider), root)
         return JoinResult(pairs, stats, degraded_targets)
 
     def within_join(
@@ -279,28 +347,30 @@ class ThreeDPro:
 
         pairs: dict[int, list[int]] = {}
         degraded_targets: set[int] = set()
-        for batch in target.dataset.cuboid_batches():
-            for tid in batch:
-                stats.targets += 1
-                box = target.dataset.objects[tid].aabb
-                with stats.clock("filter"):
-                    found = source.rtree.query_within(box, distance)
-                    definite = self._merge_payloads(found.definite)
-                    candidates = self._merge_payloads(
-                        p for p in found.candidates if p[0] not in definite
-                    )
-                stats.candidates += len(candidates)
-                ctx.touched_degraded = False
-                with stats.clock("compute"):
-                    matches = set(definite) | set(
-                        refine_within(ctx, tid, candidates, distance)
-                    )
-                if ctx.touched_degraded:
-                    degraded_targets.add(tid)
-                if matches:
-                    pairs[tid] = sorted(matches)
-                    stats.results += len(matches)
-        self._finish_stats(stats, started, (target.provider, source.provider))
+        root = self._root_span(stats, target_name, source_name)
+        with root:
+            for batch in target.dataset.cuboid_batches():
+                for tid in batch:
+                    stats.targets += 1
+                    box = target.dataset.objects[tid].aabb
+                    with self._phase(stats, "filter"):
+                        found = source.rtree.query_within(box, distance)
+                        definite = self._merge_payloads(found.definite)
+                        candidates = self._merge_payloads(
+                            p for p in found.candidates if p[0] not in definite
+                        )
+                    stats.candidates += len(candidates)
+                    ctx.touched_degraded = False
+                    with self._phase(stats, "compute", target=tid):
+                        matches = set(definite) | set(
+                            refine_within(ctx, tid, candidates, distance)
+                        )
+                    if ctx.touched_degraded:
+                        degraded_targets.add(tid)
+                    if matches:
+                        pairs[tid] = sorted(matches)
+                        stats.results += len(matches)
+        self._finish_stats(stats, started, (target.provider, source.provider), root)
         return JoinResult(pairs, stats, degraded_targets)
 
     def nn_join(self, target_name: str, source_name: str) -> JoinResult:
@@ -322,33 +392,35 @@ class ThreeDPro:
 
         pairs: dict[int, list[tuple[int, float, bool]]] = {}
         degraded_targets: set[int] = set()
-        for batch in target.dataset.cuboid_batches():
-            for tid in batch:
-                stats.targets += 1
-                box = target.dataset.objects[tid].aabb
-                with stats.clock("filter"):
-                    # For k = 1 the part-level bound is already the
-                    # object-level bound: an object whose every part has
-                    # MINDIST above the smallest part MAXDIST is farther
-                    # than the nearest object, and the part realizing an
-                    # object's distance always survives. For k > 1, k
-                    # objects may own up to k * partition_parts of the
-                    # smallest part ranges, so keep that many.
-                    k_entries = k if k == 1 else k * (
-                        self.config.partition_parts if source.partitions else 1
-                    )
-                    raw = source.rtree.query_nn_candidates(box, k=k_entries)
-                    candidates = self._merge_nn_payloads(raw)
-                stats.candidates += len(candidates)
-                ctx.touched_degraded = False
-                with stats.clock("compute"):
-                    nearest = refine_nn(ctx, tid, candidates, k=k)
-                if ctx.touched_degraded:
-                    degraded_targets.add(tid)
-                if nearest:
-                    pairs[tid] = [(c.sid, c.maxdist, c.exact) for c in nearest]
-                    stats.results += len(nearest)
-        self._finish_stats(stats, started, (target.provider, source.provider))
+        root = self._root_span(stats, target_name, source_name)
+        with root:
+            for batch in target.dataset.cuboid_batches():
+                for tid in batch:
+                    stats.targets += 1
+                    box = target.dataset.objects[tid].aabb
+                    with self._phase(stats, "filter"):
+                        # For k = 1 the part-level bound is already the
+                        # object-level bound: an object whose every part has
+                        # MINDIST above the smallest part MAXDIST is farther
+                        # than the nearest object, and the part realizing an
+                        # object's distance always survives. For k > 1, k
+                        # objects may own up to k * partition_parts of the
+                        # smallest part ranges, so keep that many.
+                        k_entries = k if k == 1 else k * (
+                            self.config.partition_parts if source.partitions else 1
+                        )
+                        raw = source.rtree.query_nn_candidates(box, k=k_entries)
+                        candidates = self._merge_nn_payloads(raw)
+                    stats.candidates += len(candidates)
+                    ctx.touched_degraded = False
+                    with self._phase(stats, "compute", target=tid):
+                        nearest = refine_nn(ctx, tid, candidates, k=k)
+                    if ctx.touched_degraded:
+                        degraded_targets.add(tid)
+                    if nearest:
+                        pairs[tid] = [(c.sid, c.maxdist, c.exact) for c in nearest]
+                        stats.results += len(nearest)
+        self._finish_stats(stats, started, (target.provider, source.provider), root)
         return JoinResult(pairs, stats, degraded_targets)
 
     @staticmethod
@@ -403,53 +475,62 @@ class ThreeDPro:
         point = tuple(float(v) for v in point)
         probe = AABB(point, point)
 
-        with stats.clock("filter"):
-            payloads = source.rtree.query_intersecting(probe)
-            candidates = sorted({obj_id for obj_id, _part in payloads})
-        stats.candidates = len(candidates)
+        root = self._root_span(stats, "<point>", source_name)
+        root.__enter__()
+        try:
+            with self._phase(stats, "filter"):
+                payloads = source.rtree.query_intersecting(probe)
+                candidates = sorted({obj_id for obj_id, _part in payloads})
+            stats.candidates = len(candidates)
 
-        degraded_seen: set[int] = set()
+            degraded_seen: set[int] = set()
 
-        def note_degraded(sid: int) -> None:
-            if sid not in degraded_seen:
-                degraded_seen.add(sid)
-                stats.degraded_objects += 1
-            budget = self.config.max_decode_failures
-            if budget is not None and len(degraded_seen) > budget:
-                raise ErrorBudgetExceededError(
-                    budget, len(degraded_seen), query=stats.query
-                )
+            def note_degraded(sid: int) -> None:
+                if sid not in degraded_seen:
+                    degraded_seen.add(sid)
+                    stats.degraded_objects += 1
+                budget = self.config.max_decode_failures
+                if budget is not None and len(degraded_seen) > budget:
+                    raise ErrorBudgetExceededError(
+                        budget, len(degraded_seen), query=stats.query
+                    )
 
-        top = max((source.provider.max_lod(sid) for sid in candidates), default=0)
-        lods = (top,) if self.config.paradigm == "fr" else tuple(range(top + 1))
-        matches: list[int] = []
-        with stats.clock("compute"):
-            survivors = list(candidates)
-            for lod in lods:
-                if not survivors:
-                    break
-                stats.pairs_evaluated_by_lod[lod] += len(survivors)
-                remaining = []
-                for sid in survivors:
-                    try:
-                        dec = source.provider.get(
-                            sid, min(lod, source.provider.max_lod(sid))
-                        )
-                    except DecodeFailureError:
-                        # MBB containment proves nothing about the mesh:
-                        # drop the candidate (subset-correct).
-                        note_degraded(sid)
-                        continue
-                    if dec.degraded:
-                        note_degraded(sid)
-                    if point_in_polyhedron(point, dec.triangles):
-                        matches.append(sid)  # inside a subset => inside
-                    elif lod < top:
-                        remaining.append(sid)
-                stats.pairs_pruned_by_lod[lod] += len(survivors) - len(remaining)
-                survivors = remaining
+            top = max((source.provider.max_lod(sid) for sid in candidates), default=0)
+            lods = (top,) if self.config.paradigm == "fr" else tuple(range(top + 1))
+            matches: list[int] = []
+            with self._phase(stats, "compute"):
+                survivors = list(candidates)
+                for lod in lods:
+                    if not survivors:
+                        break
+                    with self.tracer.span(
+                        "refine", query="containment", lod=lod,
+                        survivors=len(survivors),
+                    ):
+                        stats.pairs_evaluated_by_lod[lod] += len(survivors)
+                        remaining = []
+                        for sid in survivors:
+                            try:
+                                dec = source.provider.get(
+                                    sid, min(lod, source.provider.max_lod(sid))
+                                )
+                            except DecodeFailureError:
+                                # MBB containment proves nothing about the mesh:
+                                # drop the candidate (subset-correct).
+                                note_degraded(sid)
+                                continue
+                            if dec.degraded:
+                                note_degraded(sid)
+                            if point_in_polyhedron(point, dec.triangles):
+                                matches.append(sid)  # inside a subset => inside
+                            elif lod < top:
+                                remaining.append(sid)
+                        stats.pairs_pruned_by_lod[lod] += len(survivors) - len(remaining)
+                        survivors = remaining
+        finally:
+            root.__exit__(None, None, None)
         stats.results = len(matches)
-        self._finish_stats(stats, started, (source.provider,))
+        self._finish_stats(stats, started, (source.provider,), root)
         return sorted(matches), stats
 
     def _probe_join(self, source_name, probe, kind, distance=None):

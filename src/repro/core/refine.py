@@ -44,6 +44,7 @@ import numpy as np
 from repro.core.errors import DecodeFailureError, ErrorBudgetExceededError
 from repro.geometry.aabb import box_maxdist
 from repro.geometry.raycast import point_in_polyhedron
+from repro.obs.trace import DISABLED_TRACER
 from repro.parallel.executor import Device
 
 __all__ = ["RefineContext", "NNCandidate", "refine_intersection", "refine_within", "refine_nn"]
@@ -76,6 +77,9 @@ class RefineContext:
     lods: tuple[int, ...] = ()
     use_tree: bool = False
     exact_nn_distances: bool = False
+    # Span tracer (repro.obs.trace); the disabled singleton hands out
+    # no-op spans, so refinement stays uninstrumented-cost by default.
+    tracer: object = DISABLED_TRACER
     # Degraded-mode bookkeeping: distinct degraded (side, id) keys seen,
     # the per-target "this answer touched degraded geometry" flag the
     # engine resets between targets, and the error budget (None = off).
@@ -286,24 +290,27 @@ def refine_intersection(ctx: RefineContext, target_id: int, candidates: dict) ->
     for lod in ctx.lods:
         if not survivors:
             break
-        try:
-            dec_t = ctx.decode_target(target_id, lod)
-        except DecodeFailureError:
-            return results
-        ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
-        settled = []
-        for sid, parts in survivors.items():
+        with ctx.tracer.span("refine", query="intersection", lod=lod,
+                             survivors=len(survivors)) as round_span:
             try:
-                dec_s = ctx.decode_source(sid, lod)
+                dec_t = ctx.decode_target(target_id, lod)
             except DecodeFailureError:
-                settled.append(sid)  # unconfirmable candidate: drop
-                continue
-            if ctx.pair_intersects(dec_t, dec_s, sid, parts, lod):
-                results.append(sid)
-                settled.append(sid)
-        for sid in settled:
-            del survivors[sid]
-        ctx.stats.pairs_pruned_by_lod[lod] += len(settled)
+                return results
+            ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+            settled = []
+            for sid, parts in survivors.items():
+                try:
+                    dec_s = ctx.decode_source(sid, lod)
+                except DecodeFailureError:
+                    settled.append(sid)  # unconfirmable candidate: drop
+                    continue
+                if ctx.pair_intersects(dec_t, dec_s, sid, parts, lod):
+                    results.append(sid)
+                    settled.append(sid)
+            for sid in settled:
+                del survivors[sid]
+            ctx.stats.pairs_pruned_by_lod[lod] += len(settled)
+            round_span.set(settled=len(settled))
 
     # Containment stage (Algorithm 1 steps 8-12): no face pair intersects,
     # but one object may contain the other entirely.
@@ -360,31 +367,34 @@ def refine_within(
     for lod in ctx.lods:
         if not survivors:
             break
-        try:
-            dec_t = ctx.decode_target(target_id, lod)
-        except DecodeFailureError:
-            # MBB-only: confirm what the box upper bound alone can prove.
-            for sid, _parts in survivors:
-                if ctx.box_upper_bound(target_id, sid) <= distance:
-                    results.append(sid)
-            return results
-        ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
-        dists = ctx.batch_min_distances(
-            dec_t, survivors, lod, stop_below=distance, target_id=target_id
-        )
-        remaining = []
-        settled = 0
-        for (sid, parts), dist in zip(survivors, dists):
-            if dist <= distance:
-                results.append(sid)
-                settled += 1
-            else:
-                remaining.append((sid, parts))
-        if lod == top_lod:
-            settled += len(remaining)  # exact distances exclude the rest
+        with ctx.tracer.span("refine", query="within", lod=lod,
+                             survivors=len(survivors)) as round_span:
+            try:
+                dec_t = ctx.decode_target(target_id, lod)
+            except DecodeFailureError:
+                # MBB-only: confirm what the box upper bound alone can prove.
+                for sid, _parts in survivors:
+                    if ctx.box_upper_bound(target_id, sid) <= distance:
+                        results.append(sid)
+                return results
+            ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+            dists = ctx.batch_min_distances(
+                dec_t, survivors, lod, stop_below=distance, target_id=target_id
+            )
             remaining = []
-        ctx.stats.pairs_pruned_by_lod[lod] += settled
-        survivors = remaining
+            settled = 0
+            for (sid, parts), dist in zip(survivors, dists):
+                if dist <= distance:
+                    results.append(sid)
+                    settled += 1
+                else:
+                    remaining.append((sid, parts))
+            if lod == top_lod:
+                settled += len(remaining)  # exact distances exclude the rest
+                remaining = []
+            ctx.stats.pairs_pruned_by_lod[lod] += settled
+            round_span.set(settled=settled)
+            survivors = remaining
     return results
 
 
@@ -418,40 +428,43 @@ def refine_nn(
             # Early NN determination without decoding further LODs.
             break
 
-        try:
-            dec_t = ctx.decode_target(target_id, lod)
-        except DecodeFailureError:
-            # MBB-only: candidates keep whatever ranges are already
-            # established; none of them can be called exact.
-            break
-        ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
-        dists = ctx.batch_min_distances(
-            dec_t, [(c.sid, c.parts) for c in survivors], lod, target_id=target_id
-        )
-        for cand, dist in zip(survivors, dists):
-            if lod == top_lod and not dec_t.degraded and not ctx.source_inexact(cand.sid):
-                # Collapse the range to the exact distance. Do NOT keep a
-                # previously-tightened MAXDIST here: kernel summation
-                # order differs between LODs, so an earlier bound can sit
-                # an ulp *below* the exact value, leaving mindist >
-                # maxdist and pruning the true nearest neighbor away.
-                cand.maxdist = float(dist)
-                cand.mindist = float(dist)
-                cand.exact = True
-            else:
-                # A pre-top LOD, a degraded decode on either side (the
-                # measured distance is only an upper bound then), or an
-                # undecodable candidate whose "distance" is the MBB upper
-                # bound — tighten, never collapse or mark exact.
-                cand.maxdist = min(cand.maxdist, float(dist))
+        with ctx.tracer.span("refine", query="nn", lod=lod,
+                             survivors=len(survivors)) as round_span:
+            try:
+                dec_t = ctx.decode_target(target_id, lod)
+            except DecodeFailureError:
+                # MBB-only: candidates keep whatever ranges are already
+                # established; none of them can be called exact.
+                break
+            ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+            dists = ctx.batch_min_distances(
+                dec_t, [(c.sid, c.parts) for c in survivors], lod, target_id=target_id
+            )
+            for cand, dist in zip(survivors, dists):
+                if lod == top_lod and not dec_t.degraded and not ctx.source_inexact(cand.sid):
+                    # Collapse the range to the exact distance. Do NOT keep a
+                    # previously-tightened MAXDIST here: kernel summation
+                    # order differs between LODs, so an earlier bound can sit
+                    # an ulp *below* the exact value, leaving mindist >
+                    # maxdist and pruning the true nearest neighbor away.
+                    cand.maxdist = float(dist)
+                    cand.mindist = float(dist)
+                    cand.exact = True
+                else:
+                    # A pre-top LOD, a degraded decode on either side (the
+                    # measured distance is only an upper bound then), or an
+                    # undecodable candidate whose "distance" is the MBB upper
+                    # bound — tighten, never collapse or mark exact.
+                    cand.maxdist = min(cand.maxdist, float(dist))
 
-        # Prune with the ranges this LOD just tightened, crediting the
-        # prune to this LOD (Section 4.4's "pairs pruned by refining at
-        # LOD i" — the quantity the schedule profiling feeds on).
-        minmax = _kth_smallest((c.maxdist for c in survivors), k)
-        kept = [c for c in survivors if c.mindist <= minmax]
-        ctx.stats.pairs_pruned_by_lod[lod] += len(survivors) - len(kept)
-        survivors = kept
+            # Prune with the ranges this LOD just tightened, crediting the
+            # prune to this LOD (Section 4.4's "pairs pruned by refining at
+            # LOD i" — the quantity the schedule profiling feeds on).
+            minmax = _kth_smallest((c.maxdist for c in survivors), k)
+            kept = [c for c in survivors if c.mindist <= minmax]
+            ctx.stats.pairs_pruned_by_lod[lod] += len(survivors) - len(kept)
+            round_span.set(settled=len(survivors) - len(kept))
+            survivors = kept
 
     if ctx.exact_nn_distances:
         # Undecodable candidates can never be made exact; leave their

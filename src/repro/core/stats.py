@@ -129,6 +129,7 @@ class QueryStats:
             "face_pairs_total": self.face_pairs_total,
             "pairs_evaluated_by_lod": dict(self.pairs_evaluated_by_lod),
             "pairs_pruned_by_lod": dict(self.pairs_pruned_by_lod),
+            "face_pairs_by_lod": dict(self.face_pairs_by_lod),
             "decoded_vertices": self.decoded_vertices,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,

@@ -19,11 +19,17 @@ Typical chaos-test wiring::
 
 from __future__ import annotations
 
+import logging
 import time
 import zlib
 from dataclasses import dataclass, field
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
+
 __all__ = ["InjectedFault", "FaultInjector"]
+
+_LOG = get_logger("faults")
 
 
 class InjectedFault(RuntimeError):
@@ -63,6 +69,13 @@ class FaultInjector:
             return False
         if self._roll(kind, key) < rate:
             self.counts[kind] = self.counts.get(kind, 0) + 1
+            obs_metrics.REGISTRY.counter(
+                "repro_faults_injected_total", "Faults fired by the chaos injector"
+            ).inc(kind=kind)
+            log_event(
+                _LOG, "fault_injected", level=logging.WARNING,
+                kind=kind, key=key, seed=self.seed,
+            )
             return True
         return False
 

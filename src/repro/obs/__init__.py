@@ -1,0 +1,52 @@
+"""Observability: structured tracing, metrics, and event logging.
+
+The three legs of the telemetry the paper's evaluation implies:
+
+* :mod:`repro.obs.trace` — span tracing of the query pipeline
+  (JSON span trees + Chrome ``trace_event`` export). Off by default;
+  enable with ``EngineConfig(tracing=True)``.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket histograms (Prometheus text + JSON export).
+  Always on; the instruments are cheap dict updates.
+* :mod:`repro.obs.logs` — JSON-lines structured events for
+  degraded-mode, salvage, retry, and fault-injection decisions. Silent
+  unless a handler is configured.
+
+See the "Observability" sections of README.md and DESIGN.md for how the
+spans and series map onto the paper's Fig. 10 / Fig. 12 / Table 2.
+"""
+
+from repro.obs.logs import JsonFormatter, configure_json_logging, get_logger, log_event
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    DISABLED_TRACER,
+    NOOP_SPAN,
+    Span,
+    TimedPhase,
+    Tracer,
+    phase_totals,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "TimedPhase",
+    "NOOP_SPAN",
+    "DISABLED_TRACER",
+    "phase_totals",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "REGISTRY",
+    "JsonFormatter",
+    "get_logger",
+    "log_event",
+    "configure_json_logging",
+]

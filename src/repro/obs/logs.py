@@ -1,0 +1,91 @@
+"""Structured (JSON-lines) event logging on top of stdlib ``logging``.
+
+Degraded-mode decisions, salvage recoveries, task retries, and injected
+faults are emitted as *events*: a short machine-readable event name plus
+keyword fields, formatted as one JSON object per line by
+:class:`JsonFormatter`. Everything rides the standard ``repro.*`` logger
+hierarchy, so:
+
+* with no configuration, events below WARNING are dropped at the usual
+  stdlib cost of one level check — queries stay silent and fast;
+* ``configure_json_logging()`` (or the ``repro obs`` CLI) attaches a
+  JSON handler and the full event stream becomes greppable/parseable.
+
+Usage::
+
+    from repro.obs.logs import get_logger, log_event
+
+    _LOG = get_logger("storage")
+    log_event(_LOG, "salvage_load", dataset=name, lost=3, recovered=2)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+__all__ = ["JsonFormatter", "get_logger", "log_event", "configure_json_logging"]
+
+_ROOT = "repro"
+
+# Library convention: a NullHandler keeps unconfigured WARNING+ events
+# off stderr (stdlib lastResort) while still propagating to any handlers
+# the application attaches (basicConfig, configure_json_logging, ...).
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+class JsonFormatter(logging.Formatter):
+    """Formats a record as one JSON object per line.
+
+    The payload always carries ``ts`` (epoch seconds), ``level``,
+    ``logger``, and ``event`` (the log message); keyword fields passed
+    through :func:`log_event` are merged in at the top level.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.<name>`` logger (idempotent)."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def log_event(logger: logging.Logger, event: str, *, level: int = logging.INFO, **fields) -> None:
+    """Emit a structured event: ``event`` name plus keyword fields.
+
+    Fields land as top-level keys in the JSON line (reserved keys ``ts``,
+    ``level``, ``logger``, ``event`` win on collision). The enabled-level
+    check happens first, so disabled events cost almost nothing.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"event_fields": fields})
+
+
+def configure_json_logging(
+    stream=None, level: int = logging.INFO
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``repro`` logger tree.
+
+    Returns the handler so callers (tests, the CLI) can detach it with
+    ``logging.getLogger("repro").removeHandler(handler)``.
+    """
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    root = logging.getLogger(_ROOT)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

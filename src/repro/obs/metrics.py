@@ -1,0 +1,321 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry mirrors the Prometheus data model at the scale this repo
+needs: a flat namespace of named metrics, each holding one time series
+per label set. Components register their instruments eagerly at
+construction so every series the paper's evaluation cares about (cache
+hits/misses/evictions for Table 2, decode latency for Fig. 10, retry and
+fault counters for the robustness story) is present in an export even
+when its value is still zero.
+
+Exports:
+
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` comments, cumulative ``_bucket``
+  series with ``le`` labels for histograms);
+* :meth:`MetricsRegistry.to_dict` — a JSON-ready snapshot, embedded in
+  benchmark result files by :mod:`repro.bench.export`.
+
+``REGISTRY`` is the process-wide default; tests that assert exact values
+should construct a private :class:`MetricsRegistry` instead (the engine
+accepts one via ``EngineConfig(metrics=...)``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+# Latency-flavored default buckets (seconds), Prometheus' classic spread.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+_EMPTY = ()
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items())) if labels else _EMPTY
+
+
+def _escape(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _series_name(name: str, key: tuple, extra: dict | None = None) -> str:
+    items = list(key)
+    if extra:
+        items += sorted(extra.items())
+    if not items:
+        return name
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return f"{name}{{{body}}}"
+
+
+class _Metric:
+    """Base: name, help text, and a lock-protected series map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._series: dict[tuple, float] = {_EMPTY: 0.0}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[tuple, float]:
+        return dict(self._series)
+
+    def _render(self, lines: list[str]) -> None:
+        for key, value in sorted(self._series.items()):
+            lines.append(f"{_series_name(self.name, key)} {_fmt(value)}")
+
+    def _snapshot(self):
+        if set(self._series) == {_EMPTY}:
+            return self._series[_EMPTY]
+        return {_series_name("", key) or "total": value
+                for key, value in sorted(self._series.items())}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (resident bytes, entry counts)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._series: dict[tuple, float] = {_EMPTY: 0.0}
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def _render(self, lines: list[str]) -> None:
+        for key, value in sorted(self._series.items()):
+            lines.append(f"{_series_name(self.name, key)} {_fmt(value)}")
+
+    def _snapshot(self):
+        if set(self._series) == {_EMPTY}:
+            return self._series[_EMPTY]
+        return {_series_name("", key) or "total": value
+                for key, value in sorted(self._series.items())}
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative buckets on export, like Prometheus)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket")
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("histogram buckets must be distinct")
+        self.buckets = ordered
+        self._series: dict[tuple, _HistogramSeries] = {
+            _EMPTY: _HistogramSeries(len(ordered))
+        }
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.counts[i] += 1
+                    break
+            series.sum += value
+            series.count += 1
+
+    def count(self, **labels) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.sum if series else 0.0
+
+    def bucket_counts(self, **labels) -> dict[float, int]:
+        """Cumulative count per upper bound (the ``le`` view)."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return {bound: 0 for bound in self.buckets}
+        out, running = {}, 0
+        for bound, count in zip(self.buckets, series.counts):
+            running += count
+            out[bound] = running
+        return out
+
+    def _render(self, lines: list[str]) -> None:
+        for key, series in sorted(self._series.items()):
+            running = 0
+            for bound, count in zip(self.buckets, series.counts):
+                running += count
+                lines.append(
+                    f"{_series_name(self.name + '_bucket', key, {'le': _fmt(bound)})}"
+                    f" {running}"
+                )
+            lines.append(
+                f"{_series_name(self.name + '_bucket', key, {'le': '+Inf'})}"
+                f" {series.count}"
+            )
+            lines.append(f"{_series_name(self.name + '_sum', key)} {_fmt(series.sum)}")
+            lines.append(f"{_series_name(self.name + '_count', key)} {series.count}")
+
+    def _snapshot(self):
+        out = {}
+        for key, series in sorted(self._series.items()):
+            out[_series_name("", key) or "total"] = {
+                "count": series.count,
+                "sum": series.sum,
+                "buckets": {
+                    _fmt(bound): cum
+                    for bound, cum in self.bucket_counts(
+                        **dict(key)
+                    ).items()
+                },
+            }
+        if set(self._series) == {_EMPTY}:
+            return out["total"]
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create registration.
+
+    Re-registering an existing name returns the same instrument (so
+    every :class:`~repro.storage.cache.DecodeCache` or scheduler shares
+    the process-wide series); asking for a different type under an
+    existing name raises ``ValueError``.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation only)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- export ---------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            metric._render(lines)
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """A JSON-ready snapshot: name -> {type, help, value(s)}."""
+        return {
+            name: {
+                "type": metric.kind,
+                "help": metric.help,
+                "value": metric._snapshot(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+#: The process-wide default registry. Components fall back to it when no
+#: explicit registry is passed (``EngineConfig(metrics=...)`` overrides).
+REGISTRY = MetricsRegistry()

@@ -27,9 +27,13 @@ import numpy as np
 from repro.geometry.distance import tri_tri_distance_batch
 from repro.geometry.tritri import tri_tri_intersect_batch
 from repro.index.aabbtree import TriangleAABBTree
+from repro.obs import metrics as obs_metrics
 from repro.parallel.tasks import TaskScheduler, iter_pair_blocks
 
 __all__ = ["Device", "GeometryComputer"]
+
+# Batch sizes span 1 .. gpu_block; powers of two keep the histogram honest.
+_BATCH_BUCKETS = (1, 8, 16, 32, 48, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
 
 
 class Device(enum.Enum):
@@ -52,11 +56,25 @@ class GeometryComputer:
         cpu_block: int = _CPU_BLOCK,
         gpu_block: int = _GPU_BLOCK,
         scheduler: TaskScheduler | None = None,
+        metrics: obs_metrics.MetricsRegistry | None = None,
     ):
         self.device = device
         self.cpu_block = cpu_block
         self.gpu_block = gpu_block
         self.scheduler = scheduler or TaskScheduler(workers=1)
+        registry = metrics if metrics is not None else obs_metrics.REGISTRY
+        self._m_batch_size = registry.histogram(
+            "repro_face_pair_batch_size",
+            "Face pairs per kernel launch (batched paths; tree traversals excluded)",
+            buckets=_BATCH_BUCKETS,
+        )
+        self._m_face_pairs = registry.counter(
+            "repro_face_pairs_total", "Face pairs evaluated by batched kernels"
+        )
+
+    def _note_batch(self, size: int) -> None:
+        self._m_batch_size.observe(size)
+        self._m_face_pairs.inc(size)
 
     @property
     def block_size(self) -> int:
@@ -86,6 +104,7 @@ class GeometryComputer:
         for ii, jj in iter_pair_blocks(len(tris_a), len(tris_b), self.cpu_block):
             if stats is not None:
                 stats["pairs"] = stats.get("pairs", 0) + len(ii)
+            self._note_batch(len(ii))
             if bool(tri_tri_intersect_batch(tris_a[ii], tris_b[jj]).any()):
                 return True
         return False
@@ -122,6 +141,7 @@ class GeometryComputer:
         for ii, jj in iter_pair_blocks(len(tris_a), len(tris_b), block):
             if stats is not None:
                 stats["pairs"] = stats.get("pairs", 0) + len(ii)
+            self._note_batch(len(ii))
             dist = float(
                 tri_tri_distance_batch(
                     tris_a[ii], tris_b[jj], check_intersection=False
@@ -169,6 +189,7 @@ class GeometryComputer:
             tris_b = np.concatenate(buffer_b)
             if stats is not None:
                 stats["pairs"] = stats.get("pairs", 0) + len(tris_a)
+            self._note_batch(len(tris_a))
             dists = tri_tri_distance_batch(tris_a, tris_b, check_intersection=False)
             start = 0
             for owner, chunk in zip(owners, buffer_a):

@@ -15,6 +15,7 @@ retries does the scheduler raise
 
 from __future__ import annotations
 
+import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator
@@ -22,8 +23,12 @@ from typing import Callable, Iterable, Iterator
 import numpy as np
 
 from repro.core.errors import TaskExecutionError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
 
 __all__ = ["iter_pair_blocks", "TaskScheduler"]
+
+_LOG = get_logger("parallel.tasks")
 
 
 def iter_pair_blocks(
@@ -65,6 +70,7 @@ class TaskScheduler:
         max_retries: int = 2,
         backoff_seconds: float = 0.0,
         fault_injector=None,
+        metrics: obs_metrics.MetricsRegistry | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -78,6 +84,17 @@ class TaskScheduler:
         self.fault_injector = fault_injector
         self.retries = 0
         self.serial_fallbacks = 0
+        registry = metrics if metrics is not None else obs_metrics.REGISTRY
+        self._m_tasks = registry.counter(
+            "repro_tasks_total", "Tasks submitted to the scheduler"
+        )
+        self._m_retries = registry.counter(
+            "repro_task_retries_total", "Task attempts re-run after a failure"
+        )
+        self._m_serial_fallbacks = registry.counter(
+            "repro_task_serial_fallbacks_total",
+            "Tasks that failed in the thread pool and were re-run serially",
+        )
 
     def _run(self, fn: Callable, item, index: int, first_attempt: int = 0):
         """Run one task with retry; raises TaskExecutionError when spent."""
@@ -85,8 +102,17 @@ class TaskScheduler:
         for attempt in range(first_attempt, self.max_retries + 1):
             if attempt > first_attempt:
                 self.retries += 1
+                self._m_retries.inc()
+                backoff = 0.0
                 if self.backoff_seconds > 0:
-                    time.sleep(self.backoff_seconds * 2 ** (attempt - 1))
+                    backoff = self.backoff_seconds * 2 ** (attempt - 1)
+                log_event(
+                    _LOG, "task_retry", level=logging.WARNING,
+                    task=index, attempt=attempt, backoff_seconds=backoff,
+                    error=repr(last),
+                )
+                if backoff > 0:
+                    time.sleep(backoff)
             try:
                 if self.fault_injector is not None:
                     self.fault_injector.before_task(index, attempt)
@@ -100,6 +126,7 @@ class TaskScheduler:
 
     def map(self, fn: Callable, items: Iterable) -> list:
         items = list(items)
+        self._m_tasks.inc(len(items))
         if self.workers == 1 or len(items) <= 1:
             return [self._run(fn, item, i) for i, item in enumerate(items)]
 
@@ -121,6 +148,11 @@ class TaskScheduler:
                 results.append(value)
                 continue
             self.serial_fallbacks += 1
+            self._m_serial_fallbacks.inc()
+            log_event(
+                _LOG, "task_serial_fallback", level=logging.WARNING,
+                task=index, error=repr(value),
+            )
             if self.max_retries == 0:
                 raise TaskExecutionError(
                     f"task {index} failed after 1 attempt(s): {value!r}"

@@ -20,6 +20,7 @@ produce even its base mesh raises
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import OrderedDict
 
@@ -27,8 +28,12 @@ import numpy as np
 
 from repro.core.errors import DecodeFailureError
 from repro.index.aabbtree import TriangleAABBTree
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
 
 __all__ = ["DecodedLOD", "DecodeCache", "DecodedObjectProvider"]
+
+_LOG = get_logger("storage.cache")
 
 
 class DecodedLOD:
@@ -97,9 +102,22 @@ class DecodeCache:
 
     ``enabled=False`` turns the cache into a pass-through miss machine —
     the configuration used by the paper's Table 2 "without cache" rows.
+
+    Counter semantics: ``hits``, ``misses``, ``evictions``, and
+    ``evicted_bytes`` are *lifetime* monotonic counters — neither
+    :meth:`purge_dataset` nor :meth:`clear` touches them (the engine
+    snapshots them around each query, so resetting mid-flight would
+    corrupt per-query attribution). Use :meth:`reset_counters` between
+    independent measurement runs. The same numbers are mirrored into the
+    metrics registry (``repro_cache_*`` series, Table 2's raw material).
     """
 
-    def __init__(self, capacity_bytes: int = 256 * 1024 * 1024, enabled: bool = True):
+    def __init__(
+        self,
+        capacity_bytes: int = 256 * 1024 * 1024,
+        enabled: bool = True,
+        metrics: obs_metrics.MetricsRegistry | None = None,
+    ):
         if capacity_bytes < 0:
             raise ValueError("capacity_bytes must be >= 0")
         self.capacity_bytes = capacity_bytes
@@ -109,20 +127,43 @@ class DecodeCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.evicted_bytes = 0
+        registry = metrics if metrics is not None else obs_metrics.REGISTRY
+        self._m_hits = registry.counter("repro_cache_hits_total", "Decode cache hits")
+        self._m_misses = registry.counter("repro_cache_misses_total", "Decode cache misses")
+        self._m_evictions = registry.counter(
+            "repro_cache_evictions_total", "Entries evicted by the byte budget"
+        )
+        self._m_evicted_bytes = registry.counter(
+            "repro_cache_evicted_bytes_total", "Bytes evicted by the byte budget"
+        )
+        self._m_resident = registry.gauge(
+            "repro_cache_resident_bytes", "Bytes currently resident in the decode cache"
+        )
+        self._m_entries = registry.gauge(
+            "repro_cache_entries", "Entries currently resident in the decode cache"
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _sync_gauges(self) -> None:
+        self._m_resident.set(self.bytes_used)
+        self._m_entries.set(len(self._entries))
+
     def get(self, key: tuple) -> DecodedLOD | None:
         if not self.enabled:
             self.misses += 1
+            self._m_misses.inc()
             return None
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self._m_misses.inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self._m_hits.inc()
         return entry
 
     def put(self, key: tuple, value: DecodedLOD) -> None:
@@ -136,22 +177,39 @@ class DecodeCache:
             _old_key, old = self._entries.popitem(last=False)
             self.bytes_used -= old.nbytes
             self.evictions += 1
+            self.evicted_bytes += old.nbytes
+            self._m_evictions.inc()
+            self._m_evicted_bytes.inc(old.nbytes)
+        self._sync_gauges()
 
     def purge_dataset(self, name: str) -> int:
         """Drop every entry belonging to dataset ``name``; returns count.
 
         Used when a dataset is unloaded (notably ad-hoc probe datasets)
         so a later dataset reusing the name can never be served another
-        dataset's decoded geometry.
+        dataset's decoded geometry. Purged entries are *not* counted as
+        evictions, and hit/miss counters are untouched (lifetime
+        semantics, see the class docstring).
         """
         stale = [key for key in self._entries if key[0] == name]
         for key in stale:
             self.bytes_used -= self._entries.pop(key).nbytes
+        if stale:
+            self._sync_gauges()
         return len(stale)
 
     def clear(self) -> None:
+        """Drop every entry. Counters keep their lifetime values."""
         self._entries.clear()
         self.bytes_used = 0
+        self._sync_gauges()
+
+    def reset_counters(self) -> None:
+        """Zero the lifetime hit/miss/eviction counters (cached entries stay)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
 
     @property
     def hit_rate(self) -> float:
@@ -182,6 +240,8 @@ class DecodedObjectProvider:
         tree_leaf_size: int = 8,
         fault_injector=None,
         salvaged_ids=(),
+        tracer=None,
+        metrics: obs_metrics.MetricsRegistry | None = None,
     ):
         self.name = name
         self.objects = objects
@@ -189,12 +249,27 @@ class DecodedObjectProvider:
         self.tree_leaf_size = tree_leaf_size
         self.fault_injector = fault_injector
         self.salvaged_ids = frozenset(salvaged_ids)
+        self.tracer = tracer
         self._decoders: dict[int, object] = {}
         self.decode_seconds = 0.0
         self.decoded_vertices = 0
         self.degraded_ids: dict[int, int] = {}
         self.failed_ids: dict[int, str] = {}
         self.decode_failures = 0
+        registry = metrics if metrics is not None else obs_metrics.REGISTRY
+        self._m_decode_seconds = registry.histogram(
+            "repro_decode_seconds", "Wall time of cache-miss decode calls"
+        )
+        self._m_decode_failures = registry.counter(
+            "repro_decode_failures_total", "Decode attempts that raised"
+        )
+        self._m_decode_fallbacks = registry.counter(
+            "repro_decode_fallbacks_total",
+            "Decodes served below the requested LOD (degradation ladder)",
+        )
+        self._m_decoded_vertices = registry.counter(
+            "repro_decoded_vertices_total", "Vertices reinserted by progressive decoders"
+        )
 
     def _decode_at(self, obj_id: int, lod: int) -> DecodedLOD:
         """One decode attempt at exactly ``lod``; may raise."""
@@ -209,6 +284,7 @@ class DecodedObjectProvider:
         # advance may leave it mid-round, poisoning later requests.
         self._decoders[obj_id] = decoder
         self.decoded_vertices += decoder.vertices_reinserted - before
+        self._m_decoded_vertices.inc(decoder.vertices_reinserted - before)
         return DecodedLOD(
             decoder.compressed.positions,
             decoder.face_array(),
@@ -237,19 +313,44 @@ class DecodedObjectProvider:
                     decoded = self._decode_at(obj_id, attempt_lod)
                 except Exception as exc:
                     self.decode_failures += 1
+                    self._m_decode_failures.inc()
                     self._decoders.pop(obj_id, None)
                     last_error = exc
+                    log_event(
+                        _LOG, "decode_failure", level=logging.WARNING,
+                        dataset=self.name, object=obj_id, lod=attempt_lod,
+                        reason=repr(exc),
+                    )
                     continue
                 if attempt_lod < lod:
                     decoded.degraded = True
                     self.degraded_ids[obj_id] = attempt_lod
+                    self._m_decode_fallbacks.inc()
+                    log_event(
+                        _LOG, "decode_fallback", level=logging.WARNING,
+                        dataset=self.name, object=obj_id,
+                        requested_lod=lod, served_lod=attempt_lod,
+                    )
                 self.cache.put(key, decoded)
                 return decoded
             reason = repr(last_error) if last_error is not None else "unknown"
             self.failed_ids[obj_id] = reason
+            log_event(
+                _LOG, "decode_exhausted", level=logging.ERROR,
+                dataset=self.name, object=obj_id, requested_lod=lod, reason=reason,
+            )
             raise DecodeFailureError(self.name, obj_id, reason)
         finally:
-            self.decode_seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.decode_seconds += elapsed
+            self._m_decode_seconds.observe(elapsed)
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                # Record the *same* elapsed number the engine attributes
+                # to decode_seconds, so trace and stats cannot disagree.
+                tracer.record(
+                    "decode", elapsed, dataset=self.name, object=obj_id, lod=lod
+                )
 
     def max_lod(self, obj_id: int) -> int:
         return self.objects[obj_id].max_lod

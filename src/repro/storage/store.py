@@ -20,6 +20,7 @@ Loading runs in one of two modes:
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -31,6 +32,8 @@ from repro.compression.serialize import (
 )
 from repro.core.errors import CuboidFormatError, DatasetFormatError
 from repro.geometry.aabb import AABB
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger, log_event
 from repro.storage.cuboid import CuboidGrid
 from repro.storage.fileformat import (
     read_cuboid_file,
@@ -42,6 +45,40 @@ __all__ = ["Dataset", "LoadReport", "save_dataset", "load_dataset"]
 
 _MANIFEST = "manifest.json"
 _MODES = ("strict", "salvage")
+
+_LOG = get_logger("storage.store")
+
+
+def _publish_load_report(report: "LoadReport") -> None:
+    """Mirror a salvage outcome into metrics + the structured event log."""
+    registry = obs_metrics.REGISTRY
+    registry.counter(
+        "repro_salvage_loads_total", "Datasets loaded in salvage mode"
+    ).inc()
+    if report.quarantined_files:
+        registry.counter(
+            "repro_salvage_quarantined_files_total", "Container files quarantined"
+        ).inc(len(report.quarantined_files))
+    if report.skipped_blobs:
+        registry.counter(
+            "repro_salvage_lost_objects_total", "Objects lost to unsalvageable blobs"
+        ).inc(len(report.skipped_blobs))
+    if report.degraded_objects:
+        registry.counter(
+            "repro_salvage_recovered_objects_total",
+            "Objects partially recovered (lower LODs kept)",
+        ).inc(len(report.degraded_objects))
+    if not report.ok:
+        log_event(
+            _LOG, "salvage_load", level=logging.WARNING,
+            directory=report.directory,
+            objects_loaded=report.objects_loaded,
+            objects_expected=report.objects_expected,
+            quarantined_files=len(report.quarantined_files),
+            skipped_blobs=len(report.skipped_blobs),
+            degraded_objects=len(report.degraded_objects),
+            container_faults=len(report.container_faults),
+        )
 
 
 @dataclass
@@ -296,6 +333,8 @@ def load_dataset(directory, mode: str = "strict") -> Dataset:
             report.degraded_objects.append((report.id_map[orig], filename, detail))
 
     report.objects_loaded = len(objects)
+    if mode == "salvage":
+        _publish_load_report(report)
     dataset = Dataset(
         manifest["name"],
         objects,

@@ -139,6 +139,36 @@ class TestQueryAndProfile:
         text = capsys.readouterr().out
         assert "chosen lod_list" in text
 
+    def test_obs_exports_telemetry(self, generated, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        chrome = tmp_path / "chrome.json"
+        prom = tmp_path / "metrics.prom"
+        mjson = tmp_path / "metrics.json"
+        code = main(
+            [
+                "obs",
+                str(generated / "nuclei_a"),
+                str(generated / "nuclei_b"),
+                "--query", "nn",
+                "--trace-json", str(trace),
+                "--chrome-trace", str(chrome),
+                "--metrics-prom", str(prom),
+                "--metrics-json", str(mjson),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "nn_join" in text
+        assert "trace totals" in text
+        spans = json.loads(trace.read_text())["spans"]
+        assert spans and spans[0]["name"] == "query"
+        events = json.loads(chrome.read_text())["traceEvents"]
+        assert any(event["name"] == "query" for event in events)
+        assert "repro_cache_hits_total" in prom.read_text()
+        assert "repro_queries_total" in json.loads(mjson.read_text())
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

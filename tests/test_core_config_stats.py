@@ -92,9 +92,44 @@ class TestQueryStats:
         assert a.pairs_evaluated_by_lod[0] == 12
         assert a.face_pairs_total == 100
 
+    def test_merge_preserves_per_lod_dicts(self):
+        a = QueryStats()
+        a.pairs_evaluated_by_lod[0] = 3
+        a.pairs_pruned_by_lod[0] = 1
+        a.face_pairs_by_lod[0] = 10
+        b = QueryStats()
+        b.pairs_evaluated_by_lod[0] = 2
+        b.pairs_evaluated_by_lod[2] = 4
+        b.pairs_pruned_by_lod[2] = 4
+        b.face_pairs_by_lod[2] = 50
+        a.merge(b)
+        assert dict(a.pairs_evaluated_by_lod) == {0: 5, 2: 4}
+        assert dict(a.pairs_pruned_by_lod) == {0: 1, 2: 4}
+        assert dict(a.face_pairs_by_lod) == {0: 10, 2: 50}
+        # merging must not alias the source dicts
+        a.face_pairs_by_lod[2] += 1
+        assert b.face_pairs_by_lod[2] == 50
+
+    def test_merge_accumulates_degraded_counters(self):
+        a = QueryStats(degraded_objects=1, decode_failures=2)
+        b = QueryStats(degraded_objects=3, decode_failures=5)
+        a.merge(b)
+        assert a.degraded_objects == 4
+        assert a.decode_failures == 7
+
     def test_as_dict_and_summary(self):
         stats = QueryStats(query="nn_join", config_label="FPR/B", total_seconds=0.5)
         payload = stats.as_dict()
         assert payload["query"] == "nn_join"
         assert "nn_join" in stats.summary()
         assert "FPR/B" in stats.summary()
+
+    def test_as_dict_includes_face_pairs_by_lod(self):
+        stats = QueryStats()
+        stats.face_pairs_by_lod[1] = 8
+        stats.face_pairs_by_lod[3] = 24
+        payload = stats.as_dict()
+        assert payload["face_pairs_by_lod"] == {1: 8, 3: 24}
+        assert payload["face_pairs_total"] == 32
+        # a plain dict, safe to serialize and detached from the stats object
+        assert type(payload["face_pairs_by_lod"]) is dict
