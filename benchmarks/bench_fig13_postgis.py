@@ -40,7 +40,7 @@ def test_fig13_postgis_like(benchmark, workload, test_id):
             result["value"] = engine.nn_join(buffer_distance=4.0)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    _pairs, stats = result["value"]
+    stats = result["value"].stats
     benchmark.extra_info.update({"engine": "postgis-like", "seconds": stats.total_seconds})
     print(f"\n[fig13] {test_id:7s} postgis-like  time={stats.total_seconds:8.3f}s")
 

@@ -1,0 +1,79 @@
+"""Inter-target parallel query execution: serial vs ``query_workers=4``.
+
+Fans target objects across TaskScheduler threads at the query level
+(above the face-pair workers). Results are asserted byte-identical to
+the serial run; ``extra_info`` records honest wall times — on a
+single-core box the speedup hovers around 1.0 and the point of the
+benchmark is confirming parallelism costs nothing, not that it wins.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.runner import make_engine
+
+WORKERS = 4
+
+
+def _run_join(workload, query_workers):
+    engine = make_engine(
+        "fpr", "G", workload=workload, query_workers=query_workers
+    )
+    return engine.intersection_join("nuclei_a", "nuclei_b")
+
+
+def test_parallel_query_speedup(benchmark, workload):
+    serial_result = _run_join(workload, query_workers=1)
+    result = {}
+
+    def run():
+        result["value"] = _run_join(workload, query_workers=WORKERS)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    parallel_result = result["value"]
+
+    # Parallelism must be invisible in the answer.
+    assert list(parallel_result.pairs.items()) == list(serial_result.pairs.items())
+
+    serial_s = serial_result.stats.total_seconds
+    parallel_s = parallel_result.stats.total_seconds
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    benchmark.extra_info.update(
+        {
+            "engine": "3dpro-fpr",
+            "query_workers": WORKERS,
+            "cpu_count": os.cpu_count(),
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": speedup,
+        }
+    )
+    print(
+        f"\n[parallel-query] INT-NN serial={serial_s:.3f}s "
+        f"workers={WORKERS} parallel={parallel_s:.3f}s "
+        f"speedup={speedup:.2f}x (cpus={os.cpu_count()})"
+    )
+
+
+@pytest.mark.parametrize("query_workers", [1, 2, 4])
+def test_parallel_query_scaling(benchmark, workload, query_workers):
+    result = {}
+
+    def run():
+        result["value"] = _run_join(workload, query_workers=query_workers)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result["value"].stats
+    benchmark.extra_info.update(
+        {
+            "engine": "3dpro-fpr",
+            "query_workers": query_workers,
+            "cpu_count": os.cpu_count(),
+            "seconds": stats.total_seconds,
+        }
+    )
+    print(
+        f"\n[parallel-query] INT-NN workers={query_workers} "
+        f"time={stats.total_seconds:8.3f}s"
+    )

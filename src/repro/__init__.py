@@ -29,7 +29,15 @@ Quickstart::
 """
 
 from repro.compression import PPVPEncoder
-from repro.core import Accel, EngineConfig, JoinResult, QueryStats, ThreeDPro
+from repro.core import (
+    Accel,
+    EngineConfig,
+    JoinResult,
+    QueryResult,
+    QuerySpec,
+    QueryStats,
+    ThreeDPro,
+)
 from repro.faults import FaultInjector, InjectedFault
 from repro.mesh import Polyhedron
 from repro.obs import MetricsRegistry, Tracer
@@ -42,6 +50,8 @@ __all__ = [
     "Accel",
     "EngineConfig",
     "JoinResult",
+    "QueryResult",
+    "QuerySpec",
     "QueryStats",
     "ThreeDPro",
     "Polyhedron",

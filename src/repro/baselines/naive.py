@@ -8,8 +8,12 @@ against these answers.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.core.plan import QueryResult
+from repro.core.stats import QueryStats
 from repro.geometry.distance import tri_tri_distance_batch
 from repro.geometry.raycast import point_in_polyhedron
 from repro.geometry.tritri import tri_tri_intersect_batch
@@ -30,6 +34,12 @@ class NaiveEngine:
     distance bounds (box MINDIST lower-bounds the true distance, box
     overlap is necessary for intersection). This never changes answers —
     it only makes ground-truth computation affordable in tests.
+
+    Every join returns a :class:`~repro.core.plan.QueryResult` — the
+    same shape as :class:`~repro.core.engine.ThreeDPro` and the
+    PostGIS-like comparator, so comparison code never special-cases the
+    baseline. The stats carry only what a baseline honestly has:
+    targets, results, and wall time (``config_label="naive"``).
     """
 
     def __init__(
@@ -60,9 +70,19 @@ class NaiveEngine:
         pa, pb = _cross_pairs(a.triangles, b.triangles)
         return float(tri_tri_distance_batch(pa, pb).min())
 
+    # -- result packaging --------------------------------------------------------
+
+    def _result(self, query: str, pairs: dict, started: float) -> QueryResult:
+        stats = QueryStats(query=query, config_label="naive")
+        stats.targets = len(self.targets)
+        stats.results = sum(len(v) if isinstance(v, list) else 1 for v in pairs.values())
+        stats.total_seconds = time.perf_counter() - started
+        return QueryResult(pairs, stats)
+
     # -- joins -------------------------------------------------------------------
 
-    def intersection_join(self) -> dict[int, list[int]]:
+    def intersection_join(self) -> QueryResult:
+        started = time.perf_counter()
         out: dict[int, list[int]] = {}
         for tid, target in enumerate(self.targets):
             matches = []
@@ -73,9 +93,10 @@ class NaiveEngine:
                     matches.append(sid)
             if matches:
                 out[tid] = matches
-        return out
+        return self._result("intersection_join", out, started)
 
-    def within_join(self, distance: float) -> dict[int, list[int]]:
+    def within_join(self, distance: float) -> QueryResult:
+        started = time.perf_counter()
         out: dict[int, list[int]] = {}
         for tid, target in enumerate(self.targets):
             matches = []
@@ -86,13 +107,16 @@ class NaiveEngine:
                     matches.append(sid)
             if matches:
                 out[tid] = matches
-        return out
+        return self._result("within_join", out, started)
 
-    def nn_join(self) -> dict[int, tuple[int, float]]:
-        out = self.knn_join(1)
-        return {tid: matches[0] for tid, matches in out.items() if matches}
+    def nn_join(self) -> QueryResult:
+        started = time.perf_counter()
+        knn = self.knn_join(1).pairs
+        out = {tid: matches[0] for tid, matches in knn.items() if matches}
+        return self._result("nn_join", out, started)
 
-    def knn_join(self, k: int) -> dict[int, list[tuple[int, float]]]:
+    def knn_join(self, k: int) -> QueryResult:
+        started = time.perf_counter()
         out: dict[int, list[tuple[int, float]]] = {}
         for tid, target in enumerate(self.targets):
             if not self.sources:
@@ -113,4 +137,4 @@ class NaiveEngine:
                 best.append((dist, sid))
                 best.sort()
             out[tid] = [(sid, d) for d, sid in best[:k]]
-        return out
+        return self._result(f"knn_join(k={k})" if k > 1 else "nn_join", out, started)

@@ -18,6 +18,10 @@ Everything runs single-threaded with the same small task granularity
 as the engine's CPU device, and — like a row store that parses WKB on
 every access — geometry is *materialized from storage bytes per pair
 evaluation* rather than cached as live arrays.
+
+Joins return the same :class:`~repro.core.plan.QueryResult` shape as
+:class:`~repro.core.engine.ThreeDPro`; legacy ``pairs, stats = ...``
+unpacking keeps working through ``QueryResult.__iter__``.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import time
 
 import numpy as np
 
+from repro.core.plan import QueryResult
 from repro.core.stats import QueryStats
 from repro.geometry.distance import tri_tri_distance_batch
 from repro.geometry.raycast import point_in_polyhedron
@@ -107,7 +112,7 @@ class PostGISLikeEngine:
 
     # -- joins ----------------------------------------------------------------------
 
-    def intersection_join(self) -> tuple[dict[int, list[int]], QueryStats]:
+    def intersection_join(self) -> QueryResult:
         stats = QueryStats(query="intersection_join", config_label="PostGIS-like")
         started = time.perf_counter()
         pairs: dict[int, list[int]] = {}
@@ -125,9 +130,9 @@ class PostGISLikeEngine:
                 pairs[tid] = sorted(matches)
                 stats.results += len(matches)
         stats.total_seconds = time.perf_counter() - started
-        return pairs, stats
+        return QueryResult(pairs, stats)
 
-    def within_join(self, distance: float) -> tuple[dict[int, list[int]], QueryStats]:
+    def within_join(self, distance: float) -> QueryResult:
         stats = QueryStats(query="within_join", config_label="PostGIS-like")
         started = time.perf_counter()
         pairs: dict[int, list[int]] = {}
@@ -146,9 +151,9 @@ class PostGISLikeEngine:
                 pairs[tid] = sorted(matches)
                 stats.results += len(matches)
         stats.total_seconds = time.perf_counter() - started
-        return pairs, stats
+        return QueryResult(pairs, stats)
 
-    def nn_join(self, buffer_distance: float) -> tuple[dict[int, tuple[int, float]], QueryStats]:
+    def nn_join(self, buffer_distance: float) -> QueryResult:
         """Nearest neighbor via the buffer trick (Section 6.6).
 
         ``buffer_distance`` plays the role of the paper's precomputed
@@ -177,4 +182,4 @@ class PostGISLikeEngine:
                 pairs[tid] = (best_sid, float(best_dist))
                 stats.results += 1
         stats.total_seconds = time.perf_counter() - started
-        return pairs, stats
+        return QueryResult(pairs, stats)

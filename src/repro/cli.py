@@ -24,6 +24,7 @@ from repro.core.config import Accel, EngineConfig
 from repro.core.engine import ThreeDPro
 from repro.core.errors import StorageError
 from repro.core.lod_select import choose_lod_list, profile_pruning
+from repro.core.plan import QuerySpec
 from repro.storage.store import Dataset, load_dataset, save_dataset
 
 __all__ = ["main", "build_parser"]
@@ -83,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("-k", type=int, default=2, help="neighbors for knn")
     qry.add_argument("--paradigm", choices=["fr", "fpr"], default="fpr")
     qry.add_argument("--accel", choices=sorted(_ACCEL), default="none")
+    qry.add_argument("--query-workers", type=int, default=None,
+                     help="threads fanning query targets (default: "
+                          "REPRO_QUERY_WORKERS env or serial)")
     qry.add_argument("--limit", type=int, default=10, help="result rows to print")
     qry.add_argument("--salvage", action="store_true", help=salvage_help)
 
@@ -104,6 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("-k", type=int, default=2, help="neighbors for knn")
     obs.add_argument("--paradigm", choices=["fr", "fpr"], default="fpr")
     obs.add_argument("--accel", choices=sorted(_ACCEL), default="none")
+    obs.add_argument("--query-workers", type=int, default=None,
+                     help="threads fanning query targets (default: "
+                          "REPRO_QUERY_WORKERS env or serial)")
     obs.add_argument("--salvage", action="store_true", help=salvage_help)
     obs.add_argument("--trace-json", type=Path, default=None,
                      help="write the span tree as JSON")
@@ -226,7 +233,8 @@ def _cmd_decode(args) -> int:
 
 def _make_engine(args) -> tuple[ThreeDPro, str, str]:
     engine = ThreeDPro(EngineConfig(paradigm=getattr(args, "paradigm", "fpr"),
-                                    accel=_ACCEL[getattr(args, "accel", "none")]))
+                                    accel=_ACCEL[getattr(args, "accel", "none")],
+                                    query_workers=getattr(args, "query_workers", None)))
     salvage = getattr(args, "salvage", False)
     target = _load_dataset_cli(args.target, salvage)
     source = _load_dataset_cli(args.source, salvage)
@@ -235,18 +243,24 @@ def _make_engine(args) -> tuple[ThreeDPro, str, str]:
     return engine, target.name, source.name
 
 
+def _build_spec(args, target: str, source: str) -> QuerySpec:
+    """Translate CLI arguments into one declarative QuerySpec."""
+    if args.query == "within" and args.distance is None:
+        raise SystemExit("--distance is required for within queries")
+    if args.query == "intersection":
+        return QuerySpec(kind="intersection", source=source, target=target)
+    if args.query == "within":
+        return QuerySpec(
+            kind="within", source=source, target=target, distance=args.distance
+        )
+    if args.query == "nn":
+        return QuerySpec(kind="nn", source=source, target=target)
+    return QuerySpec(kind="knn", source=source, target=target, k=args.k)
+
+
 def _cmd_query(args) -> int:
     engine, target, source = _make_engine(args)
-    if args.query == "intersection":
-        result = engine.intersection_join(target, source)
-    elif args.query == "within":
-        if args.distance is None:
-            raise SystemExit("--distance is required for within queries")
-        result = engine.within_join(target, source, args.distance)
-    elif args.query == "nn":
-        result = engine.nn_join(target, source)
-    else:
-        result = engine.knn_join(target, source, k=args.k)
+    result = engine.execute(_build_spec(args, target, source))
     print(result.stats.summary())
     if result.degraded_targets:
         print(
@@ -305,22 +319,14 @@ def _cmd_obs(args) -> int:
                 accel=_ACCEL[args.accel],
                 tracing=True,
                 metrics=metrics,
+                query_workers=args.query_workers,
             )
         )
         target = _load_dataset_cli(args.target, args.salvage)
         source = _load_dataset_cli(args.source, args.salvage)
         engine.load_dataset(target)
         engine.load_dataset(source)
-        if args.query == "intersection":
-            result = engine.intersection_join(target.name, source.name)
-        elif args.query == "within":
-            if args.distance is None:
-                raise SystemExit("--distance is required for within queries")
-            result = engine.within_join(target.name, source.name, args.distance)
-        elif args.query == "nn":
-            result = engine.nn_join(target.name, source.name)
-        else:
-            result = engine.knn_join(target.name, source.name, k=args.k)
+        result = engine.execute(_build_spec(args, target.name, source.name))
 
         print(result.stats.summary())
         totals = phase_totals(engine.tracer)

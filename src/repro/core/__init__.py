@@ -15,7 +15,7 @@ batching) compose with both paradigms, as in the paper's Table 1.
 """
 
 from repro.core.config import Accel, EngineConfig
-from repro.core.engine import JoinResult, ThreeDPro
+from repro.core.engine import JoinResult, QueryResult, QuerySpec, ThreeDPro
 from repro.core.errors import (
     BlobChecksumError,
     CuboidFormatError,
@@ -35,6 +35,8 @@ __all__ = [
     "Accel",
     "EngineConfig",
     "JoinResult",
+    "QueryResult",
+    "QuerySpec",
     "ThreeDPro",
     "EngineError",
     "EngineConfigError",

@@ -7,6 +7,7 @@ methods applied. ``Accel`` mirrors the table's columns.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.core.errors import EngineConfigError
@@ -69,6 +70,12 @@ class EngineConfig:
     cpu_block: int = 48
     gpu_block: int = 4096
     workers: int = 1
+    # Inter-target query parallelism: how many worker threads the
+    # QueryExecutor fans target objects across, independent of the
+    # face-pair `workers` above. None means "not set explicitly" — the
+    # engine then honors the REPRO_QUERY_WORKERS environment variable
+    # (the CI override hook) and finally defaults to 1 (serial).
+    query_workers: int | None = None
     # FPR may settle a nearest neighbor before its exact distance is
     # known (the result carries an upper bound). Setting this forces a
     # final top-LOD distance evaluation for the reported neighbors -
@@ -98,6 +105,8 @@ class EngineConfig:
             raise EngineConfigError("partition_parts must be >= 1")
         if self.max_decode_failures is not None and self.max_decode_failures < 0:
             raise EngineConfigError("max_decode_failures must be None or >= 0")
+        if self.query_workers is not None and self.query_workers < 1:
+            raise EngineConfigError("query_workers must be None or >= 1")
         if self.task_retries < 0:
             raise EngineConfigError("task_retries must be >= 0")
         if self.task_backoff_seconds < 0:
@@ -118,3 +127,26 @@ class EngineConfig:
 
     def with_paradigm(self, paradigm: str) -> "EngineConfig":
         return replace(self, paradigm=paradigm)
+
+    def resolve_query_workers(self) -> int:
+        """The effective query-worker count.
+
+        An explicit ``query_workers`` always wins; otherwise the
+        ``REPRO_QUERY_WORKERS`` environment variable applies (rejecting
+        malformed values loudly rather than silently running serial),
+        and the default is 1.
+        """
+        if self.query_workers is not None:
+            return self.query_workers
+        env = os.environ.get("REPRO_QUERY_WORKERS", "").strip()
+        if not env:
+            return 1
+        try:
+            value = int(env)
+        except ValueError:
+            raise EngineConfigError(
+                f"REPRO_QUERY_WORKERS must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise EngineConfigError("REPRO_QUERY_WORKERS must be >= 1")
+        return value

@@ -1,4 +1,4 @@
-"""The 3DPro engine: dataset loading, filtering, and spatial joins.
+"""The 3DPro engine: dataset loading, planning, and query execution.
 
 The engine owns (Fig. 8 of the paper):
 
@@ -6,78 +6,44 @@ The engine owns (Fig. 8 of the paper):
   (or sub-object boxes when partition acceleration is on);
 * an **object decoder** behind a shared LRU decode cache;
 * a **geometry computer** — the batched face-pair kernel executor;
-* the **query processor** — the join drivers below, which batch target
-  objects cuboid by cuboid for cache locality and delegate per-target
-  work to the progressive refinement of :mod:`repro.core.refine`.
+* the **query processor** — :meth:`ThreeDPro.execute` compiles a
+  declarative :class:`~repro.core.plan.QuerySpec` into a
+  :class:`~repro.core.plan.QueryPlan` and hands it to the single shared
+  :class:`~repro.core.executor.QueryExecutor`, which batches target
+  objects cuboid by cuboid for cache locality (optionally fanning them
+  across ``query_workers`` threads) and delegates per-target work to the
+  progressive refinement of :mod:`repro.core.refine`.
+
+The historical per-kind methods (``intersection_join`` …) remain as
+thin wrappers over :meth:`execute`.
 """
 
 from __future__ import annotations
 
-import logging
-import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import replace
 
 from repro.compression.ppvp import PPVPEncoder
 from repro.core.config import EngineConfig
-from repro.core.errors import (
-    DatasetNotLoadedError,
-    DecodeFailureError,
-    EngineConfigError,
-    ErrorBudgetExceededError,
-)
-from repro.core.refine import (
-    NNCandidate,
-    RefineContext,
-    refine_intersection,
-    refine_nn,
-    refine_within,
-)
+from repro.core.errors import DatasetNotLoadedError, EngineConfigError
+from repro.core.executor import QueryExecutor
+from repro.core.plan import STRATEGIES, QueryPlan, QueryResult, QuerySpec
 from repro.core.stats import QueryStats
-from repro.geometry.aabb import AABB
 from repro.index.rtree import RTree, RTreeEntry
 from repro.mesh.polyhedron import Polyhedron
 from repro.obs import metrics as obs_metrics
-from repro.obs.logs import get_logger, log_event
-from repro.obs.trace import TimedPhase, Tracer
+from repro.obs.trace import Tracer
 from repro.parallel.executor import Device, GeometryComputer
 from repro.parallel.tasks import TaskScheduler
 from repro.partition.partitioner import partition_faces
 from repro.storage.cache import DecodeCache, DecodedObjectProvider
 from repro.storage.store import Dataset
 
-__all__ = ["ThreeDPro", "JoinResult"]
+__all__ = ["ThreeDPro", "JoinResult", "QuerySpec", "QueryResult"]
 
-_LOG = get_logger("engine")
-
-
-@dataclass
-class JoinResult:
-    """Join output: per-target matches plus execution statistics.
-
-    ``pairs`` maps each target object id to its matches — a sorted list
-    of source ids for intersection/within joins, or a list of
-    ``(source_id, distance, exact)`` triples for NN/kNN joins (when the
-    FPR paradigm settles a nearest neighbor early, ``distance`` is the
-    best known upper bound and ``exact`` is False).
-
-    ``degraded_targets`` holds the target ids whose answers leaned on
-    degraded geometry (a decode fell back to a lower LOD, a salvaged
-    object, or MBB-only evaluation): those answers are guaranteed
-    correct *subsets* of the clean answer rather than exact matches.
-    """
-
-    pairs: dict
-    stats: QueryStats
-    degraded_targets: set = field(default_factory=set)
-
-    @property
-    def total_matches(self) -> int:
-        return sum(len(v) for v in self.pairs.values())
-
-    @property
-    def degraded_objects(self) -> int:
-        """Distinct objects served below requested fidelity (from stats)."""
-        return self.stats.degraded_objects
+#: Compatibility alias: joins historically returned a ``JoinResult``;
+#: the unified result type is a drop-in superset.
+JoinResult = QueryResult
 
 
 class _LoadedDataset:
@@ -124,16 +90,8 @@ class ThreeDPro:
             ),
             metrics=self.metrics,
         )
-        self._m_queries = self.metrics.counter(
-            "repro_queries_total", "Queries executed, labeled by join kind"
-        )
-        self._m_query_seconds = self.metrics.histogram(
-            "repro_query_seconds", "End-to-end query wall time"
-        )
-        self._m_degraded = self.metrics.counter(
-            "repro_degraded_objects_total",
-            "Distinct objects served below requested fidelity, per query",
-        )
+        self.query_workers = self.config.resolve_query_workers()
+        self.executor = QueryExecutor(self)
         self._datasets: dict[str, _LoadedDataset] = {}
         self._probe_seq = 0
 
@@ -209,254 +167,121 @@ class ThreeDPro:
         lods = sorted({min(lod, top) for lod in self.config.lod_list} | {top})
         return tuple(lods)
 
-    # -- candidate gathering -------------------------------------------------------
+    # -- the unified query API ----------------------------------------------------
 
-    @staticmethod
-    def _merge_payloads(payloads) -> dict:
-        """Collapse (obj, part) payloads into obj -> candidate part set."""
-        merged: dict[int, object] = {}
-        for obj_id, part in payloads:
-            if part is None:
-                merged[obj_id] = None
-            else:
-                existing = merged.get(obj_id, set())
-                if existing is not None:
-                    existing = set(existing)
-                    existing.add(part)
-                    merged[obj_id] = existing
-        return merged
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """Run one declarative query; every public query form routes here.
 
-    def _refine_context(self, target: _LoadedDataset, source: _LoadedDataset, stats: QueryStats, lods) -> RefineContext:
-        return RefineContext(
-            computer=self.computer,
-            stats=stats,
-            target_provider=target.provider,
-            source_provider=source.provider,
-            target_partitions=target.partitions,
-            source_partitions=source.partitions,
-            lods=lods,
-            use_tree=self.config.accel.aabbtree,
-            exact_nn_distances=self.config.exact_nn_distances,
-            max_decode_failures=self.config.max_decode_failures,
-            tracer=self.tracer,
-        )
+        Probe specs (an ad-hoc polyhedron instead of a loaded target
+        dataset) are handled by loading the probe as a transient
+        single-object dataset, joining, and evicting it — its single
+        answer lands under target id 0 (``result.matches``).
+        """
+        spec = spec.normalized()
+        if spec.probe is not None:
+            self._probe_seq += 1
+            # Unique per-probe name AND a cache eviction on the way out:
+            # the decode cache is keyed by (dataset, object, LOD), so a
+            # reused probe name would serve a previous probe's geometry.
+            name = f"__probe__{self._probe_seq}"
+            self.load_dataset(Dataset.from_polyhedra(name, [spec.probe]))
+            try:
+                inner = self.execute(replace(spec, probe=None, target=name))
+                return QueryResult(
+                    inner.pairs, inner.stats, inner.degraded_targets, spec
+                )
+            finally:
+                del self._datasets[name]
+                self.cache.evict_dataset(name)
+        return self.executor.run(self._compile(spec))
 
-    def _phase(self, stats: QueryStats, name: str, **attrs) -> TimedPhase:
-        """A filter/compute phase: timed once into both stats and a span."""
-        return TimedPhase(self.tracer, stats, name, **attrs)
-
-    def _root_span(self, stats: QueryStats, target_name: str, source_name: str):
-        return self.tracer.span(
-            "query",
-            query=stats.query,
-            config=self.config.label,
-            target=target_name,
-            source=source_name,
-        )
-
-    def _new_stats(self, query: str, providers=()) -> QueryStats:
-        stats = QueryStats(query=query, config_label=self.config.label)
-        stats.cache_hits = -self.cache.hits
-        stats.cache_misses = -self.cache.misses
-        stats.decode_seconds_base = sum(p.decode_seconds for p in providers)
-        stats.decode_failures_base = sum(p.decode_failures for p in providers)
-        return stats
-
-    def _finish_stats(self, stats: QueryStats, started: float, providers, root=None) -> None:
-        # When tracing, the root span's wall clock IS total_seconds — the
-        # stats summary is populated from the trace, never in parallel.
-        wall = getattr(root, "wall_seconds", None) if root is not None else None
-        stats.total_seconds = (
-            wall if wall is not None else time.perf_counter() - started
-        )
-        stats.cache_hits += self.cache.hits
-        stats.cache_misses += self.cache.misses
-        decode = sum(p.decode_seconds for p in providers) - stats.decode_seconds_base
-        stats.decode_seconds = decode
-        stats.compute_seconds = max(0.0, stats.compute_seconds - decode)
-        stats.decoded_vertices = sum(p.decoded_vertices for p in providers)
-        stats.decode_failures = (
-            sum(p.decode_failures for p in providers) - stats.decode_failures_base
-        )
-        if root is not None and root.enabled:
-            root.set(
-                targets=stats.targets,
-                candidates=stats.candidates,
-                results=stats.results,
-                face_pairs=stats.face_pairs_total,
-                degraded_objects=stats.degraded_objects,
-                decode_failures=stats.decode_failures,
+    def _compile(self, spec: QuerySpec) -> QueryPlan:
+        strategy = STRATEGIES[spec.kind]
+        source = self._get(spec.source)
+        if spec.kind == "containment":
+            # The query point plays the target role; no join-wide LOD
+            # schedule — the ladder is derived from the candidates.
+            return QueryPlan(
+                spec=spec, strategy=strategy, target=source, source=source,
+                lods=(), config=self.config, span_target="<point>",
             )
-        self._m_queries.inc(query=stats.query)
-        self._m_query_seconds.observe(stats.total_seconds)
-        if stats.degraded_objects:
-            self._m_degraded.inc(stats.degraded_objects)
-            log_event(
-                _LOG, "degraded_query", level=logging.WARNING,
-                query=stats.query, config=stats.config_label,
-                degraded_objects=stats.degraded_objects,
-                decode_failures=stats.decode_failures,
-            )
+        target = self._get(spec.target)
+        return QueryPlan(
+            spec=spec, strategy=strategy, target=target, source=source,
+            lods=self._lod_schedule(target, source),
+            config=self.config, span_target=target.name,
+        )
 
-    # -- joins ----------------------------------------------------------------------
+    # -- joins (compatibility wrappers) --------------------------------------------
 
-    def intersection_join(self, target_name: str, source_name: str) -> JoinResult:
+    def intersection_join(self, target_name: str, source_name: str) -> QueryResult:
         """For every target object, the source objects intersecting it."""
-        target, source = self._get(target_name), self._get(source_name)
-        lods = self._lod_schedule(target, source)
-        stats = self._new_stats(
-            "intersection_join", (target.provider, source.provider)
+        return self.execute(
+            QuerySpec(kind="intersection", source=source_name, target=target_name)
         )
-        ctx = self._refine_context(target, source, stats, lods)
-        started = time.perf_counter()
-
-        pairs: dict[int, list[int]] = {}
-        degraded_targets: set[int] = set()
-        root = self._root_span(stats, target_name, source_name)
-        with root:
-            for batch in target.dataset.cuboid_batches():
-                for tid in batch:
-                    stats.targets += 1
-                    box = target.dataset.objects[tid].aabb
-                    with self._phase(stats, "filter"):
-                        payloads = source.rtree.query_intersecting(box)
-                        candidates = self._merge_payloads(payloads)
-                    stats.candidates += len(candidates)
-                    ctx.touched_degraded = False
-                    with self._phase(stats, "compute", target=tid):
-                        matches = refine_intersection(ctx, tid, candidates)
-                    if ctx.touched_degraded:
-                        degraded_targets.add(tid)
-                    if matches:
-                        pairs[tid] = sorted(matches)
-                        stats.results += len(matches)
-        self._finish_stats(stats, started, (target.provider, source.provider), root)
-        return JoinResult(pairs, stats, degraded_targets)
 
     def within_join(
         self, target_name: str, source_name: str, distance: float
-    ) -> JoinResult:
+    ) -> QueryResult:
         """For every target object, the source objects within ``distance``."""
         if distance < 0:
             raise EngineConfigError("distance must be >= 0")
-        target, source = self._get(target_name), self._get(source_name)
-        lods = self._lod_schedule(target, source)
-        stats = self._new_stats("within_join", (target.provider, source.provider))
-        ctx = self._refine_context(target, source, stats, lods)
-        started = time.perf_counter()
+        return self.execute(
+            QuerySpec(
+                kind="within", source=source_name, target=target_name,
+                distance=distance,
+            )
+        )
 
-        pairs: dict[int, list[int]] = {}
-        degraded_targets: set[int] = set()
-        root = self._root_span(stats, target_name, source_name)
-        with root:
-            for batch in target.dataset.cuboid_batches():
-                for tid in batch:
-                    stats.targets += 1
-                    box = target.dataset.objects[tid].aabb
-                    with self._phase(stats, "filter"):
-                        found = source.rtree.query_within(box, distance)
-                        definite = self._merge_payloads(found.definite)
-                        candidates = self._merge_payloads(
-                            p for p in found.candidates if p[0] not in definite
-                        )
-                    stats.candidates += len(candidates)
-                    ctx.touched_degraded = False
-                    with self._phase(stats, "compute", target=tid):
-                        matches = set(definite) | set(
-                            refine_within(ctx, tid, candidates, distance)
-                        )
-                    if ctx.touched_degraded:
-                        degraded_targets.add(tid)
-                    if matches:
-                        pairs[tid] = sorted(matches)
-                        stats.results += len(matches)
-        self._finish_stats(stats, started, (target.provider, source.provider), root)
-        return JoinResult(pairs, stats, degraded_targets)
-
-    def nn_join(self, target_name: str, source_name: str) -> JoinResult:
+    def nn_join(self, target_name: str, source_name: str) -> QueryResult:
         """All-nearest-neighbor join (ANN): the closest source per target."""
         return self.knn_join(target_name, source_name, k=1)
 
-    def knn_join(self, target_name: str, source_name: str, k: int = 1) -> JoinResult:
+    def knn_join(self, target_name: str, source_name: str, k: int = 1) -> QueryResult:
         """The ``k`` nearest source objects per target object."""
         if k < 1:
             raise EngineConfigError("k must be >= 1")
-        target, source = self._get(target_name), self._get(source_name)
-        lods = self._lod_schedule(target, source)
-        stats = self._new_stats(
-            "nn_join" if k == 1 else f"knn_join(k={k})",
-            (target.provider, source.provider),
+        return self.execute(
+            QuerySpec(kind="knn", source=source_name, target=target_name, k=k)
         )
-        ctx = self._refine_context(target, source, stats, lods)
-        started = time.perf_counter()
-
-        pairs: dict[int, list[tuple[int, float, bool]]] = {}
-        degraded_targets: set[int] = set()
-        root = self._root_span(stats, target_name, source_name)
-        with root:
-            for batch in target.dataset.cuboid_batches():
-                for tid in batch:
-                    stats.targets += 1
-                    box = target.dataset.objects[tid].aabb
-                    with self._phase(stats, "filter"):
-                        # For k = 1 the part-level bound is already the
-                        # object-level bound: an object whose every part has
-                        # MINDIST above the smallest part MAXDIST is farther
-                        # than the nearest object, and the part realizing an
-                        # object's distance always survives. For k > 1, k
-                        # objects may own up to k * partition_parts of the
-                        # smallest part ranges, so keep that many.
-                        k_entries = k if k == 1 else k * (
-                            self.config.partition_parts if source.partitions else 1
-                        )
-                        raw = source.rtree.query_nn_candidates(box, k=k_entries)
-                        candidates = self._merge_nn_payloads(raw)
-                    stats.candidates += len(candidates)
-                    ctx.touched_degraded = False
-                    with self._phase(stats, "compute", target=tid):
-                        nearest = refine_nn(ctx, tid, candidates, k=k)
-                    if ctx.touched_degraded:
-                        degraded_targets.add(tid)
-                    if nearest:
-                        pairs[tid] = [(c.sid, c.maxdist, c.exact) for c in nearest]
-                        stats.results += len(nearest)
-        self._finish_stats(stats, started, (target.provider, source.provider), root)
-        return JoinResult(pairs, stats, degraded_targets)
-
-    @staticmethod
-    def _merge_nn_payloads(raw) -> list[NNCandidate]:
-        """Collapse per-part NN candidates into per-object distance ranges."""
-        merged: dict[int, NNCandidate] = {}
-        for (obj_id, part), mind, maxd in raw:
-            cand = merged.get(obj_id)
-            if cand is None:
-                parts = None if part is None else {part}
-                merged[obj_id] = NNCandidate(obj_id, mind, maxd, parts)
-                continue
-            cand.mindist = min(cand.mindist, mind)
-            cand.maxdist = min(cand.maxdist, maxd)
-            if cand.parts is not None and part is not None:
-                cand.parts.add(part)
-            else:
-                cand.parts = None if part is None else cand.parts
-        return list(merged.values())
 
     # -- single-object queries ---------------------------------------------------
 
     def intersection_query(self, source_name: str, probe: Polyhedron) -> list[int]:
-        """Source objects intersecting an ad-hoc probe polyhedron."""
-        return self._probe_join(source_name, probe, "intersection")
+        """Deprecated: use ``execute(QuerySpec(kind="intersection", probe=...))``."""
+        self._warn_bare_form("intersection_query")
+        return self.execute(
+            QuerySpec(kind="intersection", source=source_name, probe=probe)
+        ).matches
 
     def within_query(
         self, source_name: str, probe: Polyhedron, distance: float
     ) -> list[int]:
-        """Source objects within ``distance`` of a probe polyhedron."""
-        return self._probe_join(source_name, probe, "within", distance=distance)
+        """Deprecated: use ``execute(QuerySpec(kind="within", probe=...))``."""
+        self._warn_bare_form("within_query")
+        return self.execute(
+            QuerySpec(
+                kind="within", source=source_name, probe=probe, distance=distance
+            )
+        ).matches
 
     def nn_query(self, source_name: str, probe: Polyhedron) -> tuple[int, float, bool] | None:
-        """The nearest source object to a probe polyhedron."""
-        matches = self._probe_join(source_name, probe, "nn")
+        """Deprecated: use ``execute(QuerySpec(kind="nn", probe=...))``."""
+        self._warn_bare_form("nn_query")
+        matches = self.execute(
+            QuerySpec(kind="nn", source=source_name, probe=probe)
+        ).matches
         return matches[0] if matches else None
+
+    @staticmethod
+    def _warn_bare_form(method: str) -> None:
+        warnings.warn(
+            f"ThreeDPro.{method} returns a bare result and drops QueryStats; "
+            f"use engine.execute(QuerySpec(...)) which returns a QueryResult. "
+            f"The bare form will be removed in the next release.",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     def containment_query(self, source_name: str, point) -> tuple[list[int], QueryStats]:
         """Source objects containing ``point``, with progressive early accept.
@@ -467,88 +292,7 @@ class ThreeDPro:
         can often be confirmed without decoding further. Only the top LOD
         can *exclude* a candidate.
         """
-        from repro.geometry.raycast import point_in_polyhedron
-
-        source = self._get(source_name)
-        stats = self._new_stats("containment_query", (source.provider,))
-        started = time.perf_counter()
-        point = tuple(float(v) for v in point)
-        probe = AABB(point, point)
-
-        root = self._root_span(stats, "<point>", source_name)
-        root.__enter__()
-        try:
-            with self._phase(stats, "filter"):
-                payloads = source.rtree.query_intersecting(probe)
-                candidates = sorted({obj_id for obj_id, _part in payloads})
-            stats.candidates = len(candidates)
-
-            degraded_seen: set[int] = set()
-
-            def note_degraded(sid: int) -> None:
-                if sid not in degraded_seen:
-                    degraded_seen.add(sid)
-                    stats.degraded_objects += 1
-                budget = self.config.max_decode_failures
-                if budget is not None and len(degraded_seen) > budget:
-                    raise ErrorBudgetExceededError(
-                        budget, len(degraded_seen), query=stats.query
-                    )
-
-            top = max((source.provider.max_lod(sid) for sid in candidates), default=0)
-            lods = (top,) if self.config.paradigm == "fr" else tuple(range(top + 1))
-            matches: list[int] = []
-            with self._phase(stats, "compute"):
-                survivors = list(candidates)
-                for lod in lods:
-                    if not survivors:
-                        break
-                    with self.tracer.span(
-                        "refine", query="containment", lod=lod,
-                        survivors=len(survivors),
-                    ):
-                        stats.pairs_evaluated_by_lod[lod] += len(survivors)
-                        remaining = []
-                        for sid in survivors:
-                            try:
-                                dec = source.provider.get(
-                                    sid, min(lod, source.provider.max_lod(sid))
-                                )
-                            except DecodeFailureError:
-                                # MBB containment proves nothing about the mesh:
-                                # drop the candidate (subset-correct).
-                                note_degraded(sid)
-                                continue
-                            if dec.degraded:
-                                note_degraded(sid)
-                            if point_in_polyhedron(point, dec.triangles):
-                                matches.append(sid)  # inside a subset => inside
-                            elif lod < top:
-                                remaining.append(sid)
-                        stats.pairs_pruned_by_lod[lod] += len(survivors) - len(remaining)
-                        survivors = remaining
-        finally:
-            root.__exit__(None, None, None)
-        stats.results = len(matches)
-        self._finish_stats(stats, started, (source.provider,), root)
-        return sorted(matches), stats
-
-    def _probe_join(self, source_name, probe, kind, distance=None):
-        # Unique per-probe name AND a cache purge on the way out: the
-        # decode cache is keyed by (dataset, object, LOD), so a reused
-        # probe name would serve a previous probe's decoded geometry.
-        self._probe_seq += 1
-        name = f"__probe__{self._probe_seq}"
-        probe_dataset = Dataset.from_polyhedra(name, [probe])
-        self.load_dataset(probe_dataset)
-        try:
-            if kind == "intersection":
-                result = self.intersection_join(name, source_name)
-            elif kind == "within":
-                result = self.within_join(name, source_name, distance)
-            else:
-                result = self.nn_join(name, source_name)
-            return result.pairs.get(0, [])
-        finally:
-            del self._datasets[name]
-            self.cache.purge_dataset(name)
+        result = self.execute(
+            QuerySpec(kind="containment", source=source_name, point=point)
+        )
+        return result.matches, result.stats

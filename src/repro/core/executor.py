@@ -1,0 +1,238 @@
+"""The shared query executor: one driver for every query kind.
+
+:class:`QueryExecutor` runs a compiled :class:`~repro.core.plan.QueryPlan`
+through the single per-target pipeline the paper's Fig. 8 describes —
+filter (global index) → progressive refine → accumulate — with the
+per-kind differences delegated to the plan's strategy. It owns the
+cross-cutting machinery the five old drivers each re-implemented: phase
+timing (`TimedPhase` keeps `QueryStats` and the span tree in lockstep),
+per-query stats snapshots/attribution, degraded-target tracking, the
+root query span, and the query metrics.
+
+Inter-target parallelism (`EngineConfig.query_workers`): targets are
+split into contiguous chunks of the cuboid-ordered target list (so each
+worker keeps the decode-cache locality the serial loop has) and fanned
+across a :class:`~repro.parallel.tasks.TaskScheduler` worker pool —
+inheriting its retry/backoff/serial-fallback semantics, with
+:class:`~repro.core.errors.ErrorBudgetExceededError` marked fatal so the
+error budget aborts the query exactly as it does serially. Each worker
+accumulates into its own ``QueryStats`` and opens its spans under the
+adopted root span; worker results are merged **in chunk order**, so
+``pairs``, ``degraded_targets``, and every merged counter are identical
+to the serial run (the refinement layer keeps per-decode outcomes
+order-independent; see ``batch_min_distances`` and the provider's
+LOD-aware fail-fast).
+
+Merge semantics worth knowing: summed phase seconds are *busy* time
+across workers — under parallel execution ``compute_seconds`` can exceed
+``total_seconds`` (which stays the root span's wall clock).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+
+from repro.core.errors import ErrorBudgetExceededError
+from repro.core.plan import QueryPlan, QueryResult
+from repro.core.refine import RefineContext
+from repro.core.stats import QueryStats
+from repro.obs.logs import get_logger, log_event
+from repro.obs.trace import TimedPhase
+from repro.parallel.tasks import TaskScheduler
+
+__all__ = ["QueryExecutor"]
+
+_LOG = get_logger("executor")
+
+#: Chunks per worker: small enough to amortize per-chunk overhead,
+#: large enough that a straggler chunk cannot idle the rest of the pool.
+_CHUNKS_PER_WORKER = 4
+
+
+class QueryExecutor:
+    """Runs query plans; the only query driver in the engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.config = engine.config
+        self.metrics = engine.metrics
+        self._m_queries = self.metrics.counter(
+            "repro_queries_total", "Queries executed, labeled by join kind"
+        )
+        self._m_query_seconds = self.metrics.histogram(
+            "repro_query_seconds", "End-to-end query wall time"
+        )
+        self._m_degraded = self.metrics.counter(
+            "repro_degraded_objects_total",
+            "Distinct objects served below requested fidelity, per query",
+        )
+
+    @property
+    def tracer(self):
+        return self.engine.tracer
+
+    @property
+    def cache(self):
+        return self.engine.cache
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, plan: QueryPlan) -> QueryResult:
+        providers = plan.providers
+        stats = self._new_stats(plan.label, providers)
+        started = time.perf_counter()
+        tids = plan.strategy.target_ids(plan)
+        workers = min(self.engine.query_workers, max(1, len(tids)))
+
+        pairs: dict = {}
+        degraded_targets: set = set()
+        root = self.tracer.span(
+            "query",
+            query=stats.query,
+            config=self.config.label,
+            target=plan.span_target,
+            source=plan.source.name,
+        )
+        if workers == 1:
+            ctx = self._context(plan, stats)
+            with root:
+                for tid in tids:
+                    self._run_target(plan, ctx, stats, tid, pairs, degraded_targets)
+        else:
+            with root:
+                outcomes = self._run_parallel(plan, stats, tids, workers, root)
+            # Merge in chunk order: chunks are contiguous slices of the
+            # cuboid-ordered target list, so insertion order — and with
+            # it the result, byte for byte — matches the serial loop.
+            for chunk_pairs, chunk_degraded, chunk_stats in outcomes:
+                pairs.update(chunk_pairs)
+                degraded_targets |= chunk_degraded
+                stats.merge(chunk_stats)
+        self._finish_stats(stats, started, providers, root)
+        return QueryResult(pairs, stats, degraded_targets, plan.spec)
+
+    def _run_target(self, plan, ctx, stats, tid, pairs, degraded_targets) -> None:
+        """One target through filter → refine → accumulate."""
+        strategy = plan.strategy
+        if strategy.counts_targets:
+            stats.targets += 1
+        with TimedPhase(self.tracer, stats, "filter"):
+            candidates = strategy.filter(plan, tid)
+        stats.candidates += strategy.candidate_count(candidates)
+        ctx.touched_degraded = False
+        with TimedPhase(self.tracer, stats, "compute", **strategy.compute_attrs(tid)):
+            value, count = strategy.refine(plan, ctx, tid, candidates)
+        if ctx.touched_degraded:
+            degraded_targets.add(tid)
+        if value is not None:
+            pairs[tid] = value
+            stats.results += count
+
+    def _run_parallel(self, plan, stats, tids, workers, root) -> list:
+        chunk_size = -(-len(tids) // (workers * _CHUNKS_PER_WORKER))
+        chunks = [tids[i : i + chunk_size] for i in range(0, len(tids), chunk_size)]
+        # One degraded-key set across all workers (guarded): the distinct
+        # degraded-object count and the error budget are per *query*, not
+        # per worker, and must not depend on chunk boundaries.
+        degraded_keys: set = set()
+        degraded_lock = threading.Lock()
+
+        def run_chunk(chunk):
+            chunk_stats = QueryStats(query=stats.query, config_label=stats.config_label)
+            ctx = self._context(
+                plan, chunk_stats, degraded_keys=degraded_keys, lock=degraded_lock
+            )
+            chunk_pairs: dict = {}
+            chunk_degraded: set = set()
+            with self.tracer.adopt(root):
+                with self.tracer.span("worker", targets=len(chunk)):
+                    for tid in chunk:
+                        self._run_target(
+                            plan, ctx, chunk_stats, tid, chunk_pairs, chunk_degraded
+                        )
+            return chunk_pairs, chunk_degraded, chunk_stats
+
+        # A dedicated scheduler per query: it reuses the face-pair
+        # scheduler's retry/backoff/serial-fallback semantics but not its
+        # fault injector — injected task faults would re-run whole target
+        # chunks, double-counting their stats. The error budget stays
+        # fatal so it aborts the query exactly as in the serial path.
+        scheduler = TaskScheduler(
+            workers=workers,
+            max_retries=self.config.task_retries,
+            backoff_seconds=self.config.task_backoff_seconds,
+            metrics=self.metrics,
+            fatal_types=(ErrorBudgetExceededError,),
+        )
+        log_event(
+            _LOG, "parallel_query", query=stats.query,
+            workers=workers, chunks=len(chunks), targets=len(tids),
+        )
+        return scheduler.map(run_chunk, chunks)
+
+    # -- shared machinery (moved verbatim from the old per-kind drivers) --------
+
+    def _context(self, plan, stats, degraded_keys=None, lock=None) -> RefineContext:
+        ctx = RefineContext(
+            computer=self.engine.computer,
+            stats=stats,
+            target_provider=plan.target.provider,
+            source_provider=plan.source.provider,
+            target_partitions=plan.target.partitions,
+            source_partitions=plan.source.partitions,
+            lods=plan.lods,
+            use_tree=self.config.accel.aabbtree,
+            exact_nn_distances=self.config.exact_nn_distances,
+            max_decode_failures=self.config.max_decode_failures,
+            tracer=self.tracer,
+        )
+        if degraded_keys is not None:
+            ctx.degraded_keys = degraded_keys
+            ctx.lock = lock
+        return ctx
+
+    def _new_stats(self, query: str, providers=()) -> QueryStats:
+        stats = QueryStats(query=query, config_label=self.config.label)
+        stats.cache_hits = -self.cache.hits
+        stats.cache_misses = -self.cache.misses
+        stats.decode_seconds_base = sum(p.decode_seconds for p in providers)
+        stats.decode_failures_base = sum(p.decode_failures for p in providers)
+        return stats
+
+    def _finish_stats(self, stats: QueryStats, started: float, providers, root=None) -> None:
+        # When tracing, the root span's wall clock IS total_seconds — the
+        # stats summary is populated from the trace, never in parallel.
+        wall = getattr(root, "wall_seconds", None) if root is not None else None
+        stats.total_seconds = (
+            wall if wall is not None else time.perf_counter() - started
+        )
+        stats.cache_hits += self.cache.hits
+        stats.cache_misses += self.cache.misses
+        decode = sum(p.decode_seconds for p in providers) - stats.decode_seconds_base
+        stats.decode_seconds = decode
+        stats.compute_seconds = max(0.0, stats.compute_seconds - decode)
+        stats.decoded_vertices = sum(p.decoded_vertices for p in providers)
+        stats.decode_failures = (
+            sum(p.decode_failures for p in providers) - stats.decode_failures_base
+        )
+        if root is not None and root.enabled:
+            root.set(
+                targets=stats.targets,
+                candidates=stats.candidates,
+                results=stats.results,
+                face_pairs=stats.face_pairs_total,
+                degraded_objects=stats.degraded_objects,
+                decode_failures=stats.decode_failures,
+            )
+        self._m_queries.inc(query=stats.query)
+        self._m_query_seconds.observe(stats.total_seconds)
+        if stats.degraded_objects:
+            self._m_degraded.inc(stats.degraded_objects)
+            log_event(
+                _LOG, "degraded_query", level=logging.WARNING,
+                query=stats.query, config=stats.config_label,
+                degraded_objects=stats.degraded_objects,
+                decode_failures=stats.decode_failures,
+            )

@@ -1,0 +1,350 @@
+"""Declarative query specs, compiled plans, and the unified result type.
+
+The query layer is split the way a database splits it:
+
+* :class:`QuerySpec` — *what* to compute: the query kind plus its
+  parameters (target/source datasets, distance threshold, ``k``, probe
+  mesh, containment point). Pure data, validated once.
+* :class:`QueryPlan` — the spec bound to engine state: resolved
+  datasets, the LOD schedule, the per-kind :class:`KindStrategy`, and
+  the stats/span labels. Compiled by :meth:`ThreeDPro.execute`.
+* :class:`QueryResult` — *every* kind's answer in one shape: per-target
+  ``pairs``, a :class:`~repro.core.stats.QueryStats`, and the set of
+  targets whose answers leaned on degraded geometry.
+
+A :class:`KindStrategy` contributes only what genuinely differs per
+query kind — which targets to iterate, how to filter one target's
+candidates, and which refinement algorithm settles them. Everything
+else (phase timing, stats, degraded tracking, fan-out across workers)
+lives once in :class:`~repro.core.executor.QueryExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import EngineConfigError
+from repro.core.refine import (
+    NNCandidate,
+    refine_containment,
+    refine_intersection,
+    refine_nn,
+    refine_within,
+)
+from repro.core.stats import QueryStats
+from repro.geometry.aabb import AABB
+
+__all__ = [
+    "QuerySpec",
+    "QueryPlan",
+    "QueryResult",
+    "KindStrategy",
+    "QUERY_KINDS",
+]
+
+QUERY_KINDS = ("intersection", "within", "nn", "knn", "containment")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One declarative query: kind plus parameters.
+
+    ``kind`` is one of :data:`QUERY_KINDS`. Join kinds name a loaded
+    ``target`` dataset *or* carry an ad-hoc ``probe`` polyhedron (the
+    single-object query forms); ``containment`` takes a ``point``.
+    ``distance`` applies to ``within``; ``k`` to ``knn`` (``nn`` is
+    ``knn`` with ``k=1``).
+    """
+
+    kind: str
+    source: str
+    target: str | None = None
+    probe: object = None  # Polyhedron, for ad-hoc single-object queries
+    distance: float | None = None
+    k: int | None = None
+    point: tuple | None = None
+
+    def normalized(self) -> "QuerySpec":
+        """Validate and canonicalize (``nn`` becomes ``knn`` with k=1)."""
+        if self.kind not in QUERY_KINDS:
+            raise EngineConfigError(
+                f"unknown query kind {self.kind!r} (one of {QUERY_KINDS})"
+            )
+        spec = self
+        if spec.kind == "nn":
+            if spec.k not in (None, 1):
+                raise EngineConfigError("nn queries take no k (use kind='knn')")
+            spec = replace(spec, kind="knn", k=1)
+        if spec.kind == "knn":
+            k = 1 if spec.k is None else spec.k
+            if k < 1:
+                raise EngineConfigError("k must be >= 1")
+            spec = replace(spec, k=k)
+        elif spec.k is not None:
+            raise EngineConfigError(f"k does not apply to {spec.kind!r} queries")
+        if spec.kind == "within":
+            if spec.distance is None:
+                raise EngineConfigError("within queries require a distance")
+            if spec.distance < 0:
+                raise EngineConfigError("distance must be >= 0")
+        elif spec.distance is not None:
+            raise EngineConfigError(f"distance does not apply to {spec.kind!r} queries")
+        if spec.kind == "containment":
+            if spec.point is None:
+                raise EngineConfigError("containment queries require a point")
+            if spec.target is not None or spec.probe is not None:
+                raise EngineConfigError(
+                    "containment queries take a point, not a target/probe"
+                )
+            spec = replace(spec, point=tuple(float(v) for v in spec.point))
+        else:
+            if spec.point is not None:
+                raise EngineConfigError(f"point does not apply to {spec.kind!r} queries")
+            if (spec.target is None) == (spec.probe is None):
+                raise EngineConfigError(
+                    f"{spec.kind!r} queries take exactly one of target / probe"
+                )
+        return spec
+
+    @property
+    def label(self) -> str:
+        """The stats label (``QueryStats.query``) for this spec."""
+        if self.kind == "containment":
+            return "containment_query"
+        if self.kind == "knn":
+            k = 1 if self.k is None else self.k
+            return "nn_join" if k == 1 else f"knn_join(k={k})"
+        return f"{self.kind}_join"
+
+
+@dataclass
+class QueryResult:
+    """Any query's output: per-target matches plus execution statistics.
+
+    ``pairs`` maps each target object id to its matches — a sorted list
+    of source ids for intersection/within/containment, or a list of
+    ``(source_id, distance, exact)`` triples for NN/kNN (when the FPR
+    paradigm settles a nearest neighbor early, ``distance`` is the best
+    known upper bound and ``exact`` is False). Single-target queries
+    (probe and containment forms) key their one answer under target 0 —
+    use :attr:`matches`.
+
+    ``degraded_targets`` holds the target ids whose answers leaned on
+    degraded geometry (a decode fell back to a lower LOD, a salvaged
+    object, or MBB-only evaluation): those answers are guaranteed
+    correct *subsets* of the clean answer rather than exact matches.
+    """
+
+    pairs: dict
+    stats: QueryStats
+    degraded_targets: set = field(default_factory=set)
+    spec: QuerySpec | None = None
+
+    @property
+    def total_matches(self) -> int:
+        return sum(len(v) for v in self.pairs.values())
+
+    @property
+    def degraded_objects(self) -> int:
+        """Distinct objects served below requested fidelity (from stats)."""
+        return self.stats.degraded_objects
+
+    @property
+    def matches(self) -> list:
+        """The single target's matches (probe / containment queries)."""
+        return self.pairs.get(0, [])
+
+    def __iter__(self):
+        """Legacy ``(pairs, stats)`` unpacking — kept one release."""
+        yield self.pairs
+        yield self.stats
+
+
+@dataclass
+class QueryPlan:
+    """A spec bound to engine state, ready for the executor.
+
+    ``target`` / ``source`` are the engine's loaded-dataset records
+    (``target`` is the source dataset for containment, whose "target"
+    is the query point). ``lods`` is the join-wide LOD schedule (empty
+    for containment, which derives its ladder from the candidates).
+    """
+
+    spec: QuerySpec
+    strategy: "KindStrategy"
+    target: object
+    source: object
+    lods: tuple[int, ...]
+    config: object  # EngineConfig
+    span_target: str
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    @property
+    def providers(self) -> tuple:
+        if self.spec.kind == "containment":
+            return (self.source.provider,)
+        return (self.target.provider, self.source.provider)
+
+
+# -- candidate-merging helpers (shared by the filter strategies) ---------------
+
+
+def merge_payloads(payloads) -> dict:
+    """Collapse (obj, part) payloads into obj -> candidate part set."""
+    merged: dict[int, object] = {}
+    for obj_id, part in payloads:
+        if part is None:
+            merged[obj_id] = None
+        else:
+            existing = merged.get(obj_id, set())
+            if existing is not None:
+                existing = set(existing)
+                existing.add(part)
+                merged[obj_id] = existing
+    return merged
+
+
+def merge_nn_payloads(raw) -> list[NNCandidate]:
+    """Collapse per-part NN candidates into per-object distance ranges."""
+    merged: dict[int, NNCandidate] = {}
+    for (obj_id, part), mind, maxd in raw:
+        cand = merged.get(obj_id)
+        if cand is None:
+            parts = None if part is None else {part}
+            merged[obj_id] = NNCandidate(obj_id, mind, maxd, parts)
+            continue
+        cand.mindist = min(cand.mindist, mind)
+        cand.maxdist = min(cand.maxdist, maxd)
+        if cand.parts is not None and part is not None:
+            cand.parts.add(part)
+        else:
+            cand.parts = None if part is None else cand.parts
+    return list(merged.values())
+
+
+# -- per-kind strategies -------------------------------------------------------
+
+
+class KindStrategy:
+    """What differs per query kind inside the shared per-target pipeline."""
+
+    #: whether each pipeline iteration counts into ``stats.targets``
+    #: (containment's single pseudo-target historically does not).
+    counts_targets = True
+
+    def target_ids(self, plan: QueryPlan) -> list[int]:
+        """Targets in execution order (cuboid order, for cache locality)."""
+        return [
+            tid
+            for batch in plan.target.dataset.cuboid_batches()
+            for tid in batch
+        ]
+
+    def compute_attrs(self, tid: int) -> dict:
+        return {"target": tid}
+
+    def filter(self, plan: QueryPlan, tid: int):
+        """Index-filtered candidates for one target (opaque per kind)."""
+        raise NotImplementedError
+
+    def candidate_count(self, candidates) -> int:
+        return len(candidates)
+
+    def refine(self, plan: QueryPlan, ctx, tid: int, candidates):
+        """Settle one target; returns ``(pairs_value | None, n_results)``."""
+        raise NotImplementedError
+
+
+class IntersectionStrategy(KindStrategy):
+    def filter(self, plan, tid):
+        box = plan.target.dataset.objects[tid].aabb
+        return merge_payloads(plan.source.rtree.query_intersecting(box))
+
+    def refine(self, plan, ctx, tid, candidates):
+        matches = refine_intersection(ctx, tid, candidates)
+        if not matches:
+            return None, 0
+        return sorted(matches), len(matches)
+
+
+class WithinStrategy(KindStrategy):
+    def filter(self, plan, tid):
+        box = plan.target.dataset.objects[tid].aabb
+        found = plan.source.rtree.query_within(box, plan.spec.distance)
+        definite = merge_payloads(found.definite)
+        candidates = merge_payloads(
+            p for p in found.candidates if p[0] not in definite
+        )
+        return definite, candidates
+
+    def candidate_count(self, candidates) -> int:
+        _definite, open_candidates = candidates
+        return len(open_candidates)
+
+    def refine(self, plan, ctx, tid, candidates):
+        definite, open_candidates = candidates
+        matches = set(definite) | set(
+            refine_within(ctx, tid, open_candidates, plan.spec.distance)
+        )
+        if not matches:
+            return None, 0
+        return sorted(matches), len(matches)
+
+
+class KnnStrategy(KindStrategy):
+    def filter(self, plan, tid):
+        k = plan.spec.k
+        box = plan.target.dataset.objects[tid].aabb
+        # For k = 1 the part-level bound is already the object-level
+        # bound: an object whose every part has MINDIST above the
+        # smallest part MAXDIST is farther than the nearest object, and
+        # the part realizing an object's distance always survives. For
+        # k > 1, k objects may own up to k * partition_parts of the
+        # smallest part ranges, so keep that many.
+        k_entries = k if k == 1 else k * (
+            plan.config.partition_parts if plan.source.partitions else 1
+        )
+        raw = plan.source.rtree.query_nn_candidates(box, k=k_entries)
+        return merge_nn_payloads(raw)
+
+    def refine(self, plan, ctx, tid, candidates):
+        nearest = refine_nn(ctx, tid, candidates, k=plan.spec.k)
+        if not nearest:
+            return None, 0
+        return [(c.sid, c.maxdist, c.exact) for c in nearest], len(nearest)
+
+
+class ContainmentStrategy(KindStrategy):
+    counts_targets = False
+
+    def target_ids(self, plan):
+        return [0]  # the query point is the single pseudo-target
+
+    def compute_attrs(self, tid):
+        return {}
+
+    def filter(self, plan, tid):
+        point = plan.spec.point
+        probe = AABB(point, point)
+        payloads = plan.source.rtree.query_intersecting(probe)
+        return sorted({obj_id for obj_id, _part in payloads})
+
+    def refine(self, plan, ctx, tid, candidates):
+        provider = plan.source.provider
+        top = max((provider.max_lod(sid) for sid in candidates), default=0)
+        lods = (
+            (top,) if plan.config.paradigm == "fr" else tuple(range(top + 1))
+        )
+        matches = refine_containment(ctx, plan.spec.point, candidates, lods)
+        return sorted(matches), len(matches)
+
+
+STRATEGIES = {
+    "intersection": IntersectionStrategy(),
+    "within": WithinStrategy(),
+    "knn": KnnStrategy(),
+    "containment": ContainmentStrategy(),
+}

@@ -47,7 +47,14 @@ from repro.geometry.raycast import point_in_polyhedron
 from repro.obs.trace import DISABLED_TRACER
 from repro.parallel.executor import Device
 
-__all__ = ["RefineContext", "NNCandidate", "refine_intersection", "refine_within", "refine_nn"]
+__all__ = [
+    "RefineContext",
+    "NNCandidate",
+    "refine_intersection",
+    "refine_within",
+    "refine_nn",
+    "refine_containment",
+]
 
 _ALL_PARTS = None  # candidate part sentinel: evaluate every face
 _NO_TRIANGLES = np.zeros((0, 3, 3))  # stand-in job for undecodable sources
@@ -82,9 +89,13 @@ class RefineContext:
     tracer: object = DISABLED_TRACER
     # Degraded-mode bookkeeping: distinct degraded (side, id) keys seen,
     # the per-target "this answer touched degraded geometry" flag the
-    # engine resets between targets, and the error budget (None = off).
+    # executor resets between targets, and the error budget (None = off).
+    # Under parallel execution every worker context shares one
+    # ``degraded_keys`` set guarded by ``lock``, so the distinct-object
+    # count and the budget stay global and order-independent.
     max_decode_failures: int | None = None
     degraded_keys: set = field(default_factory=set)
+    lock: object = None
     touched_degraded: bool = False
 
     # -- degraded-mode accounting ----------------------------------------------
@@ -97,6 +108,13 @@ class RefineContext:
         """
         self.touched_degraded = True
         key = (side, obj_id)
+        if self.lock is not None:
+            with self.lock:
+                self._note_degraded_key(key)
+        else:
+            self._note_degraded_key(key)
+
+    def _note_degraded_key(self, key) -> None:
         if key not in self.degraded_keys:
             self.degraded_keys.add(key)
             self.stats.degraded_objects += 1
@@ -150,16 +168,6 @@ class RefineContext:
             return self.decode_source(obj_id, lod)
         except DecodeFailureError:
             return None
-
-    def source_inexact(self, sid: int) -> bool:
-        """True when ``sid``'s decodes cannot be trusted as full resolution
-        (salvaged geometry, LOD fallback, or total decode failure)."""
-        provider = self.source_provider
-        return (
-            sid in provider.failed_ids
-            or sid in provider.degraded_ids
-            or sid in provider.salvaged_ids
-        )
 
     # -- face selection (partition acceleration) -------------------------------
 
@@ -226,41 +234,52 @@ class RefineContext:
         lod: int,
         stop_below: float = 0.0,
         target_id: int | None = None,
-    ) -> list[float]:
+    ) -> tuple[list[float], list[bool]]:
         """Distances from the target to many candidates at one LOD.
+
+        Returns ``(distances, inexact)`` — the second list flags, per
+        candidate, whether its distance is only an upper bound: the
+        decode failed outright (the distance is then the MBB-based
+        :meth:`box_upper_bound` — still valid, so threshold confirms
+        stay sound) or was served degraded (LOD fallback or salvaged
+        geometry). The flag depends only on this decode, never on what
+        other targets decoded earlier, which is what keeps NN exactness
+        identical between serial and parallel execution.
 
         On the GPU device, *exhaustive* evaluations (NN: every pair's
         exact distance is needed) are fused into saturating batches;
         early-exit evaluations (within: a threshold settles pairs) run
         per candidate so the exit can actually fire.
-
-        A candidate whose geometry is undecodable contributes its
-        MBB-based :meth:`box_upper_bound` instead — still a valid upper
-        bound on the true distance, so threshold confirms stay sound.
         """
         if self.use_tree or self.computer.device is not Device.GPU or stop_below > 0.0:
-            out = []
+            out: list[float] = []
+            inexact: list[bool] = []
             for sid, parts in survivors:
                 dec_s = self._decode_source_or_none(sid, lod)
                 if dec_s is None:
                     out.append(self.box_upper_bound(target_id, sid))
+                    inexact.append(True)
                     continue
+                inexact.append(bool(dec_s.degraded))
                 out.append(
                     self.pair_min_distance(
                         dec_t, dec_s, sid, parts, lod, stop_below=stop_below
                     )
                 )
-            return out
+            return out, inexact
         jobs = []
+        inexact = []
         fallback: dict[int, float] = {}
         for i, (sid, parts) in enumerate(survivors):
             dec_s = self._decode_source_or_none(sid, lod)
             if dec_s is None:
                 jobs.append((dec_t.triangles, _NO_TRIANGLES))
                 fallback[i] = self.box_upper_bound(target_id, sid)
+                inexact.append(True)
                 continue
             tris_s = self.source_faces(dec_s, sid, parts)
             jobs.append((dec_t.triangles, tris_s))
+            inexact.append(bool(dec_s.degraded))
         kernel_stats: dict = {}
         nonempty = [(i, job) for i, job in enumerate(jobs) if len(job[1])]
         dists = self.computer.pairwise_min_distances(
@@ -270,7 +289,7 @@ class RefineContext:
         out = [fallback.get(i, math.inf) for i in range(len(jobs))]
         for (i, _job), dist in zip(nonempty, dists):
             out[i] = dist
-        return out
+        return out, inexact
 
 
 # -- Algorithm 1: intersection -------------------------------------------------
@@ -378,7 +397,7 @@ def refine_within(
                         results.append(sid)
                 return results
             ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
-            dists = ctx.batch_min_distances(
+            dists, _inexact = ctx.batch_min_distances(
                 dec_t, survivors, lod, stop_below=distance, target_id=target_id
             )
             remaining = []
@@ -437,11 +456,11 @@ def refine_nn(
                 # established; none of them can be called exact.
                 break
             ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
-            dists = ctx.batch_min_distances(
+            dists, inexact = ctx.batch_min_distances(
                 dec_t, [(c.sid, c.parts) for c in survivors], lod, target_id=target_id
             )
-            for cand, dist in zip(survivors, dists):
-                if lod == top_lod and not dec_t.degraded and not ctx.source_inexact(cand.sid):
+            for cand, dist, rough in zip(survivors, dists, inexact):
+                if lod == top_lod and not dec_t.degraded and not rough:
                     # Collapse the range to the exact distance. Do NOT keep a
                     # previously-tightened MAXDIST here: kernel summation
                     # order differs between LODs, so an earlier bound can sit
@@ -467,24 +486,20 @@ def refine_nn(
             survivors = kept
 
     if ctx.exact_nn_distances:
-        # Undecodable candidates can never be made exact; leave their
-        # ranges open rather than pretending.
-        pending = [
-            c
-            for c in survivors
-            if not c.exact and c.sid not in ctx.source_provider.failed_ids
-        ]
+        pending = [c for c in survivors if not c.exact]
         if pending:
             try:
                 dec_t = ctx.decode_target(target_id, top_lod)
             except DecodeFailureError:
                 pending = []
         if pending:
-            dists = ctx.batch_min_distances(
+            dists, inexact = ctx.batch_min_distances(
                 dec_t, [(c.sid, c.parts) for c in pending], top_lod, target_id=target_id
             )
-            for cand, dist in zip(pending, dists):
-                if dec_t.degraded or ctx.source_inexact(cand.sid):
+            for cand, dist, rough in zip(pending, dists, inexact):
+                if dec_t.degraded or rough:
+                    # Undecodable or degraded candidates can never be made
+                    # exact; tighten with the upper bound rather than pretend.
                     cand.maxdist = min(cand.maxdist, float(dist))
                     continue
                 cand.maxdist = cand.mindist = float(dist)
@@ -499,3 +514,44 @@ def _kth_smallest(values, k: int) -> float:
     if not ordered:
         return math.inf
     return ordered[min(k, len(ordered)) - 1]
+
+
+# -- point containment (Section 4.1 remark) --------------------------------------
+
+
+def refine_containment(
+    ctx: RefineContext, point, candidates: list[int], lods: tuple[int, ...]
+) -> list[int]:
+    """Source ids whose mesh contains ``point``, with progressive early accept.
+
+    A point inside a lower-LOD mesh is inside the original (the LOD is a
+    spatial subset), so containment is often confirmed without decoding
+    further; only the top LOD can *exclude* a candidate. An undecodable
+    candidate is dropped — MBB containment proves nothing about the mesh,
+    so the answer stays a correct subset.
+    """
+    matches: list[int] = []
+    if not lods:
+        return matches
+    top = lods[-1]
+    survivors = list(candidates)
+    for lod in lods:
+        if not survivors:
+            break
+        with ctx.tracer.span(
+            "refine", query="containment", lod=lod, survivors=len(survivors)
+        ):
+            ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+            remaining = []
+            for sid in survivors:
+                try:
+                    dec = ctx.decode_source(sid, lod)
+                except DecodeFailureError:
+                    continue
+                if point_in_polyhedron(point, dec.triangles):
+                    matches.append(sid)  # inside a subset => inside
+                elif lod < top:
+                    remaining.append(sid)
+            ctx.stats.pairs_pruned_by_lod[lod] += len(survivors) - len(remaining)
+            survivors = remaining
+    return matches

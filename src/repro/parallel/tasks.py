@@ -62,6 +62,11 @@ class TaskScheduler:
     may synthesize failures/delays per ``(task index, attempt)`` for
     chaos tests. ``retries`` and ``serial_fallbacks`` count what
     actually happened.
+
+    ``fatal_types`` lists exception types that must propagate unwrapped
+    and unretried (e.g. a query's
+    :class:`~repro.core.errors.ErrorBudgetExceededError` — retrying
+    cannot help, and callers match on the type).
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class TaskScheduler:
         backoff_seconds: float = 0.0,
         fault_injector=None,
         metrics: obs_metrics.MetricsRegistry | None = None,
+        fatal_types: tuple = (),
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -82,6 +88,7 @@ class TaskScheduler:
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
         self.fault_injector = fault_injector
+        self.fatal_types = tuple(fatal_types)
         self.retries = 0
         self.serial_fallbacks = 0
         registry = metrics if metrics is not None else obs_metrics.REGISTRY
@@ -118,6 +125,8 @@ class TaskScheduler:
                     self.fault_injector.before_task(index, attempt)
                 return fn(item)
             except Exception as exc:
+                if isinstance(exc, self.fatal_types):
+                    raise
                 last = exc
         raise TaskExecutionError(
             f"task {index} failed after {self.max_retries + 1 - first_attempt} "
@@ -147,6 +156,8 @@ class TaskScheduler:
             if ok:
                 results.append(value)
                 continue
+            if isinstance(value, self.fatal_types):
+                raise value
             self.serial_fallbacks += 1
             self._m_serial_fallbacks.inc()
             log_event(

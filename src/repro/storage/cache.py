@@ -21,6 +21,7 @@ produce even its base mesh raises
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from collections import OrderedDict
 
@@ -123,6 +124,9 @@ class DecodeCache:
         self.capacity_bytes = capacity_bytes
         self.enabled = enabled
         self._entries: OrderedDict[tuple, DecodedLOD] = OrderedDict()
+        # Guards the LRU structure and counters: parallel query workers
+        # share one cache, and OrderedDict reordering is not atomic.
+        self._lock = threading.RLock()
         self.bytes_used = 0
         self.hits = 0
         self.misses = 0
@@ -152,57 +156,65 @@ class DecodeCache:
         self._m_entries.set(len(self._entries))
 
     def get(self, key: tuple) -> DecodedLOD | None:
-        if not self.enabled:
-            self.misses += 1
-            self._m_misses.inc()
-            return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            self._m_misses.inc()
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        self._m_hits.inc()
-        return entry
+        with self._lock:
+            if not self.enabled:
+                self.misses += 1
+                self._m_misses.inc()
+                return None
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self._m_misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._m_hits.inc()
+            return entry
 
     def put(self, key: tuple, value: DecodedLOD) -> None:
-        if not self.enabled:
-            return
-        if key in self._entries:
-            self.bytes_used -= self._entries.pop(key).nbytes
-        self._entries[key] = value
-        self.bytes_used += value.nbytes
-        while self.bytes_used > self.capacity_bytes and len(self._entries) > 1:
-            _old_key, old = self._entries.popitem(last=False)
-            self.bytes_used -= old.nbytes
-            self.evictions += 1
-            self.evicted_bytes += old.nbytes
-            self._m_evictions.inc()
-            self._m_evicted_bytes.inc(old.nbytes)
-        self._sync_gauges()
+        with self._lock:
+            if not self.enabled:
+                return
+            if key in self._entries:
+                self.bytes_used -= self._entries.pop(key).nbytes
+            self._entries[key] = value
+            self.bytes_used += value.nbytes
+            while self.bytes_used > self.capacity_bytes and len(self._entries) > 1:
+                _old_key, old = self._entries.popitem(last=False)
+                self.bytes_used -= old.nbytes
+                self.evictions += 1
+                self.evicted_bytes += old.nbytes
+                self._m_evictions.inc()
+                self._m_evicted_bytes.inc(old.nbytes)
+            self._sync_gauges()
 
-    def purge_dataset(self, name: str) -> int:
+    def evict_dataset(self, name: str) -> int:
         """Drop every entry belonging to dataset ``name``; returns count.
 
         Used when a dataset is unloaded (notably ad-hoc probe datasets)
         so a later dataset reusing the name can never be served another
-        dataset's decoded geometry. Purged entries are *not* counted as
-        evictions, and hit/miss counters are untouched (lifetime
-        semantics, see the class docstring).
+        dataset's decoded geometry. Evicted entries are *not* counted
+        against the byte-budget eviction counters, and hit/miss counters
+        are untouched (lifetime semantics, see the class docstring).
         """
-        stale = [key for key in self._entries if key[0] == name]
-        for key in stale:
-            self.bytes_used -= self._entries.pop(key).nbytes
-        if stale:
-            self._sync_gauges()
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == name]
+            for key in stale:
+                self.bytes_used -= self._entries.pop(key).nbytes
+            if stale:
+                self._sync_gauges()
+            return len(stale)
+
+    def purge_dataset(self, name: str) -> int:
+        """Compatibility alias for :meth:`evict_dataset`."""
+        return self.evict_dataset(name)
 
     def clear(self) -> None:
         """Drop every entry. Counters keep their lifetime values."""
-        self._entries.clear()
-        self.bytes_used = 0
-        self._sync_gauges()
+        with self._lock:
+            self._entries.clear()
+            self.bytes_used = 0
+            self._sync_gauges()
 
     def reset_counters(self) -> None:
         """Zero the lifetime hit/miss/eviction counters (cached entries stay)."""
@@ -251,10 +263,23 @@ class DecodedObjectProvider:
         self.salvaged_ids = frozenset(salvaged_ids)
         self.tracer = tracer
         self._decoders: dict[int, object] = {}
+        # Serializes decodes: progressive decoders are stateful (they
+        # advance round by round), so two query workers decoding the
+        # same dataset must not interleave. Cache hits stay cheap — the
+        # critical section for a hit is one locked dict lookup.
+        self._lock = threading.RLock()
         self.decode_seconds = 0.0
         self.decoded_vertices = 0
         self.degraded_ids: dict[int, int] = {}
         self.failed_ids: dict[int, str] = {}
+        # Highest requested LOD whose whole fallback ladder failed, per
+        # object. Exhaustion at LOD L proves LODs 0..L all fail, so the
+        # fail-fast below is sound for any request <= L — but a request
+        # *above* L must still run its ladder (a higher LOD may decode).
+        # Keying the fail-fast this way makes get() a pure function of
+        # (object, lod) under a deterministic fault injector, so results
+        # cannot depend on which target happened to decode first.
+        self._failed_lod: dict[int, int] = {}
         self.decode_failures = 0
         registry = metrics if metrics is not None else obs_metrics.REGISTRY
         self._m_decode_seconds = registry.histogram(
@@ -297,12 +322,17 @@ class DecodedObjectProvider:
         """Decode ``obj_id`` at ``lod``, degrading to a lower LOD on failure.
 
         Raises :class:`DecodeFailureError` when no LOD decodes at all.
+        Thread-safe: the whole miss path is serialized per provider.
         """
+        with self._lock:
+            return self._get_locked(obj_id, lod)
+
+    def _get_locked(self, obj_id: int, lod: int) -> DecodedLOD:
         key = (self.name, obj_id, lod)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
-        if obj_id in self.failed_ids:
+        if lod <= self._failed_lod.get(obj_id, -1):
             raise DecodeFailureError(self.name, obj_id, self.failed_ids[obj_id])
 
         start = time.perf_counter()
@@ -335,6 +365,7 @@ class DecodedObjectProvider:
                 return decoded
             reason = repr(last_error) if last_error is not None else "unknown"
             self.failed_ids[obj_id] = reason
+            self._failed_lod[obj_id] = max(self._failed_lod.get(obj_id, -1), lod)
             log_event(
                 _LOG, "decode_exhausted", level=logging.ERROR,
                 dataset=self.name, object=obj_id, requested_lod=lod, reason=reason,

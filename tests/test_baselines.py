@@ -3,6 +3,7 @@
 import pytest
 
 from repro.baselines import NaiveEngine, PostGISLikeEngine
+from repro.core import QueryResult
 from repro.mesh import box_mesh, icosphere
 
 
@@ -20,39 +21,39 @@ def spheres():
 class TestNaive:
     def test_intersection(self, spheres):
         targets, sources = spheres
-        assert NaiveEngine(targets, sources).intersection_join() == {0: [0], 1: [2]}
+        assert NaiveEngine(targets, sources).intersection_join().pairs == {0: [0], 1: [2]}
 
     def test_prefilter_does_not_change_answers(self, spheres):
         targets, sources = spheres
         plain = NaiveEngine(targets, sources)
         filtered = NaiveEngine(targets, sources, prefilter=True)
-        assert plain.intersection_join() == filtered.intersection_join()
-        assert plain.within_join(2.0) == filtered.within_join(2.0)
-        assert plain.nn_join() == filtered.nn_join()
-        assert plain.knn_join(2) == filtered.knn_join(2)
+        assert plain.intersection_join().pairs == filtered.intersection_join().pairs
+        assert plain.within_join(2.0).pairs == filtered.within_join(2.0).pairs
+        assert plain.nn_join().pairs == filtered.nn_join().pairs
+        assert plain.knn_join(2).pairs == filtered.knn_join(2).pairs
 
     def test_within(self, spheres):
         targets, sources = spheres
         result = NaiveEngine(targets, sources).within_join(2.1)
-        assert result == {0: [0, 1], 1: [2]}
+        assert result.pairs == {0: [0, 1], 1: [2]}
 
     def test_nn(self, spheres):
         targets, sources = spheres
         result = NaiveEngine(targets, sources).nn_join()
-        assert result[0][0] == 0
-        assert result[1][0] == 2
-        assert result[0][1] == pytest.approx(0.0)
+        assert result.pairs[0][0] == 0
+        assert result.pairs[1][0] == 2
+        assert result.pairs[0][1] == pytest.approx(0.0)
 
     def test_containment_counts_as_intersection(self):
         big = icosphere(2, radius=5.0)
         small = icosphere(1, radius=0.5)
-        assert NaiveEngine([big], [small]).intersection_join() == {0: [0]}
-        assert NaiveEngine([small], [big]).intersection_join() == {0: [0]}
+        assert NaiveEngine([big], [small]).intersection_join().pairs == {0: [0]}
+        assert NaiveEngine([small], [big]).intersection_join().pairs == {0: [0]}
 
     def test_knn_ordering(self, spheres):
         targets, sources = spheres
         result = NaiveEngine(targets, sources).knn_join(3)
-        dists = [d for _sid, d in result[0]]
+        dists = [d for _sid, d in result.pairs[0]]
         assert dists == sorted(dists)
 
 
@@ -60,18 +61,18 @@ class TestPostGISLike:
     def test_matches_naive_intersection(self, spheres):
         targets, sources = spheres
         pairs, stats = PostGISLikeEngine(targets, sources).intersection_join()
-        assert pairs == NaiveEngine(targets, sources).intersection_join()
+        assert pairs == NaiveEngine(targets, sources).intersection_join().pairs
         assert stats.targets == len(targets)
         assert stats.total_seconds > 0
 
     def test_matches_naive_within(self, spheres):
         targets, sources = spheres
         pairs, _stats = PostGISLikeEngine(targets, sources).within_join(2.1)
-        assert pairs == NaiveEngine(targets, sources).within_join(2.1)
+        assert pairs == NaiveEngine(targets, sources).within_join(2.1).pairs
 
     def test_matches_naive_nn_with_buffer(self, spheres):
         targets, sources = spheres
-        truth = NaiveEngine(targets, sources).nn_join()
+        truth = NaiveEngine(targets, sources).nn_join().pairs
         buffer_distance = max(d for _sid, d in truth.values()) + 0.1
         pairs, _stats = PostGISLikeEngine(targets, sources).nn_join(buffer_distance)
         assert {tid: sid for tid, (sid, _d) in pairs.items()} == {
@@ -80,7 +81,7 @@ class TestPostGISLike:
 
     def test_nn_falls_back_to_scan_when_buffer_too_small(self, spheres):
         targets, sources = spheres
-        truth = NaiveEngine(targets, sources).nn_join()
+        truth = NaiveEngine(targets, sources).nn_join().pairs
         pairs, _stats = PostGISLikeEngine(targets, sources).nn_join(0.0)
         # With a zero buffer the probe box may match nothing; the engine
         # must fall back to scanning and still produce correct answers
@@ -94,3 +95,32 @@ class TestPostGISLike:
         ]
         _pairs, stats = PostGISLikeEngine(targets, sources).intersection_join()
         assert stats.candidates < len(sources)
+
+
+class TestResultShapeAlignment:
+    """Both baselines return the engine's QueryResult shape."""
+
+    def test_naive_returns_query_result(self, spheres):
+        targets, sources = spheres
+        result = NaiveEngine(targets, sources).intersection_join()
+        assert isinstance(result, QueryResult)
+        assert result.stats.config_label == "naive"
+        assert result.stats.query == "intersection_join"
+        assert result.stats.targets == len(targets)
+        assert result.stats.results == result.total_matches
+        assert result.stats.total_seconds > 0
+
+    def test_postgis_returns_query_result(self, spheres):
+        targets, sources = spheres
+        result = PostGISLikeEngine(targets, sources).intersection_join()
+        assert isinstance(result, QueryResult)
+        assert result.stats.config_label == "PostGIS-like"
+        # Legacy tuple unpacking keeps working through __iter__.
+        pairs, stats = result
+        assert pairs is result.pairs and stats is result.stats
+
+    def test_knn_labels_match_engine(self, spheres):
+        targets, sources = spheres
+        naive = NaiveEngine(targets, sources)
+        assert naive.knn_join(1).stats.query == "nn_join"
+        assert naive.knn_join(2).stats.query == "knn_join(k=2)"

@@ -33,17 +33,17 @@ CONFIG_IDS = [c.label for c in CONFIGS]
 
 @pytest.fixture(scope="module")
 def truth_int(small_scene):
-    return NaiveEngine(small_scene.nuclei_a, small_scene.nuclei_b, prefilter=True).intersection_join()
+    return NaiveEngine(small_scene.nuclei_a, small_scene.nuclei_b, prefilter=True).intersection_join().pairs
 
 
 @pytest.fixture(scope="module")
 def truth_wn(small_scene):
-    return NaiveEngine(small_scene.nuclei_a, small_scene.nuclei_b, prefilter=True).within_join(WITHIN_DISTANCE)
+    return NaiveEngine(small_scene.nuclei_a, small_scene.nuclei_b, prefilter=True).within_join(WITHIN_DISTANCE).pairs
 
 
 @pytest.fixture(scope="module")
 def truth_nn(small_scene):
-    return NaiveEngine(small_scene.nuclei_a, small_scene.vessels, prefilter=True).nn_join()
+    return NaiveEngine(small_scene.nuclei_a, small_scene.vessels, prefilter=True).nn_join().pairs
 
 
 def build_engine(config, datasets):
@@ -85,7 +85,7 @@ class TestJoinCorrectness:
     def test_knn_matches_truth(self, datasets, small_scene):
         truth = NaiveEngine(
             small_scene.nuclei_a, small_scene.vessels, prefilter=True
-        ).knn_join(2)
+        ).knn_join(2).pairs
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
         result = engine.knn_join("nuclei_a", "vessels", k=2)
         for tid, expected in truth.items():
@@ -100,7 +100,7 @@ class TestJoinCorrectness:
     def test_knn_exact_under_fr_matches_truth_order(self, datasets, small_scene):
         truth = NaiveEngine(
             small_scene.nuclei_a, small_scene.vessels, prefilter=True
-        ).knn_join(2)
+        ).knn_join(2).pairs
         engine = build_engine(EngineConfig(paradigm="fr"), datasets)
         result = engine.knn_join("nuclei_a", "vessels", k=2)
         for tid, expected in truth.items():
@@ -144,7 +144,10 @@ class TestParadigmBehaviour:
         accounted = (
             stats.filter_seconds + stats.decode_seconds + stats.compute_seconds
         )
-        assert accounted <= stats.total_seconds + 1e-6
+        # Phase seconds are summed *busy* time across query workers, so
+        # under parallel execution (e.g. REPRO_QUERY_WORKERS in CI) the
+        # sum may exceed wall time by up to the worker count.
+        assert accounted <= stats.total_seconds * engine.query_workers + 1e-6
 
     def test_cache_hits_accumulate_across_queries(self, datasets):
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
@@ -182,14 +185,14 @@ class TestProbeQueries:
         probe = small_scene.nuclei_a[0]
         hits = engine.intersection_query("nuclei_b", probe)
         truth = NaiveEngine([probe], small_scene.nuclei_b, prefilter=True).intersection_join()
-        assert sorted(hits) == truth.get(0, [])
+        assert sorted(hits) == truth.pairs.get(0, [])
 
     def test_within_query(self, datasets, small_scene):
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
         probe = small_scene.nuclei_a[3]
         hits = engine.within_query("nuclei_b", probe, WITHIN_DISTANCE)
         truth = NaiveEngine([probe], small_scene.nuclei_b, prefilter=True).within_join(WITHIN_DISTANCE)
-        assert sorted(hits) == truth.get(0, [])
+        assert sorted(hits) == truth.pairs.get(0, [])
 
     def test_nn_query(self, datasets, small_scene):
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
@@ -197,7 +200,7 @@ class TestProbeQueries:
         got = engine.nn_query("vessels", probe)
         truth = NaiveEngine([probe], small_scene.vessels, prefilter=True).nn_join()
         assert got is not None
-        assert got[0] == truth[0][0]
+        assert got[0] == truth.pairs[0][0]
 
     def test_probe_dataset_cleaned_up(self, datasets, small_scene):
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)

@@ -121,7 +121,7 @@ class TestExactNNDistances:
 
         truth = NaiveEngine(
             small_scene.nuclei_a, small_scene.vessels, prefilter=True
-        ).nn_join()
+        ).nn_join().pairs
         engine = ThreeDPro(EngineConfig(paradigm="fpr", exact_nn_distances=True))
         for dataset in datasets.values():
             engine.load_dataset(dataset)

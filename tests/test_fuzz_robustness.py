@@ -133,7 +133,7 @@ class TestChaosJoins:
         # surface distances at *any* LOD are valid upper bounds of these.
         truth = NaiveEngine(
             small_scene.nuclei_a, small_scene.nuclei_b, prefilter=True
-        ).nn_join()
+        ).nn_join().pairs
 
         inj = FaultInjector(seed=11, decode_error_rate=0.3)
         chaotic = self._engine(datasets, EngineConfig(fault_injector=inj))
