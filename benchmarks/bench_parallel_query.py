@@ -1,10 +1,19 @@
-"""Inter-target parallel query execution: serial vs ``query_workers=4``.
+"""Inter-target parallel query execution: serial vs 4 workers, by backend.
 
-Fans target objects across TaskScheduler threads at the query level
-(above the face-pair workers). Results are asserted byte-identical to
-the serial run; ``extra_info`` records honest wall times — on a
-single-core box the speedup hovers around 1.0 and the point of the
-benchmark is confirming parallelism costs nothing, not that it wins.
+Fans target objects across the query-level worker pool with both
+backends:
+
+* ``thread`` — TaskScheduler threads above the face-pair workers. The
+  refinement pipeline is pure-Python-bound, so the GIL keeps the honest
+  speedup near 1.0x regardless of core count.
+* ``process`` — worker processes, each with its own engine and decode
+  cache (:mod:`repro.parallel.procpool`). Real multi-core speedups on
+  multi-core hosts; on a single-core box the numbers stay ~1.0x and the
+  point is confirming the fan-out costs little.
+
+Results are asserted byte-identical to the serial run in the same
+invocation; ``extra_info`` records honest wall times and the host's CPU
+count. Select backends with ``--query-backend {thread,process,both}``.
 """
 
 import os
@@ -14,27 +23,41 @@ import pytest
 from repro.bench.runner import make_engine
 
 WORKERS = 4
+BACKENDS = ["thread", "process"]
 
 
-def _run_join(workload, query_workers):
+def _skip_unselected(backend, query_backend_choice):
+    if query_backend_choice != "both" and backend != query_backend_choice:
+        pytest.skip(f"--query-backend={query_backend_choice} deselects {backend}")
+
+
+def _run_join(workload, query_workers, backend="thread"):
     engine = make_engine(
-        "fpr", "G", workload=workload, query_workers=query_workers
+        "fpr", "G", workload=workload,
+        query_workers=query_workers, query_backend=backend,
     )
     return engine.intersection_join("nuclei_a", "nuclei_b")
 
 
-def test_parallel_query_speedup(benchmark, workload):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_parallel_query_speedup(benchmark, workload, backend, query_backend_choice):
+    _skip_unselected(backend, query_backend_choice)
     serial_result = _run_join(workload, query_workers=1)
+    if backend == "process":
+        # Warm the pool: spawn + per-worker engine bootstrap is a
+        # one-time cost the steady state never pays again.
+        _run_join(workload, query_workers=WORKERS, backend=backend)
     result = {}
 
     def run():
-        result["value"] = _run_join(workload, query_workers=WORKERS)
+        result["value"] = _run_join(workload, query_workers=WORKERS, backend=backend)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     parallel_result = result["value"]
 
-    # Parallelism must be invisible in the answer.
+    # Parallelism must be invisible in the answer, whichever backend ran.
     assert list(parallel_result.pairs.items()) == list(serial_result.pairs.items())
+    assert parallel_result.degraded_targets == serial_result.degraded_targets
 
     serial_s = serial_result.stats.total_seconds
     parallel_s = parallel_result.stats.total_seconds
@@ -42,6 +65,7 @@ def test_parallel_query_speedup(benchmark, workload):
     benchmark.extra_info.update(
         {
             "engine": "3dpro-fpr",
+            "backend": backend,
             "query_workers": WORKERS,
             "cpu_count": os.cpu_count(),
             "serial_seconds": serial_s,
@@ -50,30 +74,39 @@ def test_parallel_query_speedup(benchmark, workload):
         }
     )
     print(
-        f"\n[parallel-query] INT-NN serial={serial_s:.3f}s "
+        f"\n[parallel-query] INT-NN backend={backend} serial={serial_s:.3f}s "
         f"workers={WORKERS} parallel={parallel_s:.3f}s "
         f"speedup={speedup:.2f}x (cpus={os.cpu_count()})"
     )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("query_workers", [1, 2, 4])
-def test_parallel_query_scaling(benchmark, workload, query_workers):
+def test_parallel_query_scaling(
+    benchmark, workload, query_workers, backend, query_backend_choice
+):
+    _skip_unselected(backend, query_backend_choice)
+    if backend == "process" and query_workers > 1:
+        _run_join(workload, query_workers=query_workers, backend=backend)
     result = {}
 
     def run():
-        result["value"] = _run_join(workload, query_workers=query_workers)
+        result["value"] = _run_join(
+            workload, query_workers=query_workers, backend=backend
+        )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     stats = result["value"].stats
     benchmark.extra_info.update(
         {
             "engine": "3dpro-fpr",
+            "backend": backend,
             "query_workers": query_workers,
             "cpu_count": os.cpu_count(),
             "seconds": stats.total_seconds,
         }
     )
     print(
-        f"\n[parallel-query] INT-NN workers={query_workers} "
+        f"\n[parallel-query] INT-NN backend={backend} workers={query_workers} "
         f"time={stats.total_seconds:8.3f}s"
     )

@@ -13,7 +13,13 @@ the checked-in golden set:
    rounding;
 4. with tracing disabled the engine hands out only the shared no-op span
    and a join is not substantially slower than the traced run (overhead
-   smoke check — generous bound, this is not a benchmark).
+   smoke check — generous bound, this is not a benchmark);
+5. a fault-injected join keeps the pairs ledger consistent: per LOD,
+   pairs pruned never exceed pairs evaluated, and every confirmed result
+   was evaluated somewhere — including MBB-fallback confirmations.
+
+The join respects ``REPRO_QUERY_WORKERS`` / ``REPRO_QUERY_BACKEND``, so
+CI also runs this gate under the process query backend.
 
 Usage: ``PYTHONPATH=src python scripts/check_observability.py``
 """
@@ -79,7 +85,7 @@ def run_join(datasets, tracing: bool):
 
 
 def check_prometheus(engine) -> None:
-    print("[2/4] Prometheus export vs golden series list")
+    print("[2/5] Prometheus export vs golden series list")
     text = engine.metrics.to_prometheus()
     present = {
         line.split("{")[0].split(" ")[0]
@@ -98,7 +104,7 @@ def check_prometheus(engine) -> None:
 
 
 def check_chrome_trace(engine) -> None:
-    print("[3/4] Chrome trace vs golden schema")
+    print("[3/5] Chrome trace vs golden schema")
     schema = json.loads((GOLDEN / "chrome_trace_schema.json").read_text())
     doc = json.loads(json.dumps(engine.tracer.to_chrome_trace()))
     for key in schema["required_top_level"]:
@@ -123,7 +129,7 @@ def check_chrome_trace(engine) -> None:
 
 
 def check_phase_agreement(engine, stats) -> None:
-    print("[1/4] trace phase totals vs QueryStats")
+    print("[1/5] trace phase totals vs QueryStats")
     totals = phase_totals(engine.tracer)
     for phase, value in (
         ("filter", stats.filter_seconds),
@@ -142,7 +148,7 @@ def check_phase_agreement(engine, stats) -> None:
 
 
 def check_disabled_overhead(datasets, traced_seconds: float) -> None:
-    print("[4/4] disabled-tracing fast path")
+    print("[4/5] disabled-tracing fast path")
     engine, result, elapsed = run_join(datasets, tracing=False)
     check(engine.tracer.span("anything") is NOOP_SPAN, "disabled tracer hands out NOOP_SPAN")
     check(engine.tracer.roots == [], "disabled tracer collected no spans")
@@ -157,6 +163,38 @@ def check_disabled_overhead(datasets, traced_seconds: float) -> None:
     )
 
 
+def check_pairs_ledger(datasets) -> None:
+    print("[5/5] degraded-run pairs ledger")
+    from repro.faults import FaultInjector
+
+    engine = ThreeDPro(
+        EngineConfig(
+            metrics=MetricsRegistry(),
+            fault_injector=FaultInjector(seed=11, decode_error_rate=0.9),
+        )
+    )
+    for dataset in datasets.values():
+        engine.load_dataset(dataset)
+    # Distance 40 (seed 11, rate 0.9): the filter passes 21 candidates,
+    # every target decode fails, and the MBB fallback still confirms a
+    # few pairs — the exact mix the ledger used to drop.
+    stats = engine.within_join("nuclei_a", "vessels", 40.0).stats
+    check(stats.degraded_objects > 0, "faulted join actually degraded")
+    evaluated = stats.pairs_evaluated_by_lod
+    for lod, pruned in sorted(stats.pairs_pruned_by_lod.items()):
+        check(
+            pruned <= evaluated.get(lod, 0),
+            f"LOD {lod}: pruned {pruned} <= evaluated {evaluated.get(lod, 0)}",
+        )
+    # Every confirmed pair settled somewhere on the ledger — the MBB
+    # fallback confirmations included (they used to bypass it entirely).
+    check(
+        stats.results <= sum(stats.pairs_pruned_by_lod.values()),
+        f"results {stats.results} <= settled pairs "
+        f"{sum(stats.pairs_pruned_by_lod.values())}",
+    )
+
+
 def main() -> int:
     print("building datasets...")
     datasets = build_datasets()
@@ -165,6 +203,7 @@ def main() -> int:
     check_prometheus(engine)
     check_chrome_trace(engine)
     check_disabled_overhead(datasets, traced_seconds)
+    check_pairs_ledger(datasets)
     if _FAILURES:
         print(f"\n{len(_FAILURES)} check(s) FAILED:")
         for failure in _FAILURES:

@@ -87,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--query-workers", type=int, default=None,
                      help="threads fanning query targets (default: "
                           "REPRO_QUERY_WORKERS env or serial)")
+    qry.add_argument("--query-backend", choices=["thread", "process"], default=None,
+                     help="parallel backend for --query-workers > 1 (default: "
+                          "REPRO_QUERY_BACKEND env or thread)")
     qry.add_argument("--limit", type=int, default=10, help="result rows to print")
     qry.add_argument("--salvage", action="store_true", help=salvage_help)
 
@@ -111,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--query-workers", type=int, default=None,
                      help="threads fanning query targets (default: "
                           "REPRO_QUERY_WORKERS env or serial)")
+    obs.add_argument("--query-backend", choices=["thread", "process"], default=None,
+                     help="parallel backend for --query-workers > 1 (default: "
+                          "REPRO_QUERY_BACKEND env or thread)")
     obs.add_argument("--salvage", action="store_true", help=salvage_help)
     obs.add_argument("--trace-json", type=Path, default=None,
                      help="write the span tree as JSON")
@@ -234,7 +240,8 @@ def _cmd_decode(args) -> int:
 def _make_engine(args) -> tuple[ThreeDPro, str, str]:
     engine = ThreeDPro(EngineConfig(paradigm=getattr(args, "paradigm", "fpr"),
                                     accel=_ACCEL[getattr(args, "accel", "none")],
-                                    query_workers=getattr(args, "query_workers", None)))
+                                    query_workers=getattr(args, "query_workers", None),
+                                    query_backend=getattr(args, "query_backend", None)))
     salvage = getattr(args, "salvage", False)
     target = _load_dataset_cli(args.target, salvage)
     source = _load_dataset_cli(args.source, salvage)
@@ -320,6 +327,7 @@ def _cmd_obs(args) -> int:
                 tracing=True,
                 metrics=metrics,
                 query_workers=args.query_workers,
+                query_backend=args.query_backend,
             )
         )
         target = _load_dataset_cli(args.target, args.salvage)

@@ -70,12 +70,19 @@ class EngineConfig:
     cpu_block: int = 48
     gpu_block: int = 4096
     workers: int = 1
-    # Inter-target query parallelism: how many worker threads the
-    # QueryExecutor fans target objects across, independent of the
-    # face-pair `workers` above. None means "not set explicitly" — the
-    # engine then honors the REPRO_QUERY_WORKERS environment variable
-    # (the CI override hook) and finally defaults to 1 (serial).
+    # Inter-target query parallelism: how many workers the QueryExecutor
+    # fans target objects across, independent of the face-pair `workers`
+    # above. None means "not set explicitly" — the engine then honors
+    # the REPRO_QUERY_WORKERS environment variable (the CI override
+    # hook) and finally defaults to 1 (serial).
     query_workers: int | None = None
+    # How those workers run: "thread" shares one engine across a thread
+    # pool (GIL-bound — measured ~1.0x on the FPR refinement path),
+    # "process" fans the same cuboid-ordered chunks across worker
+    # processes (repro.parallel.procpool), each opening the dataset from
+    # the on-disk store with its own DecodeCache. None defers to the
+    # REPRO_QUERY_BACKEND environment variable, then "thread".
+    query_backend: str | None = None
     # FPR may settle a nearest neighbor before its exact distance is
     # known (the result carries an upper bound). Setting this forces a
     # final top-LOD distance evaluation for the reported neighbors -
@@ -107,6 +114,11 @@ class EngineConfig:
             raise EngineConfigError("max_decode_failures must be None or >= 0")
         if self.query_workers is not None and self.query_workers < 1:
             raise EngineConfigError("query_workers must be None or >= 1")
+        if self.query_backend not in (None, "thread", "process"):
+            raise EngineConfigError(
+                f"query_backend must be None, 'thread', or 'process', "
+                f"got {self.query_backend!r}"
+            )
         if self.task_retries < 0:
             raise EngineConfigError("task_retries must be >= 0")
         if self.task_backoff_seconds < 0:
@@ -150,3 +162,21 @@ class EngineConfig:
         if value < 1:
             raise EngineConfigError("REPRO_QUERY_WORKERS must be >= 1")
         return value
+
+    def resolve_query_backend(self) -> str:
+        """The effective parallel backend: ``"thread"`` or ``"process"``.
+
+        An explicit ``query_backend`` always wins; otherwise the
+        ``REPRO_QUERY_BACKEND`` environment variable applies (rejecting
+        unknown values loudly), and the default is ``"thread"``.
+        """
+        if self.query_backend is not None:
+            return self.query_backend
+        env = os.environ.get("REPRO_QUERY_BACKEND", "").strip().lower()
+        if not env:
+            return "thread"
+        if env not in ("thread", "process"):
+            raise EngineConfigError(
+                f"REPRO_QUERY_BACKEND must be 'thread' or 'process', got {env!r}"
+            )
+        return env

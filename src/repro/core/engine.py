@@ -91,6 +91,7 @@ class ThreeDPro:
             metrics=self.metrics,
         )
         self.query_workers = self.config.resolve_query_workers()
+        self.query_backend = self.config.resolve_query_backend()
         self.executor = QueryExecutor(self)
         self._datasets: dict[str, _LoadedDataset] = {}
         self._probe_seq = 0
@@ -153,6 +154,10 @@ class ThreeDPro:
     def dataset_names(self) -> list[str]:
         return sorted(self._datasets)
 
+    def dataset_provider(self, name: str) -> DecodedObjectProvider:
+        """The decode provider behind a loaded dataset (counter inspection)."""
+        return self._get(name).provider
+
     # -- LOD scheduling ----------------------------------------------------------
 
     def _lod_schedule(self, target: _LoadedDataset, source: _LoadedDataset) -> tuple[int, ...]:
@@ -188,7 +193,8 @@ class ThreeDPro:
             try:
                 inner = self.execute(replace(spec, probe=None, target=name))
                 return QueryResult(
-                    inner.pairs, inner.stats, inner.degraded_targets, spec
+                    inner.pairs, inner.stats, inner.degraded_targets, spec,
+                    degraded_keys=inner.degraded_keys,
                 )
             finally:
                 del self._datasets[name]

@@ -70,6 +70,12 @@ class DecodeFailureError(EngineError):
         self.obj_id = obj_id
         self.reason = reason
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with self.args (the
+        # formatted message), which does not match this signature; spell
+        # out the constructor so the error survives a process boundary.
+        return (type(self), (self.dataset, self.obj_id, self.reason))
+
 
 class ErrorBudgetExceededError(EngineError):
     """A query degraded more objects than ``EngineConfig.max_decode_failures`` allows."""
@@ -82,6 +88,10 @@ class ErrorBudgetExceededError(EngineError):
         )
         self.budget = budget
         self.degraded = degraded
+        self.query = query
+
+    def __reduce__(self):
+        return (type(self), (self.budget, self.degraded, self.query))
 
 
 class TaskExecutionError(EngineError):

@@ -12,14 +12,25 @@ root query span, and the query metrics.
 Inter-target parallelism (`EngineConfig.query_workers`): targets are
 split into contiguous chunks of the cuboid-ordered target list (so each
 worker keeps the decode-cache locality the serial loop has) and fanned
-across a :class:`~repro.parallel.tasks.TaskScheduler` worker pool —
-inheriting its retry/backoff/serial-fallback semantics, with
-:class:`~repro.core.errors.ErrorBudgetExceededError` marked fatal so the
-error budget aborts the query exactly as it does serially. Each worker
-accumulates into its own ``QueryStats`` and opens its spans under the
-adopted root span; worker results are merged **in chunk order**, so
-``pairs``, ``degraded_targets``, and every merged counter are identical
-to the serial run (the refinement layer keeps per-decode outcomes
+across one of two backends (`EngineConfig.query_backend`):
+
+* ``"thread"`` (default) — a :class:`~repro.parallel.tasks.TaskScheduler`
+  worker pool, inheriting its retry/backoff/serial-fallback semantics,
+  with :class:`~repro.core.errors.ErrorBudgetExceededError` marked fatal
+  so the error budget aborts the query exactly as it does serially. Each
+  worker accumulates into its own ``QueryStats`` and opens its spans
+  under the adopted root span. GIL-bound: pure-Python refinement gains
+  little wall-clock from threads.
+* ``"process"`` — each chunk becomes a self-contained sub-query
+  (``QuerySpec.target_ids``) executed by a worker *process* with its own
+  engine and decode cache (:mod:`repro.parallel.procpool`); workers ship
+  back pairs, stats, degraded keys, span trees, and metrics deltas.
+  Containment queries (no target dataset) and pool/transport failures
+  fall back to the thread backend.
+
+Either way, chunk results are merged **in chunk order**, so ``pairs``,
+``degraded_targets``, and every merged counter are identical to the
+serial run (the refinement layer keeps per-decode outcomes
 order-independent; see ``batch_min_distances`` and the provider's
 LOD-aware fail-fast).
 
@@ -39,7 +50,7 @@ from repro.core.plan import QueryPlan, QueryResult
 from repro.core.refine import RefineContext
 from repro.core.stats import QueryStats
 from repro.obs.logs import get_logger, log_event
-from repro.obs.trace import TimedPhase
+from repro.obs.trace import Span, TimedPhase
 from repro.parallel.tasks import TaskScheduler
 
 __all__ = ["QueryExecutor"]
@@ -88,6 +99,7 @@ class QueryExecutor:
 
         pairs: dict = {}
         degraded_targets: set = set()
+        degraded_keys: set = set()
         root = self.tracer.span(
             "query",
             query=stats.query,
@@ -97,21 +109,42 @@ class QueryExecutor:
         )
         if workers == 1:
             ctx = self._context(plan, stats)
+            degraded_keys = ctx.degraded_keys
             with root:
                 for tid in tids:
                     self._run_target(plan, ctx, stats, tid, pairs, degraded_targets)
         else:
+            chunks = self._chunk_targets(tids, workers)
+            # Containment has no target dataset to restrict by target id,
+            # so it always runs on the thread backend.
+            use_process = (
+                self.engine.query_backend == "process"
+                and plan.spec.kind != "containment"
+            )
+            outcomes = None
             with root:
-                outcomes = self._run_parallel(plan, stats, tids, workers, root)
+                if use_process:
+                    outcomes = self._run_process(plan, stats, chunks, workers)
+                if outcomes is None:
+                    thread_outcomes, degraded_keys = self._run_parallel(
+                        plan, stats, chunks, workers, root
+                    )
             # Merge in chunk order: chunks are contiguous slices of the
             # cuboid-ordered target list, so insertion order — and with
             # it the result, byte for byte — matches the serial loop.
-            for chunk_pairs, chunk_degraded, chunk_stats in outcomes:
-                pairs.update(chunk_pairs)
-                degraded_targets |= chunk_degraded
-                stats.merge(chunk_stats)
+            if outcomes is not None:
+                degraded_keys = self._merge_process(
+                    outcomes, pairs, degraded_targets, stats, root
+                )
+            else:
+                for chunk_pairs, chunk_degraded, chunk_stats in thread_outcomes:
+                    pairs.update(chunk_pairs)
+                    degraded_targets |= chunk_degraded
+                    stats.merge(chunk_stats)
         self._finish_stats(stats, started, providers, root)
-        return QueryResult(pairs, stats, degraded_targets, plan.spec)
+        return QueryResult(
+            pairs, stats, degraded_targets, plan.spec, degraded_keys=degraded_keys
+        )
 
     def _run_target(self, plan, ctx, stats, tid, pairs, degraded_targets) -> None:
         """One target through filter → refine → accumulate."""
@@ -130,9 +163,63 @@ class QueryExecutor:
             pairs[tid] = value
             stats.results += count
 
-    def _run_parallel(self, plan, stats, tids, workers, root) -> list:
+    @staticmethod
+    def _chunk_targets(tids, workers: int) -> list:
+        """Contiguous chunks of the cuboid-ordered target list."""
         chunk_size = -(-len(tids) // (workers * _CHUNKS_PER_WORKER))
-        chunks = [tids[i : i + chunk_size] for i in range(0, len(tids), chunk_size)]
+        return [tids[i : i + chunk_size] for i in range(0, len(tids), chunk_size)]
+
+    def _run_process(self, plan, stats, chunks, workers):
+        """Fan chunks across worker processes; ``None`` means fall back."""
+        from repro.parallel import procpool
+
+        log_event(
+            _LOG, "parallel_query", query=stats.query, backend="process",
+            workers=workers, chunks=len(chunks),
+            targets=sum(len(c) for c in chunks),
+        )
+        try:
+            return procpool.execute_chunks(self.engine, plan, chunks)
+        except procpool.ProcessBackendUnavailable as exc:
+            log_event(
+                _LOG, "process_backend_fallback", level=logging.WARNING,
+                query=stats.query, error=str(exc),
+            )
+            return None
+
+    def _merge_process(self, outcomes, pairs, degraded_targets, stats, root) -> set:
+        """Merge worker-process chunk outcomes, in submission order."""
+        degraded_keys: set = set()
+        for outcome in outcomes:
+            pairs.update(outcome.pairs)
+            degraded_targets |= outcome.degraded_targets
+            stats.merge(outcome.stats)
+            degraded_keys |= outcome.degraded_keys
+            if outcome.metrics_delta:
+                self.metrics.merge_state(outcome.metrics_delta)
+            if root is not None and root.enabled:
+                for payload in outcome.spans:
+                    span = Span.from_payload(
+                        payload,
+                        rebase=root.start_offset - payload.get("start_offset", 0.0),
+                    )
+                    if span.name == "query":
+                        span.name = "worker"
+                        span.attrs["backend"] = "process"
+                    root.children.append(span)
+        # The distinct degraded-object count and the error budget are per
+        # *query*: re-derive both from the cross-chunk union (merge()
+        # summed each chunk's distinct count, and each worker only ever
+        # checked the budget against its own chunk).
+        stats.degraded_objects = len(degraded_keys)
+        budget = self.config.max_decode_failures
+        if budget is not None and len(degraded_keys) > budget:
+            raise ErrorBudgetExceededError(
+                budget, len(degraded_keys), query=stats.query
+            )
+        return degraded_keys
+
+    def _run_parallel(self, plan, stats, chunks, workers, root) -> tuple:
         # One degraded-key set across all workers (guarded): the distinct
         # degraded-object count and the error budget are per *query*, not
         # per worker, and must not depend on chunk boundaries.
@@ -167,10 +254,11 @@ class QueryExecutor:
             fatal_types=(ErrorBudgetExceededError,),
         )
         log_event(
-            _LOG, "parallel_query", query=stats.query,
-            workers=workers, chunks=len(chunks), targets=len(tids),
+            _LOG, "parallel_query", query=stats.query, backend="thread",
+            workers=workers, chunks=len(chunks),
+            targets=sum(len(c) for c in chunks),
         )
-        return scheduler.map(run_chunk, chunks)
+        return scheduler.map(run_chunk, chunks), degraded_keys
 
     # -- shared machinery (moved verbatim from the old per-kind drivers) --------
 
@@ -210,11 +298,17 @@ class QueryExecutor:
         )
         stats.cache_hits += self.cache.hits
         stats.cache_misses += self.cache.misses
+        # Accumulate (not overwrite) this engine's provider deltas: under
+        # the process backend the merged worker chunk stats already carry
+        # their engines' decode time / failures / vertices, and this
+        # engine's own providers contribute nothing (the filter phase is
+        # index-only). Serial and thread runs are unchanged — their
+        # pre-merge values for these fields are zero.
         decode = sum(p.decode_seconds for p in providers) - stats.decode_seconds_base
-        stats.decode_seconds = decode
+        stats.decode_seconds += decode
         stats.compute_seconds = max(0.0, stats.compute_seconds - decode)
-        stats.decoded_vertices = sum(p.decoded_vertices for p in providers)
-        stats.decode_failures = (
+        stats.decoded_vertices += sum(p.decoded_vertices for p in providers)
+        stats.decode_failures += (
             sum(p.decode_failures for p in providers) - stats.decode_failures_base
         )
         if root is not None and root.enabled:

@@ -63,6 +63,11 @@ class QuerySpec:
     distance: float | None = None
     k: int | None = None
     point: tuple | None = None
+    # Restrict execution to these target object ids (None = all). The
+    # process backend uses this to hand each worker one contiguous chunk
+    # of the cuboid-ordered target list as a self-contained sub-query;
+    # cuboid iteration order among the kept ids is preserved.
+    target_ids: tuple | None = None
 
     def normalized(self) -> "QuerySpec":
         """Validate and canonicalize (``nn`` becomes ``knn`` with k=1)."""
@@ -104,6 +109,12 @@ class QuerySpec:
                 raise EngineConfigError(
                     f"{spec.kind!r} queries take exactly one of target / probe"
                 )
+        if spec.target_ids is not None:
+            if spec.kind == "containment" or spec.probe is not None:
+                raise EngineConfigError(
+                    "target_ids applies only to joins over a loaded target dataset"
+                )
+            spec = replace(spec, target_ids=tuple(int(t) for t in spec.target_ids))
         return spec
 
     @property
@@ -139,6 +150,11 @@ class QueryResult:
     stats: QueryStats
     degraded_targets: set = field(default_factory=set)
     spec: QuerySpec | None = None
+    # Distinct degraded (side, object id) keys behind degraded_targets:
+    # ``stats.degraded_objects`` is their count. The process backend
+    # ships these per chunk so the parent can deduplicate objects that
+    # degraded in more than one worker.
+    degraded_keys: set = field(default_factory=set)
 
     @property
     def total_matches(self) -> int:
@@ -236,12 +252,23 @@ class KindStrategy:
     counts_targets = True
 
     def target_ids(self, plan: QueryPlan) -> list[int]:
-        """Targets in execution order (cuboid order, for cache locality)."""
-        return [
+        """Targets in execution order (cuboid order, for cache locality).
+
+        A spec-level ``target_ids`` restriction keeps only the listed
+        ids, preserving cuboid order — the contract that lets the
+        process backend split one query into per-chunk sub-queries whose
+        concatenated results equal the unrestricted run.
+        """
+        ordered = [
             tid
             for batch in plan.target.dataset.cuboid_batches()
             for tid in batch
         ]
+        restrict = plan.spec.target_ids
+        if restrict is None:
+            return ordered
+        keep = set(restrict)
+        return [tid for tid in ordered if tid in keep]
 
     def compute_attrs(self, tid: int) -> dict:
         return {"target": tid}

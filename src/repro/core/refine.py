@@ -338,11 +338,22 @@ def refine_intersection(ctx: RefineContext, target_id: int, candidates: dict) ->
             dec_t = ctx.decode_target(target_id, top_lod)
         except DecodeFailureError:
             return results
+        if dec_t.num_faces == 0:
+            # Salvage loading can yield a decodable-but-empty mesh; there
+            # is no bounding box (and no probe vertex) to test, so
+            # containment is unprovable and the remaining candidates are
+            # dropped — the answer stays a correct subset.
+            ctx.note_degraded("target", target_id)
+            ctx.stats.pairs_pruned_by_lod[top_lod] += len(survivors)
+            return results
         t_box = _faces_aabb(dec_t)
         for sid in survivors:
             try:
                 dec_s = ctx.decode_source(sid, top_lod)
             except DecodeFailureError:
+                continue
+            if dec_s.num_faces == 0:
+                ctx.note_degraded("source", sid)
                 continue
             s_box = _faces_aabb(dec_s)
             if _box_contains(t_box, s_box):
@@ -391,10 +402,16 @@ def refine_within(
             try:
                 dec_t = ctx.decode_target(target_id, lod)
             except DecodeFailureError:
-                # MBB-only: confirm what the box upper bound alone can prove.
+                # MBB-only: confirm what the box upper bound alone can
+                # prove. These fallback evaluations stay on the pairs
+                # ledger — charged to the LOD whose decode failed — and
+                # every survivor settles here (confirmed or excluded), so
+                # pruned ≤ evaluated holds per LOD in degraded runs too.
+                ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
                 for sid, _parts in survivors:
                     if ctx.box_upper_bound(target_id, sid) <= distance:
                         results.append(sid)
+                ctx.stats.pairs_pruned_by_lod[lod] += len(survivors)
                 return results
             ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
             dists, _inexact = ctx.batch_min_distances(

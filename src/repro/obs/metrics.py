@@ -32,6 +32,7 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKETS",
+    "diff_states",
 ]
 
 # Latency-flavored default buckets (seconds), Prometheus' classic spread.
@@ -291,6 +292,67 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    # -- cross-process state transfer -----------------------------------------
+
+    def export_state(self) -> dict:
+        """A picklable snapshot of every counter/histogram series.
+
+        Gauges are excluded: they describe *current* state of whoever
+        owns them (cache residency, entry counts) and folding a worker
+        process's gauge into the parent would be meaningless. The shape
+        is ``name -> {kind, help, series}`` with label-key tuples as
+        series keys; histograms carry ``(counts, sum, count)`` per
+        series plus their bucket bounds.
+        """
+        out: dict = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Gauge):
+                continue
+            entry: dict = {"kind": metric.kind, "help": metric.help}
+            with metric._lock:
+                if isinstance(metric, Histogram):
+                    entry["buckets"] = metric.buckets
+                    entry["series"] = {
+                        key: (list(s.counts), s.sum, s.count)
+                        for key, s in metric._series.items()
+                    }
+                else:
+                    entry["series"] = dict(metric._series)
+            out[name] = entry
+        return out
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an :func:`diff_states` delta (or full export) into this registry.
+
+        Counters add; histogram series add per-bucket counts, sum, and
+        count. Instruments absent here are registered with the shipped
+        help text. A histogram whose bucket bounds disagree with the
+        local registration is skipped rather than corrupted.
+        """
+        for name, entry in state.items():
+            if entry["kind"] == "counter":
+                metric = self.counter(name, entry["help"])
+                with metric._lock:
+                    for key, value in entry["series"].items():
+                        if value:
+                            metric._series[key] = metric._series.get(key, 0.0) + value
+            elif entry["kind"] == "histogram":
+                buckets = tuple(entry["buckets"])
+                metric = self.histogram(name, entry["help"], buckets=buckets)
+                if metric.buckets != buckets:
+                    continue
+                with metric._lock:
+                    for key, (counts, total, count) in entry["series"].items():
+                        series = metric._series.get(key)
+                        if series is None:
+                            series = metric._series[key] = _HistogramSeries(
+                                len(metric.buckets)
+                            )
+                        for i, c in enumerate(counts):
+                            series.counts[i] += c
+                        series.sum += total
+                        series.count += count
+
     # -- export ---------------------------------------------------------------
 
     def to_prometheus(self) -> str:
@@ -314,6 +376,48 @@ class MetricsRegistry:
             }
             for name, metric in sorted(self._metrics.items())
         }
+
+
+def diff_states(before: dict, after: dict, skip: tuple = ()) -> dict:
+    """The monotonic delta between two :meth:`MetricsRegistry.export_state` calls.
+
+    Returns only series that grew, in ``merge_state`` shape — the
+    payload a worker process ships back so its decode/cache/kernel
+    series land in the parent registry exactly once. ``skip`` names
+    instruments to drop entirely (e.g. per-query counters the parent
+    accounts itself).
+    """
+    delta: dict = {}
+    for name, entry in after.items():
+        if name in skip:
+            continue
+        prior = before.get(name, {}).get("series", {})
+        if entry["kind"] == "counter":
+            series = {
+                key: value - prior.get(key, 0.0)
+                for key, value in entry["series"].items()
+                if value - prior.get(key, 0.0) > 0
+            }
+            if series:
+                delta[name] = {"kind": "counter", "help": entry["help"], "series": series}
+        elif entry["kind"] == "histogram":
+            series = {}
+            for key, (counts, total, count) in entry["series"].items():
+                p_counts, p_sum, p_count = prior.get(
+                    key, ([0] * len(counts), 0.0, 0)
+                )
+                if count - p_count > 0:
+                    series[key] = (
+                        [c - p for c, p in zip(counts, p_counts)],
+                        total - p_sum,
+                        count - p_count,
+                    )
+            if series:
+                delta[name] = {
+                    "kind": "histogram", "help": entry["help"],
+                    "buckets": entry["buckets"], "series": series,
+                }
+    return delta
 
 
 #: The process-wide default registry. Components fall back to it when no

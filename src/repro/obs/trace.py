@@ -115,9 +115,37 @@ class Span:
             "start_offset": self.start_offset,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
+            "thread_id": self.thread_id,
             "attrs": dict(self.attrs),
             "children": [child.to_dict() for child in self.children],
         }
+
+    @classmethod
+    def from_payload(cls, data: dict, rebase: float = 0.0) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        The inverse direction exists for the process query backend:
+        workers ship their span trees as plain dicts (a ``Span`` holds a
+        tracer backref and is not picklable) and the parent re-attaches
+        the rebuilt trees under its own query root. ``rebase`` shifts
+        every ``start_offset`` by a constant — worker offsets are
+        relative to the *worker's* tracer epoch, so the parent rebases
+        them onto its own timeline. Durations are preserved verbatim,
+        which is what keeps trace/stats phase agreement exact across the
+        process boundary.
+        """
+        span = cls.__new__(cls)
+        span.name = data["name"]
+        span.attrs = dict(data.get("attrs", {}))
+        span.wall_seconds = data.get("wall_seconds")
+        span.cpu_seconds = data.get("cpu_seconds")
+        span.start_offset = data.get("start_offset", 0.0) + rebase
+        span.thread_id = data.get("thread_id", 0)
+        span._tracer = None
+        span.children = [
+            cls.from_payload(child, rebase) for child in data.get("children", ())
+        ]
+        return span
 
     def walk(self):
         """Yield this span and every descendant, depth-first."""

@@ -101,13 +101,20 @@ class GeometryComputer:
         """
         if tree_a is not None and tree_b is not None:
             return tree_a.intersects(tree_b, stats=stats)
+        # Accumulate locally and merge once: per-block read-modify-write
+        # on a caller-shared stats dict loses updates when jobs run on
+        # scheduler threads (see pairwise_min_distances).
+        pairs_seen = 0
+        hit = False
         for ii, jj in iter_pair_blocks(len(tris_a), len(tris_b), self.cpu_block):
-            if stats is not None:
-                stats["pairs"] = stats.get("pairs", 0) + len(ii)
+            pairs_seen += len(ii)
             self._note_batch(len(ii))
             if bool(tri_tri_intersect_batch(tris_a[ii], tris_b[jj]).any()):
-                return True
-        return False
+                hit = True
+                break
+        if stats is not None:
+            stats["pairs"] = stats.get("pairs", 0) + pairs_seen
+        return hit
 
     # -- distance -------------------------------------------------------------
 
@@ -138,9 +145,9 @@ class GeometryComputer:
         if stop_below > 0.0 and self.device is Device.GPU:
             block = min(block, max(self.cpu_block, 512))
         best = upper_bound
+        pairs_seen = 0
         for ii, jj in iter_pair_blocks(len(tris_a), len(tris_b), block):
-            if stats is not None:
-                stats["pairs"] = stats.get("pairs", 0) + len(ii)
+            pairs_seen += len(ii)
             self._note_batch(len(ii))
             dist = float(
                 tri_tri_distance_batch(
@@ -150,6 +157,8 @@ class GeometryComputer:
             best = min(best, dist)
             if best <= stop_below:
                 break
+        if stats is not None:
+            stats["pairs"] = stats.get("pairs", 0) + pairs_seen
         return best
 
     # -- bulk distance over many pairs (used by the GPU-style NN batch) -------
@@ -168,9 +177,20 @@ class GeometryComputer:
         """
         if self.device is Device.GPU:
             return self._fused_min_distances(jobs, stats)
-        return self.scheduler.map(
-            lambda job: self.min_distance(job[0], job[1], stats=stats), jobs
-        )
+
+        # Each scheduler job counts into its own dict; the shared caller
+        # dict is updated once, serially, after all jobs complete. With
+        # workers > 1 the old shared-dict read-modify-write raced and
+        # undercounted "pairs".
+        def run_job(job):
+            job_stats: dict = {}
+            dist = self.min_distance(job[0], job[1], stats=job_stats)
+            return dist, job_stats.get("pairs", 0)
+
+        outcomes = self.scheduler.map(run_job, jobs)
+        if stats is not None:
+            stats["pairs"] = stats.get("pairs", 0) + sum(p for _d, p in outcomes)
+        return [d for d, _p in outcomes]
 
     def _fused_min_distances(
         self, jobs: list[tuple[np.ndarray, np.ndarray]], stats: dict | None

@@ -160,6 +160,11 @@ class Dataset:
     # loading); the engine marks query answers touching them as degraded.
     degraded_ids: frozenset = field(default_factory=frozenset, repr=False)
     load_report: LoadReport | None = field(default=None, repr=False, compare=False)
+    # Directory this dataset was loaded from (set by load_dataset, None
+    # for in-memory datasets). Worker processes of the process query
+    # backend reopen the dataset from here — always in salvage mode, so
+    # a store the parent salvage-loaded reproduces byte-identically.
+    source_dir: str | None = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_polyhedra(
@@ -341,6 +346,7 @@ def load_dataset(directory, mode: str = "strict") -> Dataset:
         grid_shape=tuple(manifest["grid_shape"]),
         degraded_ids=degraded_ids,
         load_report=report,
+        source_dir=str(directory),
     )
     dataset._grid = CuboidGrid(
         AABB(tuple(manifest["grid_low"]), tuple(manifest["grid_high"])),

@@ -119,3 +119,51 @@ class TestGeometryComputer:
         expected = brute_distance(a, b)
         assert small_block.pairwise_min_distances([(a, b)])[0] == pytest.approx(expected)
         assert small_block.min_distance(a, b) == pytest.approx(expected)
+
+
+class TestSharedStatsAccounting:
+    """The kernel "pairs" counter must be exact under scheduler threads.
+
+    The old per-block ``stats[k] = stats.get(k, 0) + n`` read-modify-write
+    on the caller-shared dict lost updates when ``pairwise_min_distances``
+    fanned jobs across workers; counts are now accumulated per job and
+    merged once, serially.
+    """
+
+    @pytest.fixture(scope="class")
+    def disjoint_jobs(self):
+        # Well-separated sphere pairs: every distance is > 0, so the
+        # stop_below=0.0 early exit never fires and the exact pair count
+        # is the full cross product per job.
+        jobs = []
+        expected = 0
+        for i in range(64):
+            a = icosphere(0, center=(i * 10.0, 0.0, 0.0)).triangles
+            b = icosphere(0, center=(i * 10.0 + 5.0, 0.0, 0.0)).triangles
+            jobs.append((a, b))
+            expected += len(a) * len(b)
+        return jobs, expected
+
+    def test_pairwise_stats_exact_with_threads(self, disjoint_jobs):
+        jobs, expected = disjoint_jobs
+        computer = GeometryComputer(
+            Device.CPU, cpu_block=16, scheduler=TaskScheduler(4)
+        )
+        for _ in range(5):  # hammer: one lost update fails the run
+            stats: dict = {}
+            computer.pairwise_min_distances(jobs, stats=stats)
+            assert stats["pairs"] == expected
+
+    def test_pairwise_stats_exact_serial(self, disjoint_jobs):
+        jobs, expected = disjoint_jobs
+        stats: dict = {}
+        GeometryComputer(Device.CPU).pairwise_min_distances(jobs, stats=stats)
+        assert stats["pairs"] == expected
+
+    def test_intersects_merges_once_on_hit(self):
+        a = icosphere(1).triangles
+        stats: dict = {}
+        computer = GeometryComputer(Device.CPU, cpu_block=8)
+        assert computer.intersects(a, a, stats=stats)
+        # early exit still reports the pairs actually evaluated
+        assert 0 < stats["pairs"] <= len(a) * len(a)

@@ -41,8 +41,10 @@ def _build(datasets, **config_kwargs):
     return engine
 
 
-def _run(datasets, spec, workers, injector_seed=None):
+def _run(datasets, spec, workers, injector_seed=None, backend=None):
     kwargs = {"query_workers": workers}
+    if backend is not None:
+        kwargs["query_backend"] = backend
     injector = None
     if injector_seed is not None:
         injector = FaultInjector(seed=injector_seed, decode_error_rate=0.3)
@@ -129,3 +131,144 @@ class TestParallelObservability:
         engine.intersection_join("nuclei_a", "nuclei_b")
         [root] = engine.tracer.roots
         assert all(child.name != "worker" for child in root.children)
+
+
+class TestProcessBackendMatchesSerial:
+    """serial == thread == process, for every kind, clean and faulted.
+
+    Worker processes re-derive decode faults from the injector key
+    (``seed|dataset:obj:lod``), so fault injection is preserved across
+    the process boundary — but the *parent's* injector counts stay 0 in
+    process mode (faults fire in the workers), so only the serial run's
+    counts are asserted.
+    """
+
+    @pytest.mark.parametrize("spec", SPECS, ids=SPEC_IDS)
+    def test_clean_run_identical(self, datasets, spec):
+        serial, _ = _run(datasets, spec, workers=1)
+        threads, _ = _run(datasets, spec, workers=4, backend="thread")
+        procs, _ = _run(datasets, spec, workers=4, backend="process")
+        for parallel in (threads, procs):
+            assert list(parallel.pairs.items()) == list(serial.pairs.items())
+            assert parallel.degraded_targets == serial.degraded_targets
+            assert parallel.degraded_keys == serial.degraded_keys
+            assert _comparable_counters(parallel.stats) == _comparable_counters(
+                serial.stats
+            )
+
+    @pytest.mark.parametrize("spec", FAULT_SPECS, ids=FAULT_SPEC_IDS)
+    def test_faulted_run_identical(self, datasets, spec):
+        serial, serial_inj = _run(datasets, spec, workers=1, injector_seed=11)
+        procs, _ = _run(
+            datasets, spec, workers=4, injector_seed=11, backend="process"
+        )
+        assert serial_inj.counts.get("decode", 0) > 0, "no faults fired"
+        assert list(procs.pairs.items()) == list(serial.pairs.items())
+        assert procs.degraded_targets == serial.degraded_targets
+        assert procs.degraded_keys == serial.degraded_keys
+        assert _comparable_counters(procs.stats) == _comparable_counters(
+            serial.stats
+        )
+
+    def test_error_budget_aborts_process_run(self, datasets):
+        # The budget error is raised inside a worker process and must
+        # survive pickling back to the parent (custom __reduce__).
+        from repro.core.errors import ErrorBudgetExceededError
+
+        engine = _build(
+            datasets,
+            query_workers=4,
+            query_backend="process",
+            fault_injector=FaultInjector(seed=11, decode_error_rate=0.3),
+            max_decode_failures=0,
+        )
+        with pytest.raises(ErrorBudgetExceededError):
+            engine.execute(FAULT_SPECS[0])
+
+    def test_containment_runs_on_thread_backend(self, datasets, small_scene):
+        # No target dataset to chunk by id: containment silently uses
+        # the thread path even when the process backend is configured.
+        point = tuple(small_scene.nuclei_a[0].vertices.mean(axis=0))
+        spec = QuerySpec(kind="containment", source="nuclei_a", point=point)
+        serial, _ = _run(datasets, spec, workers=1)
+        procs, _ = _run(datasets, spec, workers=4, backend="process")
+        assert procs.pairs == serial.pairs
+        assert procs.matches == serial.matches
+
+    def test_probe_query_identical(self, datasets, small_scene):
+        probe = small_scene.nuclei_a[0]
+        spec = QuerySpec(kind="within", source="nuclei_b", probe=probe, distance=2.0)
+        serial, _ = _run(datasets, spec, workers=1)
+        procs, _ = _run(datasets, spec, workers=4, backend="process")
+        assert procs.matches == serial.matches
+
+
+class TestProcessBackendObservability:
+    def test_worker_spans_rebased_under_query_root(self, datasets):
+        engine = _build(
+            datasets, query_workers=4, query_backend="process", tracing=True
+        )
+        result = engine.intersection_join("nuclei_a", "nuclei_b")
+        [root] = engine.tracer.roots
+        workers = [child for child in root.children if child.name == "worker"]
+        assert workers, "no worker spans shipped back from the processes"
+        assert all(span.attrs.get("backend") == "process" for span in workers)
+        assert sum(span.attrs["targets"] for span in workers) == result.stats.targets
+        # durations survive the pickle round-trip; offsets are rebased
+        # onto the parent's timeline (non-negative relative to the root)
+        for span in workers:
+            assert span.wall_seconds is not None
+            assert span.start_offset >= root.start_offset
+
+    def test_worker_metrics_merged_into_parent_registry(self, datasets):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = _build(
+            datasets, query_workers=4, query_backend="process", metrics=registry
+        )
+        engine.intersection_join("nuclei_a", "nuclei_b")
+        text = registry.to_prometheus()
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_face_pairs_total") and not line.startswith("#")
+        ]
+        assert lines, "worker face-pair counters did not merge into the parent"
+        assert sum(float(line.rsplit(" ", 1)[1]) for line in lines) > 0
+
+    def test_stats_carry_worker_decode_costs(self, datasets):
+        engine = _build(datasets, query_workers=4, query_backend="process")
+        result = engine.intersection_join("nuclei_a", "nuclei_b")
+        assert result.stats.decode_seconds > 0
+        assert result.stats.decoded_vertices > 0
+
+
+class TestBackendResolution:
+    def test_default_is_thread(self):
+        from repro.core import EngineConfig
+
+        assert EngineConfig().resolve_query_backend() == "thread"
+
+    def test_env_fallback(self, monkeypatch):
+        from repro.core import EngineConfig
+
+        monkeypatch.setenv("REPRO_QUERY_BACKEND", "process")
+        assert EngineConfig().resolve_query_backend() == "process"
+        # explicit config wins over the environment
+        assert EngineConfig(query_backend="thread").resolve_query_backend() == "thread"
+
+    def test_env_validation(self, monkeypatch):
+        from repro.core import EngineConfig
+        from repro.core.errors import EngineConfigError
+
+        monkeypatch.setenv("REPRO_QUERY_BACKEND", "fork")
+        with pytest.raises(EngineConfigError):
+            EngineConfig().resolve_query_backend()
+
+    def test_config_validation(self):
+        from repro.core import EngineConfig
+        from repro.core.errors import EngineConfigError
+
+        with pytest.raises(EngineConfigError):
+            EngineConfig(query_backend="fork")

@@ -92,3 +92,122 @@ class TestRefineNNUnits:
     def test_k_larger_than_candidates(self, ctx):
         out = refine_nn(ctx, 0, self._candidates(), k=10)
         assert len(out) == 3
+
+
+class _StubDecode:
+    """Minimal stand-in for a DecodedLOD (triangles + flags only)."""
+
+    def __init__(self, triangles):
+        self.triangles = np.asarray(triangles, dtype=float).reshape(-1, 3, 3)
+        self.degraded = False
+        self.tree = None
+
+    @property
+    def num_faces(self):
+        return len(self.triangles)
+
+
+class _StubProvider:
+    """Provider serving pre-built decodes (no compression involved)."""
+
+    def __init__(self, decs):
+        import types
+
+        self._decs = decs
+        self.objects = [
+            types.SimpleNamespace(
+                aabb=(
+                    d.triangles.min(axis=(0, 1))
+                    if len(d.triangles)
+                    else np.zeros(3),
+                    d.triangles.max(axis=(0, 1))
+                    if len(d.triangles)
+                    else np.zeros(3),
+                )
+            )
+            for d in decs
+        ]
+
+    def max_lod(self, obj_id):
+        return 0
+
+    def get(self, obj_id, lod):
+        return self._decs[obj_id]
+
+
+def _stub_ctx(target_decs, source_decs):
+    return RefineContext(
+        computer=GeometryComputer(Device.CPU),
+        stats=QueryStats(),
+        target_provider=_StubProvider(target_decs),
+        source_provider=_StubProvider(source_decs),
+        lods=(0,),
+    )
+
+
+class TestEmptyMeshContainmentStage:
+    """Salvage loading can hand refinement a decodable-but-empty mesh;
+    the containment stage used to crash on it (``triangles[0, 0]`` and a
+    reduction over zero faces)."""
+
+    def test_empty_target_is_degraded_not_crash(self):
+        from repro.core.refine import refine_intersection
+
+        ctx = _stub_ctx(
+            target_decs=[_StubDecode(np.zeros((0, 3, 3)))],
+            source_decs=[_StubDecode(icosphere(1).triangles)],
+        )
+        out = refine_intersection(ctx, 0, {0: None})
+        assert out == []
+        assert ("target", 0) in ctx.degraded_keys
+        assert dict(ctx.stats.pairs_pruned_by_lod) == {0: 1}
+
+    def test_empty_source_is_degraded_not_crash(self):
+        from repro.core.refine import refine_intersection
+
+        # Two disjoint real spheres would reach the containment stage;
+        # here the candidate decodes to zero faces at the top LOD.
+        ctx = _stub_ctx(
+            target_decs=[_StubDecode(icosphere(1).triangles)],
+            source_decs=[_StubDecode(np.zeros((0, 3, 3)))],
+        )
+        out = refine_intersection(ctx, 0, {0: None})
+        assert out == []
+        assert ("source", 0) in ctx.degraded_keys
+        assert dict(ctx.stats.pairs_pruned_by_lod) == {0: 1}
+
+
+class TestWithinFallbackLedger:
+    """The undecodable-target MBB fallback confirms pairs via
+    ``box_upper_bound``; those evaluations must land on the pairs ledger
+    (they used to be invisible: results without evaluations)."""
+
+    def test_fallback_accounts_evaluated_and_pruned(self):
+        from repro.core.refine import refine_within
+        from repro.faults import FaultInjector
+
+        cache = DecodeCache()
+        encoder = PPVPEncoder(max_lods=4)
+        targets = [encoder.encode(icosphere(1, center=(0, 0, 0)))]
+        sources = [
+            encoder.encode(icosphere(1, center=(3.0, 0, 0))),   # MAXDIST ~5.7
+            encoder.encode(icosphere(1, center=(50.0, 0, 0))),  # hopeless
+        ]
+        ctx = RefineContext(
+            computer=GeometryComputer(Device.CPU),
+            stats=QueryStats(),
+            target_provider=DecodedObjectProvider(
+                "t", targets, cache,
+                fault_injector=FaultInjector(seed=1, decode_error_rate=1.0),
+            ),
+            source_provider=DecodedObjectProvider("s", sources, cache),
+            lods=(0, 1),
+        )
+        out = refine_within(ctx, 0, {0: None, 1: None}, distance=10.0)
+        assert out == [0]  # the near pair is confirmable from MBBs alone
+        assert ("target", 0) in ctx.degraded_keys
+        # Both survivors were evaluated at the failing LOD and both
+        # settled there (one confirmed, one excluded): the per-LOD
+        # pruned <= evaluated invariant holds with equality.
+        assert dict(ctx.stats.pairs_evaluated_by_lod) == {0: 2}
+        assert dict(ctx.stats.pairs_pruned_by_lod) == {0: 2}
