@@ -16,7 +16,10 @@ the checked-in golden set:
    smoke check — generous bound, this is not a benchmark);
 5. a fault-injected join keeps the pairs ledger consistent: per LOD,
    pairs pruned never exceed pairs evaluated, and every confirmed result
-   was evaluated somewhere — including MBB-fallback confirmations.
+   was evaluated somewhere — including MBB-fallback confirmations;
+6. the columnar slice decoder agrees with the reference replay decoder
+   byte-for-byte at every LOD of every object in the gate scene, and the
+   O(1) ``face_count_at_lod`` matches the materialized face counts.
 
 The join respects ``REPRO_QUERY_WORKERS`` / ``REPRO_QUERY_BACKEND``, so
 CI also runs this gate under the process query backend.
@@ -85,7 +88,7 @@ def run_join(datasets, tracing: bool):
 
 
 def check_prometheus(engine) -> None:
-    print("[2/5] Prometheus export vs golden series list")
+    print("[2/6] Prometheus export vs golden series list")
     text = engine.metrics.to_prometheus()
     present = {
         line.split("{")[0].split(" ")[0]
@@ -104,7 +107,7 @@ def check_prometheus(engine) -> None:
 
 
 def check_chrome_trace(engine) -> None:
-    print("[3/5] Chrome trace vs golden schema")
+    print("[3/6] Chrome trace vs golden schema")
     schema = json.loads((GOLDEN / "chrome_trace_schema.json").read_text())
     doc = json.loads(json.dumps(engine.tracer.to_chrome_trace()))
     for key in schema["required_top_level"]:
@@ -129,7 +132,7 @@ def check_chrome_trace(engine) -> None:
 
 
 def check_phase_agreement(engine, stats) -> None:
-    print("[1/5] trace phase totals vs QueryStats")
+    print("[1/6] trace phase totals vs QueryStats")
     totals = phase_totals(engine.tracer)
     for phase, value in (
         ("filter", stats.filter_seconds),
@@ -148,7 +151,7 @@ def check_phase_agreement(engine, stats) -> None:
 
 
 def check_disabled_overhead(datasets, traced_seconds: float) -> None:
-    print("[4/5] disabled-tracing fast path")
+    print("[4/6] disabled-tracing fast path")
     engine, result, elapsed = run_join(datasets, tracing=False)
     check(engine.tracer.span("anything") is NOOP_SPAN, "disabled tracer hands out NOOP_SPAN")
     check(engine.tracer.roots == [], "disabled tracer collected no spans")
@@ -164,7 +167,7 @@ def check_disabled_overhead(datasets, traced_seconds: float) -> None:
 
 
 def check_pairs_ledger(datasets) -> None:
-    print("[5/5] degraded-run pairs ledger")
+    print("[5/6] degraded-run pairs ledger")
     from repro.faults import FaultInjector
 
     engine = ThreeDPro(
@@ -195,6 +198,38 @@ def check_pairs_ledger(datasets) -> None:
     )
 
 
+def check_decode_equivalence(datasets) -> None:
+    print("[6/6] columnar slice decode vs reference replay")
+    import numpy as np
+
+    from repro.compression import ReplayDecoder
+
+    objects = [obj for ds in datasets.values() for obj in ds.objects]
+    mismatched = count_mismatches = 0
+    lods_checked = 0
+    for obj in objects:
+        ref, cur = ReplayDecoder(obj), obj.decoder()
+        for lod in obj.lods:
+            ref.advance_to(lod)
+            cur.advance_to(lod)
+            lods_checked += 1
+            if not (
+                np.array_equal(ref.face_array(), cur.face_array())
+                and ref.vertices_reinserted == cur.vertices_reinserted
+            ):
+                mismatched += 1
+            if obj.face_count_at_lod(lod) != len(cur.face_array()):
+                count_mismatches += 1
+    check(
+        mismatched == 0,
+        f"slice == replay on all {lods_checked} (object, LOD) pairs",
+    )
+    check(
+        count_mismatches == 0,
+        f"face_count_at_lod matches materialized counts on {lods_checked} pairs",
+    )
+
+
 def main() -> int:
     print("building datasets...")
     datasets = build_datasets()
@@ -204,6 +239,7 @@ def main() -> int:
     check_chrome_trace(engine)
     check_disabled_overhead(datasets, traced_seconds)
     check_pairs_ledger(datasets)
+    check_decode_equivalence(datasets)
     if _FAILURES:
         print(f"\n{len(_FAILURES)} check(s) FAILED:")
         for failure in _FAILURES:

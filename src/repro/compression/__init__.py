@@ -17,12 +17,14 @@ from repro.compression.classify import (
     patch_is_protruding,
     protruding_fraction,
 )
+from repro.compression.lodtable import LODTable, compile_lod_table
 from repro.compression.ppmc import PPMCEncoder
 from repro.compression.ppvp import (
     CompressedObject,
     PPVPEncoder,
     ProgressiveDecoder,
     RemovalRecord,
+    ReplayDecoder,
 )
 from repro.compression.serialize import (
     deserialize_object,
@@ -34,11 +36,14 @@ __all__ = [
     "classify_vertices",
     "patch_is_protruding",
     "protruding_fraction",
+    "LODTable",
+    "compile_lod_table",
     "PPMCEncoder",
     "CompressedObject",
     "PPVPEncoder",
     "ProgressiveDecoder",
     "RemovalRecord",
+    "ReplayDecoder",
     "deserialize_object",
     "serialize_object",
     "serialized_segment_sizes",

@@ -20,9 +20,15 @@ covers a subset of the original volume, and therefore (paper Section 3.2):
    distance at every higher LOD.
 
 Decoding is progressive: a :class:`ProgressiveDecoder` starts from the
-base (coarsest) mesh and replays removal records in reverse, one round
-at a time, which is exactly the access pattern of the
-Filter-Progressive-Refine query engine.
+base (coarsest) mesh and reinserts removal rounds in reverse, which is
+exactly the access pattern of the Filter-Progressive-Refine query
+engine. The decoder no longer replays records through an
+:class:`~repro.mesh.editable.EditableMesh`: each object compiles its
+rounds once into a columnar :class:`~repro.compression.lodtable.LODTable`
+(face rows with birth/death decode-step intervals) and a decoder is just
+a monotone cursor slicing that table. The record-by-record replay
+survives as :class:`ReplayDecoder` — the reference implementation the
+equivalence tests and benchmarks compare against.
 """
 
 from __future__ import annotations
@@ -34,11 +40,18 @@ from math import ceil
 import numpy as np
 
 from repro.compression.classify import patch_is_embedded, patch_is_protruding
+from repro.compression.lodtable import LODTable, compile_lod_table
 from repro.geometry.aabb import AABB
 from repro.mesh.editable import EditableMesh, VertexPatch
 from repro.mesh.polyhedron import Polyhedron
 
-__all__ = ["RemovalRecord", "CompressedObject", "PPVPEncoder", "ProgressiveDecoder"]
+__all__ = [
+    "RemovalRecord",
+    "CompressedObject",
+    "PPVPEncoder",
+    "ProgressiveDecoder",
+    "ReplayDecoder",
+]
 
 
 @dataclass(frozen=True)
@@ -130,11 +143,32 @@ class CompressedObject:
             return stored
         return AABB.of_points(self.positions)
 
+    @cached_property
+    def _decode_cum_records(self) -> tuple[int, ...]:
+        """Cumulative removal records per decode step (``[0]`` at step 0).
+
+        Computed once from the round sizes alone — cheap enough for the
+        load path, which asks for face counts before anything decodes.
+        """
+        sizes = [0]
+        for records in reversed(self.rounds):
+            sizes.append(sizes[-1] + len(records))
+        return tuple(sizes)
+
+    @cached_property
+    def lod_table(self) -> LODTable:
+        """The compiled columnar birth/death face table (built once).
+
+        Every decoder, cache entry, and worker decoding this object
+        shares this one immutable table; it rides along when the object
+        is pickled (process-backend spill transport).
+        """
+        return compile_lod_table(self.base_faces, self.rounds)
+
     def face_count_at_lod(self, lod: int) -> int:
-        """Face count at ``lod`` in O(#rounds): each reinsertion adds 2 faces."""
+        """Face count at ``lod`` in O(1): each reinsertion adds 2 faces."""
         reinserted = self.rounds_reinserted_at(lod)
-        restored = self.rounds[self.num_rounds - reinserted :]
-        return len(self.base_faces) + 2 * sum(len(r) for r in restored)
+        return len(self.base_faces) + 2 * self._decode_cum_records[reinserted]
 
     def decoder(self) -> "ProgressiveDecoder":
         return ProgressiveDecoder(self)
@@ -152,6 +186,56 @@ class ProgressiveDecoder:
     Decoding is monotone: LODs can only increase (matching the FPR
     refinement loop). ``vertices_reinserted`` tallies the decode work
     performed, which the engine uses for cost accounting.
+
+    A decoder is a thin cursor over the object's compiled
+    :attr:`~CompressedObject.lod_table`: advancing is O(1) bookkeeping
+    and :meth:`face_array` materializes the face set as a sorted
+    birth-prefix slice plus a death mask — byte-identical (rows, order,
+    orientation, and the accounting above) to the record-by-record
+    :class:`ReplayDecoder` it replaced. Corrupt rounds keep their legacy
+    behavior: every step the table compiled decodes normally and an
+    advance into the corrupt region raises the original replay error.
+    """
+
+    def __init__(self, compressed: CompressedObject):
+        self.compressed = compressed
+        self._table = compressed.lod_table
+        self._rounds_reinserted = 0
+        self.current_lod = 0
+        self.vertices_reinserted = 0
+
+    def advance_to(self, lod: int) -> int:
+        """Reinsert rounds until ``lod`` is reached; returns vertices added."""
+        target = self.compressed.rounds_reinserted_at(lod)
+        if lod < self.current_lod:
+            raise ValueError(
+                f"decoder is at LOD {self.current_lod}; cannot go back to {lod}"
+            )
+        table = self._table
+        if table.failed_step is not None and target >= table.failed_step:
+            # Same error, same trigger point as replaying the records.
+            raise table.failure
+        added = int(table.cum_records[target] - table.cum_records[self._rounds_reinserted])
+        self._rounds_reinserted = target
+        self.current_lod = lod
+        self.vertices_reinserted += added
+        return added
+
+    def polyhedron(self) -> Polyhedron:
+        """Snapshot of the mesh at the current LOD (shares the vertex table)."""
+        return Polyhedron(self.compressed.positions, self.face_array(), copy=False)
+
+    def face_array(self) -> np.ndarray:
+        return self._table.faces_at_step(self._rounds_reinserted)
+
+
+class ReplayDecoder:
+    """Reference decoder: replays removal records through an EditableMesh.
+
+    This is the pre-table implementation, kept as ground truth — the
+    equivalence suite asserts :class:`ProgressiveDecoder` matches it
+    byte-for-byte at every LOD, and the decode benchmark measures the
+    table against it. Not used on any query path.
     """
 
     def __init__(self, compressed: CompressedObject):

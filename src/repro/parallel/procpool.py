@@ -15,7 +15,12 @@ Dataset transport
     and a damaged store reproduces the parent's salvage outcome. An
     in-memory dataset is *spilled* once to a pickle file (exact
     round-trip; the serialized store format re-quantizes positions and
-    would perturb results) and unpickled by workers.
+    would perturb results) and unpickled by workers. Compiled
+    :class:`~repro.compression.lodtable.LODTable` columnar decode
+    tables are immutable and pickle with their objects, so any table
+    the parent already built ships in the spill; workers compile the
+    rest lazily on first decode (store-reopened datasets always
+    compile worker-side).
 
 Result transport
     Each worker ships back a picklable :class:`ChunkOutcome`: pairs,

@@ -4,9 +4,14 @@ The cache is LRU over a byte budget, keyed by ``(dataset, object id,
 LOD)``; each entry is a :class:`DecodedLOD` — the face snapshot of one
 object at one LOD plus lazily-built derived structures (corner triangle
 array, AABB-tree, partition grouping). The provider owns the progressive
-decoders: a cache miss advances the object's decoder forward (cheap) or
-restarts it from the base when a lower LOD than the decoder's current
-position is requested after eviction.
+decoders: a cache miss advances the object's decoder cursor (or restarts
+it when a lower LOD is requested after eviction). Since decoders slice
+the object's compiled :class:`~repro.compression.lodtable.LODTable` —
+built once per object, timed by the ``decode_table_build`` span /
+``repro_decode_table_build_seconds`` histogram — a restart no longer
+replays removal records from the base mesh: every materialization is an
+array slice (``decode_slice`` span / ``repro_decode_slice_seconds``),
+so the old eviction-restart penalty is gone.
 
 Decoding is also where corruption surfaces at query time, so the
 provider implements the first rungs of the degradation ladder: a decoder
@@ -43,11 +48,17 @@ class DecodedLOD:
     ``lod`` is the LOD actually decoded; ``degraded`` marks geometry of
     reduced fidelity — a decode that fell back below the requested LOD,
     or an object only partially recovered by salvage loading.
+
+    The derived structures are built at most once: cache entries are
+    shared across query workers, and the lazy builds used to run
+    unlocked, so concurrent threads could each build (and race to
+    publish) the same AABB-tree. A per-entry lock now guards each build;
+    reads stay lock-free once the attribute is published.
     """
 
     __slots__ = (
         "positions", "faces", "_triangles", "_tree", "_groups",
-        "tree_leaf_size", "lod", "degraded",
+        "tree_leaf_size", "lod", "degraded", "_build_lock",
     )
 
     def __init__(
@@ -66,6 +77,7 @@ class DecodedLOD:
         self._triangles: np.ndarray | None = None
         self._tree: TriangleAABBTree | None = None
         self._groups: np.ndarray | None = None
+        self._build_lock = threading.Lock()
 
     @property
     def num_faces(self) -> int:
@@ -74,19 +86,27 @@ class DecodedLOD:
     @property
     def triangles(self) -> np.ndarray:
         if self._triangles is None:
-            self._triangles = self.positions[self.faces]
+            with self._build_lock:
+                if self._triangles is None:
+                    self._triangles = self.positions[self.faces]
         return self._triangles
 
     @property
     def tree(self) -> TriangleAABBTree:
         if self._tree is None:
-            self._tree = TriangleAABBTree(self.triangles, leaf_size=self.tree_leaf_size)
+            triangles = self.triangles  # build outside the tree check
+            with self._build_lock:
+                if self._tree is None:
+                    self._tree = TriangleAABBTree(triangles, leaf_size=self.tree_leaf_size)
         return self._tree
 
     def groups(self, partition) -> np.ndarray:
         """Sub-object index per face under ``partition`` (memoized)."""
         if self._groups is None:
-            self._groups = partition.group_faces(self.triangles)
+            triangles = self.triangles
+            with self._build_lock:
+                if self._groups is None:
+                    self._groups = partition.group_faces(triangles)
         return self._groups
 
     @property
@@ -295,14 +315,36 @@ class DecodedObjectProvider:
         self._m_decoded_vertices = registry.counter(
             "repro_decoded_vertices_total", "Vertices reinserted by progressive decoders"
         )
+        self._m_table_build_seconds = registry.histogram(
+            "repro_decode_table_build_seconds",
+            "Wall time compiling columnar LOD tables (once per object)",
+        )
+        self._m_slice_seconds = registry.histogram(
+            "repro_decode_slice_seconds",
+            "Wall time materializing LOD face slices from compiled tables",
+        )
 
     def _decode_at(self, obj_id: int, lod: int) -> DecodedLOD:
         """One decode attempt at exactly ``lod``; may raise."""
         if self.fault_injector is not None:
             self.fault_injector.before_decode(self.name, obj_id, lod)
+        obj = self.objects[obj_id]
+        tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
+        if "lod_table" not in obj.__dict__:
+            # First decode of this object anywhere: compile the columnar
+            # table (cached on the object, shared by every later decode).
+            start = time.perf_counter()
+            table = obj.lod_table
+            elapsed = time.perf_counter() - start
+            self._m_table_build_seconds.observe(elapsed)
+            if tracer is not None:
+                tracer.record(
+                    "decode_table_build", elapsed,
+                    dataset=self.name, object=obj_id, rows=table.num_rows,
+                )
         decoder = self._decoders.get(obj_id)
         if decoder is None or decoder.current_lod > lod:
-            decoder = self.objects[obj_id].decoder()
+            decoder = obj.decoder()
         before = decoder.vertices_reinserted
         decoder.advance_to(lod)
         # Commit the decoder only after a successful advance: a failed
@@ -310,9 +352,17 @@ class DecodedObjectProvider:
         self._decoders[obj_id] = decoder
         self.decoded_vertices += decoder.vertices_reinserted - before
         self._m_decoded_vertices.inc(decoder.vertices_reinserted - before)
+        start = time.perf_counter()
+        faces = decoder.face_array()
+        elapsed = time.perf_counter() - start
+        self._m_slice_seconds.observe(elapsed)
+        if tracer is not None:
+            tracer.record(
+                "decode_slice", elapsed, dataset=self.name, object=obj_id, lod=lod
+            )
         return DecodedLOD(
-            decoder.compressed.positions,
-            decoder.face_array(),
+            obj.positions,
+            faces,
             tree_leaf_size=self.tree_leaf_size,
             lod=lod,
             degraded=obj_id in self.salvaged_ids,

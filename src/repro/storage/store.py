@@ -206,6 +206,22 @@ class Dataset:
             for obj in self.objects
         )
 
+    def precompile_lod_tables(self) -> int:
+        """Compile every object's columnar decode table now; returns count built.
+
+        Decoders compile tables lazily on first touch (including objects
+        deserialized in salvage mode, whose valid round prefix compiles
+        to a truncated table). Bulk loaders can call this to front-load
+        that cost at load time — e.g. before the process backend spills
+        an in-memory dataset, so workers receive compiled tables.
+        """
+        built = 0
+        for obj in self.objects:
+            if "lod_table" not in obj.__dict__:
+                obj.lod_table  # noqa: B018 - cached_property build for effect
+                built += 1
+        return built
+
 
 def save_dataset(
     dataset: Dataset,

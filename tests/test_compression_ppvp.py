@@ -7,12 +7,19 @@ These are the paper's load-bearing guarantees (Section 3.2):
 3. inter-object distance is non-increasing as LOD increases.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.compression import PPVPEncoder
+from repro.compression import (
+    PPVPEncoder,
+    ReplayDecoder,
+    deserialize_object,
+    serialize_object,
+)
 from repro.geometry import point_in_polyhedron, tri_tri_distance_batch
 from repro.mesh import icosphere, mesh_volume, validate_polyhedron
 from tests.test_compression_classify import dented_icosphere
@@ -108,6 +115,53 @@ class TestDecoding:
                 decoder.polyhedron().canonical_face_set()
                 == obj.decode(lod).canonical_face_set()
             )
+
+
+class TestSliceDecoderEquivalence:
+    """The columnar decoder is the replay decoder, byte for byte.
+
+    ``ProgressiveDecoder`` materializes LODs by slicing the compiled
+    :class:`LODTable`; ``ReplayDecoder`` replays removal records through
+    an ``EditableMesh``. They must agree on the exact face array — rows,
+    orientation, and order — at every LOD, or query results would shift
+    (refinement probes ``triangles[0, 0]`` and kernels early-exit in
+    array order).
+    """
+
+    @staticmethod
+    def _assert_equivalent(obj):
+        ref, cur = ReplayDecoder(obj), obj.decoder()
+        for lod in obj.lods:
+            ref.advance_to(lod)
+            cur.advance_to(lod)
+            assert np.array_equal(ref.face_array(), cur.face_array()), f"LOD {lod}"
+            assert ref.vertices_reinserted == cur.vertices_reinserted
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_quantized_round_trip_blobs(self, seed):
+        # Quantization perturbs positions but not connectivity; the two
+        # decoders must stay identical on deserialized objects.
+        mesh, _ = dented_icosphere(subdivisions=1, seed=seed % 11)
+        obj = PPVPEncoder(max_lods=4).encode(mesh)
+        restored = deserialize_object(serialize_object(obj, quant_bits=12))
+        self._assert_equivalent(restored)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_salvaged_round_prefixes(self, data):
+        # Salvage keeps a checksum-valid round suffix — a prefix of the
+        # decode timeline. Any such truncation must decode identically.
+        seed = data.draw(st.integers(0, 10))
+        mesh, _ = dented_icosphere(subdivisions=1, seed=seed)
+        obj = PPVPEncoder(max_lods=4).encode(mesh)
+        dropped = data.draw(st.integers(0, obj.num_rounds))
+        truncated = dataclasses.replace(obj, rounds=obj.rounds[dropped:])
+        self._assert_equivalent(truncated)
+
+    def test_fixture_object(self, sphere_codec):
+        _mesh, obj = sphere_codec
+        self._assert_equivalent(obj)
 
 
 class TestProgressiveProperty:

@@ -8,7 +8,7 @@ cell of the paper's Table 1 must return exactly the same joins.
 import pytest
 
 from repro.baselines import NaiveEngine
-from repro.core import Accel, EngineConfig, ThreeDPro
+from repro.core import Accel, EngineConfig, QuerySpec, ThreeDPro
 from repro.core.errors import DatasetNotLoadedError, EngineConfigError
 from repro.mesh import icosphere
 from repro.storage import Dataset
@@ -180,31 +180,43 @@ class TestContainment:
 
 
 class TestProbeQueries:
+    # Probe queries go through execute(QuerySpec(probe=...)); the
+    # deprecated bare ``*_query`` wrappers are only exercised by the
+    # dedicated deprecation tests in test_query_api.py.
+
+    @staticmethod
+    def _probe_matches(engine, kind, source, probe, **kwargs):
+        return engine.execute(
+            QuerySpec(kind=kind, source=source, probe=probe, **kwargs)
+        ).matches
+
     def test_intersection_query(self, datasets, small_scene):
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
         probe = small_scene.nuclei_a[0]
-        hits = engine.intersection_query("nuclei_b", probe)
+        hits = self._probe_matches(engine, "intersection", "nuclei_b", probe)
         truth = NaiveEngine([probe], small_scene.nuclei_b, prefilter=True).intersection_join()
         assert sorted(hits) == truth.pairs.get(0, [])
 
     def test_within_query(self, datasets, small_scene):
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
         probe = small_scene.nuclei_a[3]
-        hits = engine.within_query("nuclei_b", probe, WITHIN_DISTANCE)
+        hits = self._probe_matches(
+            engine, "within", "nuclei_b", probe, distance=WITHIN_DISTANCE
+        )
         truth = NaiveEngine([probe], small_scene.nuclei_b, prefilter=True).within_join(WITHIN_DISTANCE)
         assert sorted(hits) == truth.pairs.get(0, [])
 
     def test_nn_query(self, datasets, small_scene):
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
         probe = small_scene.nuclei_a[5]
-        got = engine.nn_query("vessels", probe)
+        matches = self._probe_matches(engine, "nn", "vessels", probe)
         truth = NaiveEngine([probe], small_scene.vessels, prefilter=True).nn_join()
-        assert got is not None
-        assert got[0] == truth.pairs[0][0]
+        assert matches
+        assert matches[0][0] == truth.pairs[0][0]
 
     def test_probe_dataset_cleaned_up(self, datasets, small_scene):
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
-        engine.nn_query("vessels", small_scene.nuclei_a[0])
+        self._probe_matches(engine, "nn", "vessels", small_scene.nuclei_a[0])
         assert all("__probe__" not in name for name in engine.dataset_names)
 
     def test_back_to_back_probes_do_not_share_state(self, datasets, small_scene):
@@ -212,13 +224,17 @@ class TestProbeQueries:
         probe query could reuse the first probe's cached decodes."""
         engine = build_engine(EngineConfig(paradigm="fpr"), datasets)
         probe_a, probe_b = small_scene.nuclei_a[0], small_scene.nuclei_a[7]
-        first = engine.intersection_query("nuclei_b", probe_a)
-        second = engine.intersection_query("nuclei_b", probe_b)
+        first = self._probe_matches(engine, "intersection", "nuclei_b", probe_a)
+        second = self._probe_matches(engine, "intersection", "nuclei_b", probe_b)
 
         fresh = build_engine(EngineConfig(paradigm="fpr"), datasets)
-        assert sorted(second) == sorted(fresh.intersection_query("nuclei_b", probe_b))
+        assert sorted(second) == sorted(
+            self._probe_matches(fresh, "intersection", "nuclei_b", probe_b)
+        )
         # the first probe repeated on the warm engine still answers the same
-        assert sorted(engine.intersection_query("nuclei_b", probe_a)) == sorted(first)
+        assert sorted(
+            self._probe_matches(engine, "intersection", "nuclei_b", probe_a)
+        ) == sorted(first)
         # and no probe decodes linger in the shared cache
         assert not any(
             str(key[0]).startswith("__probe__") for key in engine.cache._entries
