@@ -19,7 +19,11 @@ the checked-in golden set:
    was evaluated somewhere — including MBB-fallback confirmations;
 6. the columnar slice decoder agrees with the reference replay decoder
    byte-for-byte at every LOD of every object in the gate scene, and the
-   O(1) ``face_count_at_lod`` matches the materialized face counts.
+   O(1) ``face_count_at_lod`` matches the materialized face counts;
+7. a deadline-bounded join reports a ``completeness`` record whose
+   arithmetic adds up, whose pairs are a sound subset of the undeadlined
+   answer, and whose partiality agrees with the root span attributes and
+   the ``repro_deadline_exceeded_total`` counter.
 
 The join respects ``REPRO_QUERY_WORKERS`` / ``REPRO_QUERY_BACKEND``, so
 CI also runs this gate under the process query backend.
@@ -88,7 +92,7 @@ def run_join(datasets, tracing: bool):
 
 
 def check_prometheus(engine) -> None:
-    print("[2/6] Prometheus export vs golden series list")
+    print("[2/7] Prometheus export vs golden series list")
     text = engine.metrics.to_prometheus()
     present = {
         line.split("{")[0].split(" ")[0]
@@ -107,7 +111,7 @@ def check_prometheus(engine) -> None:
 
 
 def check_chrome_trace(engine) -> None:
-    print("[3/6] Chrome trace vs golden schema")
+    print("[3/7] Chrome trace vs golden schema")
     schema = json.loads((GOLDEN / "chrome_trace_schema.json").read_text())
     doc = json.loads(json.dumps(engine.tracer.to_chrome_trace()))
     for key in schema["required_top_level"]:
@@ -132,7 +136,7 @@ def check_chrome_trace(engine) -> None:
 
 
 def check_phase_agreement(engine, stats) -> None:
-    print("[1/6] trace phase totals vs QueryStats")
+    print("[1/7] trace phase totals vs QueryStats")
     totals = phase_totals(engine.tracer)
     for phase, value in (
         ("filter", stats.filter_seconds),
@@ -151,7 +155,7 @@ def check_phase_agreement(engine, stats) -> None:
 
 
 def check_disabled_overhead(datasets, traced_seconds: float) -> None:
-    print("[4/6] disabled-tracing fast path")
+    print("[4/7] disabled-tracing fast path")
     engine, result, elapsed = run_join(datasets, tracing=False)
     check(engine.tracer.span("anything") is NOOP_SPAN, "disabled tracer hands out NOOP_SPAN")
     check(engine.tracer.roots == [], "disabled tracer collected no spans")
@@ -167,7 +171,7 @@ def check_disabled_overhead(datasets, traced_seconds: float) -> None:
 
 
 def check_pairs_ledger(datasets) -> None:
-    print("[5/6] degraded-run pairs ledger")
+    print("[5/7] degraded-run pairs ledger")
     from repro.faults import FaultInjector
 
     engine = ThreeDPro(
@@ -199,7 +203,7 @@ def check_pairs_ledger(datasets) -> None:
 
 
 def check_decode_equivalence(datasets) -> None:
-    print("[6/6] columnar slice decode vs reference replay")
+    print("[6/7] columnar slice decode vs reference replay")
     import numpy as np
 
     from repro.compression import ReplayDecoder
@@ -230,6 +234,58 @@ def check_decode_equivalence(datasets) -> None:
     )
 
 
+def check_partial_completeness(datasets, reference) -> None:
+    print("[7/7] deadline-bounded partial result consistency")
+    registry = MetricsRegistry()
+    engine = ThreeDPro(
+        EngineConfig(tracing=True, metrics=registry, deadline_ms=1)
+    )
+    for dataset in datasets.values():
+        engine.load_dataset(dataset)
+    result = engine.nn_join("nuclei_a", "vessels")
+    comp = result.completeness
+    check(comp is not None, "partial run carries a completeness record")
+    check(
+        comp.targets_total
+        == comp.targets_finished + comp.targets_inflight + comp.targets_unstarted,
+        f"completeness arithmetic: {comp.targets_total} == "
+        f"{comp.targets_finished} + {comp.targets_inflight} + {comp.targets_unstarted}",
+    )
+    check(result.complete == comp.complete, "result.complete mirrors completeness")
+    subset = set(result.pairs) <= set(reference.pairs) and all(
+        result.pairs[tid] == reference.pairs[tid] for tid in result.pairs
+    )
+    check(
+        subset,
+        f"{len(result.pairs)} confirmed pairs are a sound subset of the "
+        f"undeadlined {len(reference.pairs)}",
+    )
+    # The partiality counter, the root span's attributes, and the result
+    # must tell the same story — one increment per partial query, zero
+    # when a 1ms budget somehow suffices.
+    exceeded = sum(
+        float(line.rsplit(" ", 1)[1])
+        for line in registry.to_prometheus().splitlines()
+        if line.startswith("repro_deadline_exceeded_total")
+    )
+    expected = 0.0 if result.complete else 1.0
+    check(
+        exceeded == expected,
+        f"repro_deadline_exceeded_total == {expected:g} (got {exceeded:g})",
+    )
+    root = engine.tracer.roots[0]
+    check(
+        bool(root.attrs.get("partial")) == (not result.complete),
+        "root span partial attribute agrees with the result",
+    )
+    if not result.complete:
+        check(
+            root.attrs.get("targets_finished") == comp.targets_finished
+            and root.attrs.get("targets_unstarted") == comp.targets_unstarted,
+            "root span target counts match the completeness record",
+        )
+
+
 def main() -> int:
     print("building datasets...")
     datasets = build_datasets()
@@ -240,6 +296,7 @@ def main() -> int:
     check_disabled_overhead(datasets, traced_seconds)
     check_pairs_ledger(datasets)
     check_decode_equivalence(datasets)
+    check_partial_completeness(datasets, result)
     if _FAILURES:
         print(f"\n{len(_FAILURES)} check(s) FAILED:")
         for failure in _FAILURES:

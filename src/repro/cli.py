@@ -90,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--query-backend", choices=["thread", "process"], default=None,
                      help="parallel backend for --query-workers > 1 (default: "
                           "REPRO_QUERY_BACKEND env or thread)")
+    qry.add_argument("--deadline-ms", type=int, default=None,
+                     help="wall-clock budget; on expiry the query returns the "
+                          "pairs confirmed so far as a sound partial result "
+                          "(default: REPRO_DEADLINE_MS env or unbounded)")
     qry.add_argument("--limit", type=int, default=10, help="result rows to print")
     qry.add_argument("--salvage", action="store_true", help=salvage_help)
 
@@ -117,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--query-backend", choices=["thread", "process"], default=None,
                      help="parallel backend for --query-workers > 1 (default: "
                           "REPRO_QUERY_BACKEND env or thread)")
+    obs.add_argument("--deadline-ms", type=int, default=None,
+                     help="wall-clock budget; on expiry the query returns the "
+                          "pairs confirmed so far as a sound partial result "
+                          "(default: REPRO_DEADLINE_MS env or unbounded)")
     obs.add_argument("--salvage", action="store_true", help=salvage_help)
     obs.add_argument("--trace-json", type=Path, default=None,
                      help="write the span tree as JSON")
@@ -241,7 +249,8 @@ def _make_engine(args) -> tuple[ThreeDPro, str, str]:
     engine = ThreeDPro(EngineConfig(paradigm=getattr(args, "paradigm", "fpr"),
                                     accel=_ACCEL[getattr(args, "accel", "none")],
                                     query_workers=getattr(args, "query_workers", None),
-                                    query_backend=getattr(args, "query_backend", None)))
+                                    query_backend=getattr(args, "query_backend", None),
+                                    deadline_ms=getattr(args, "deadline_ms", None)))
     salvage = getattr(args, "salvage", False)
     target = _load_dataset_cli(args.target, salvage)
     source = _load_dataset_cli(args.source, salvage)
@@ -269,6 +278,15 @@ def _cmd_query(args) -> int:
     engine, target, source = _make_engine(args)
     result = engine.execute(_build_spec(args, target, source))
     print(result.stats.summary())
+    comp = result.completeness
+    if not comp.complete:
+        print(
+            f"  partial ({comp.reason}): {comp.targets_finished}/"
+            f"{comp.targets_total} targets finished, "
+            f"{comp.targets_inflight} in flight, "
+            f"{comp.targets_unstarted} unstarted; every pair below is "
+            f"confirmed (max LOD reached: {comp.max_lod_reached})"
+        )
     if result.degraded_targets:
         print(
             f"  degraded: {len(result.degraded_targets)} target answers are "
@@ -328,6 +346,7 @@ def _cmd_obs(args) -> int:
                 metrics=metrics,
                 query_workers=args.query_workers,
                 query_backend=args.query_backend,
+                deadline_ms=args.deadline_ms,
             )
         )
         target = _load_dataset_cli(args.target, args.salvage)
@@ -337,6 +356,12 @@ def _cmd_obs(args) -> int:
         result = engine.execute(_build_spec(args, target.name, source.name))
 
         print(result.stats.summary())
+        if not result.completeness.complete:
+            comp = result.completeness
+            print(
+                f"partial ({comp.reason}): {comp.targets_finished}/"
+                f"{comp.targets_total} targets finished"
+            )
         totals = phase_totals(engine.tracer)
         print(
             "trace totals: "

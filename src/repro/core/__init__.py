@@ -15,12 +15,14 @@ batching) compose with both paradigms, as in the paper's Table 1.
 """
 
 from repro.core.config import Accel, EngineConfig
+from repro.core.deadline import CancellationToken, Deadline
 from repro.core.engine import JoinResult, QueryResult, QuerySpec, ThreeDPro
 from repro.core.errors import (
     BlobChecksumError,
     CuboidFormatError,
     DatasetFormatError,
     DatasetNotLoadedError,
+    DeadlineExceededError,
     DecodeFailureError,
     EngineConfigError,
     EngineError,
@@ -29,12 +31,17 @@ from repro.core.errors import (
     TaskExecutionError,
 )
 from repro.core.lod_select import LODProfile, choose_lod_list, profile_pruning
+from repro.core.plan import QueryCompleteness
 from repro.core.stats import QueryStats
 
 __all__ = [
     "Accel",
+    "CancellationToken",
+    "Deadline",
+    "DeadlineExceededError",
     "EngineConfig",
     "JoinResult",
+    "QueryCompleteness",
     "QueryResult",
     "QuerySpec",
     "ThreeDPro",

@@ -88,6 +88,24 @@ class EngineConfig:
     # final top-LOD distance evaluation for the reported neighbors -
     # costlier, but every returned distance is exact.
     exact_nn_distances: bool = False
+    # Wall-clock budget per query, in milliseconds. At cooperative
+    # checkpoints an expired deadline turns the rest of the query into a
+    # *partial* result (QueryResult.completeness says what finished).
+    # None means "not set explicitly": the engine then honors the
+    # REPRO_DEADLINE_MS environment variable, and finally no deadline.
+    # A QuerySpec-level deadline_ms overrides both.
+    deadline_ms: int | None = None
+    # Process-backend worker supervision (repro.parallel.procpool):
+    # a chunk whose heartbeat goes stale for longer than
+    # worker_hang_timeout_seconds has its pool killed and respawned
+    # (None disables hang detection); each chunk is attempted at most
+    # chunk_max_attempts times on the pool before it is quarantined to
+    # serial in-process execution; and after pool_failure_threshold
+    # consecutive pool failures the circuit breaker quarantines all
+    # remaining chunks instead of resubmitting.
+    worker_hang_timeout_seconds: float | None = None
+    chunk_max_attempts: int = 2
+    pool_failure_threshold: int = 3
     # Error budget: abort a query with ErrorBudgetExceededError once more
     # than this many distinct objects have degraded (decode fallback or
     # total decode failure). None disables the budget.
@@ -119,6 +137,17 @@ class EngineConfig:
                 f"query_backend must be None, 'thread', or 'process', "
                 f"got {self.query_backend!r}"
             )
+        if self.deadline_ms is not None and self.deadline_ms < 1:
+            raise EngineConfigError("deadline_ms must be None or >= 1")
+        if (
+            self.worker_hang_timeout_seconds is not None
+            and self.worker_hang_timeout_seconds <= 0
+        ):
+            raise EngineConfigError("worker_hang_timeout_seconds must be None or > 0")
+        if self.chunk_max_attempts < 1:
+            raise EngineConfigError("chunk_max_attempts must be >= 1")
+        if self.pool_failure_threshold < 1:
+            raise EngineConfigError("pool_failure_threshold must be >= 1")
         if self.task_retries < 0:
             raise EngineConfigError("task_retries must be >= 0")
         if self.task_backoff_seconds < 0:
@@ -161,6 +190,29 @@ class EngineConfig:
             ) from None
         if value < 1:
             raise EngineConfigError("REPRO_QUERY_WORKERS must be >= 1")
+        return value
+
+    def resolve_deadline_ms(self) -> int | None:
+        """The effective per-query wall-clock budget in milliseconds.
+
+        An explicit ``deadline_ms`` always wins; otherwise the
+        ``REPRO_DEADLINE_MS`` environment variable applies (rejecting
+        malformed values loudly rather than silently running
+        unbounded), and the default is ``None`` (no deadline).
+        """
+        if self.deadline_ms is not None:
+            return self.deadline_ms
+        env = os.environ.get("REPRO_DEADLINE_MS", "").strip()
+        if not env:
+            return None
+        try:
+            value = int(env)
+        except ValueError:
+            raise EngineConfigError(
+                f"REPRO_DEADLINE_MS must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise EngineConfigError("REPRO_DEADLINE_MS must be >= 1")
         return value
 
     def resolve_query_backend(self) -> str:

@@ -195,6 +195,7 @@ class ThreeDPro:
                 return QueryResult(
                     inner.pairs, inner.stats, inner.degraded_targets, spec,
                     degraded_keys=inner.degraded_keys,
+                    completeness=inner.completeness,
                 )
             finally:
                 del self._datasets[name]

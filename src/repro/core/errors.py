@@ -17,6 +17,7 @@ __all__ = [
     "BlobChecksumError",
     "DatasetFormatError",
     "DecodeFailureError",
+    "DeadlineExceededError",
     "ErrorBudgetExceededError",
     "TaskExecutionError",
 ]
@@ -92,6 +93,37 @@ class ErrorBudgetExceededError(EngineError):
 
     def __reduce__(self):
         return (type(self), (self.budget, self.degraded, self.query))
+
+
+class DeadlineExceededError(EngineError):
+    """A query's wall-clock budget expired (or its token was cancelled).
+
+    Raised at cooperative checkpoints throughout the execution stack
+    (executor target loop, refinement rounds, candidate batches, the
+    decode provider, the task scheduler). The executor converts it into
+    a *partial* :class:`~repro.core.plan.QueryResult` rather than
+    letting it escape: everything confirmed before the checkpoint is a
+    sound answer under the FPR paradigm (pairs confirmed at any LOD are
+    final), so the exception carries the refine layer's confirmed-so-far
+    values in ``partial`` and the ``in_target`` flag marks whether a
+    target was interrupted mid-refinement.
+    """
+
+    def __init__(self, reason: str = "deadline", where: str = "",
+                 deadline_ms: int | None = None):
+        at = f" at {where}" if where else ""
+        budget = f" (budget {deadline_ms}ms)" if deadline_ms is not None else ""
+        super().__init__(f"query {reason}{at}{budget}")
+        self.reason = reason
+        self.where = where
+        self.deadline_ms = deadline_ms
+        # Confirmed-so-far matches attached by the interrupted refine
+        # pass; None when the interrupt happened between targets.
+        self.partial = None
+        self.in_target = False
+
+    def __reduce__(self):
+        return (type(self), (self.reason, self.where, self.deadline_ms))
 
 
 class TaskExecutionError(EngineError):

@@ -45,8 +45,9 @@ import logging
 import threading
 import time
 
-from repro.core.errors import ErrorBudgetExceededError
-from repro.core.plan import QueryPlan, QueryResult
+from repro.core.deadline import Deadline
+from repro.core.errors import DeadlineExceededError, ErrorBudgetExceededError
+from repro.core.plan import QueryCompleteness, QueryPlan, QueryResult
 from repro.core.refine import RefineContext
 from repro.core.stats import QueryStats
 from repro.obs.logs import get_logger, log_event
@@ -79,6 +80,25 @@ class QueryExecutor:
             "repro_degraded_objects_total",
             "Distinct objects served below requested fidelity, per query",
         )
+        self._m_deadline_exceeded = self.metrics.counter(
+            "repro_deadline_exceeded_total",
+            "Queries returning partial results (deadline expiry or cancellation)",
+        )
+        # Process-backend supervision counters, registered eagerly so
+        # they export (at zero) from any engine; incremented by
+        # repro.parallel.procpool's chunk supervisor.
+        self._m_worker_restarts = self.metrics.counter(
+            "repro_worker_restarts_total",
+            "Worker pools killed and respawned (crash or hang) during queries",
+        )
+        self._m_quarantined = self.metrics.counter(
+            "repro_chunks_quarantined_total",
+            "Suspect chunks retired from the pool to serial in-process execution",
+        )
+        # Optional callable invoked at target-loop boundaries; the
+        # process backend's workers point it at their chunk's heartbeat
+        # file so the parent's hang detector sees liveness per target.
+        self.heartbeat = None
 
     @property
     def tracer(self):
@@ -96,10 +116,14 @@ class QueryExecutor:
         started = time.perf_counter()
         tids = plan.strategy.target_ids(plan)
         workers = min(self.engine.query_workers, max(1, len(tids)))
+        deadline = self._deadline_for(plan.spec)
 
         pairs: dict = {}
         degraded_targets: set = set()
         degraded_keys: set = set()
+        finished = 0
+        inflight = 0
+        reason = None
         root = self.tracer.span(
             "query",
             query=stats.query,
@@ -108,11 +132,22 @@ class QueryExecutor:
             source=plan.source.name,
         )
         if workers == 1:
-            ctx = self._context(plan, stats)
+            ctx = self._context(plan, stats, deadline=deadline)
             degraded_keys = ctx.degraded_keys
             with root:
-                for tid in tids:
-                    self._run_target(plan, ctx, stats, tid, pairs, degraded_targets)
+                try:
+                    for tid in tids:
+                        if self.heartbeat is not None:
+                            self.heartbeat()
+                        if deadline is not None:
+                            deadline.check("target_loop")
+                        self._run_target(
+                            plan, ctx, stats, tid, pairs, degraded_targets
+                        )
+                        finished += 1
+                except DeadlineExceededError as exc:
+                    reason = exc.reason
+                    inflight = 1 if exc.in_target else 0
         else:
             chunks = self._chunk_targets(tids, workers)
             # Containment has no target dataset to restrict by target id,
@@ -124,27 +159,95 @@ class QueryExecutor:
             outcomes = None
             with root:
                 if use_process:
-                    outcomes = self._run_process(plan, stats, chunks, workers)
+                    outcomes = self._run_process(
+                        plan, stats, chunks, workers, root, deadline
+                    )
                 if outcomes is None:
                     thread_outcomes, degraded_keys = self._run_parallel(
-                        plan, stats, chunks, workers, root
+                        plan, stats, chunks, workers, root, deadline
                     )
             # Merge in chunk order: chunks are contiguous slices of the
             # cuboid-ordered target list, so insertion order — and with
             # it the result, byte for byte — matches the serial loop.
             if outcomes is not None:
-                degraded_keys = self._merge_process(
+                degraded_keys, finished, inflight, reason = self._merge_process(
                     outcomes, pairs, degraded_targets, stats, root
                 )
             else:
-                for chunk_pairs, chunk_degraded, chunk_stats in thread_outcomes:
+                for (
+                    chunk_pairs,
+                    chunk_degraded,
+                    chunk_stats,
+                    chunk_finished,
+                    chunk_interrupt,
+                ) in thread_outcomes:
                     pairs.update(chunk_pairs)
                     degraded_targets |= chunk_degraded
                     stats.merge(chunk_stats)
-        self._finish_stats(stats, started, providers, root)
-        return QueryResult(
-            pairs, stats, degraded_targets, plan.spec, degraded_keys=degraded_keys
+                    finished += chunk_finished
+                    if chunk_interrupt is not None:
+                        reason = reason or chunk_interrupt.reason
+                        if chunk_interrupt.in_target:
+                            inflight += 1
+        completeness = self._completeness(
+            len(tids), finished, inflight, reason, stats, deadline
         )
+        self._finish_stats(stats, started, providers, root)
+        if not completeness.complete:
+            self._note_partial(stats, completeness, root)
+        return QueryResult(
+            pairs,
+            stats,
+            degraded_targets,
+            plan.spec,
+            degraded_keys=degraded_keys,
+            completeness=completeness,
+        )
+
+    def _deadline_for(self, spec) -> Deadline | None:
+        """Per-query deadline: spec > config > REPRO_DEADLINE_MS env."""
+        ms = spec.deadline_ms
+        if ms is None:
+            ms = self.config.resolve_deadline_ms()
+        token = spec.cancellation
+        if ms is None and token is None:
+            return None
+        return Deadline.after_ms(ms, token=token)
+
+    def _completeness(
+        self, total, finished, inflight, reason, stats, deadline
+    ) -> QueryCompleteness:
+        evaluated = stats.pairs_evaluated_by_lod
+        return QueryCompleteness(
+            complete=reason is None,
+            reason=reason or "",
+            targets_total=total,
+            targets_finished=finished if reason is not None else total,
+            targets_inflight=inflight,
+            targets_unstarted=(
+                max(0, total - finished - inflight) if reason is not None else 0
+            ),
+            max_lod_reached=max(evaluated) if evaluated else -1,
+            deadline_ms=deadline.deadline_ms if deadline is not None else None,
+        )
+
+    def _note_partial(self, stats, completeness, root) -> None:
+        self._m_deadline_exceeded.inc(reason=completeness.reason)
+        log_event(
+            _LOG, "partial_result", level=logging.WARNING,
+            query=stats.query, reason=completeness.reason,
+            targets_finished=completeness.targets_finished,
+            targets_inflight=completeness.targets_inflight,
+            targets_unstarted=completeness.targets_unstarted,
+            max_lod_reached=completeness.max_lod_reached,
+        )
+        if root is not None and root.enabled:
+            root.set(
+                partial=True,
+                partial_reason=completeness.reason,
+                targets_finished=completeness.targets_finished,
+                targets_unstarted=completeness.targets_unstarted,
+            )
 
     def _run_target(self, plan, ctx, stats, tid, pairs, degraded_targets) -> None:
         """One target through filter → refine → accumulate."""
@@ -156,7 +259,20 @@ class QueryExecutor:
         stats.candidates += strategy.candidate_count(candidates)
         ctx.touched_degraded = False
         with TimedPhase(self.tracer, stats, "compute", **strategy.compute_attrs(tid)):
-            value, count = strategy.refine(plan, ctx, tid, candidates)
+            try:
+                value, count = strategy.refine(plan, ctx, tid, candidates)
+            except DeadlineExceededError as exc:
+                # Anytime semantics: pairs this target confirmed before
+                # the budget ran out are final (FPR never revokes a
+                # confirmation), so commit them before propagating.
+                exc.in_target = True
+                value, count = strategy.partial_value(exc)
+                if ctx.touched_degraded:
+                    degraded_targets.add(tid)
+                if value is not None:
+                    pairs[tid] = value
+                    stats.results += count
+                raise
         if ctx.touched_degraded:
             degraded_targets.add(tid)
         if value is not None:
@@ -169,8 +285,15 @@ class QueryExecutor:
         chunk_size = -(-len(tids) // (workers * _CHUNKS_PER_WORKER))
         return [tids[i : i + chunk_size] for i in range(0, len(tids), chunk_size)]
 
-    def _run_process(self, plan, stats, chunks, workers):
-        """Fan chunks across worker processes; ``None`` means fall back."""
+    def _run_process(self, plan, stats, chunks, workers, root, deadline):
+        """Fan chunks across worker processes; ``None`` means fall back.
+
+        Chunks the supervisor quarantined (crash/hang suspects that
+        exhausted their pool attempts) come back as
+        :class:`~repro.parallel.procpool.QuarantinedChunk` markers and
+        are re-run serially in-process here, inside the root span, so
+        the query still completes without a whole-query thread fallback.
+        """
         from repro.parallel import procpool
 
         log_event(
@@ -179,22 +302,90 @@ class QueryExecutor:
             targets=sum(len(c) for c in chunks),
         )
         try:
-            return procpool.execute_chunks(self.engine, plan, chunks)
+            outcomes = procpool.execute_chunks(
+                self.engine, plan, chunks, deadline=deadline
+            )
         except procpool.ProcessBackendUnavailable as exc:
             log_event(
                 _LOG, "process_backend_fallback", level=logging.WARNING,
                 query=stats.query, error=str(exc),
+                traceback=exc.traceback or "",
             )
             return None
+        return [
+            self._run_chunk_local(plan, stats, outcome, root, deadline)
+            if isinstance(outcome, procpool.QuarantinedChunk)
+            else outcome
+            for outcome in outcomes
+        ]
 
-    def _merge_process(self, outcomes, pairs, degraded_targets, stats, root) -> set:
+    def _run_chunk_local(self, plan, stats, quarantined, root, deadline):
+        """Serial in-process execution of a quarantined chunk."""
+        from repro.parallel.procpool import ChunkOutcome
+
+        log_event(
+            _LOG, "chunk_quarantine_run", level=logging.WARNING,
+            query=stats.query, chunk=quarantined.index,
+            targets=len(quarantined.targets), reason=quarantined.reason,
+        )
+        chunk_stats = QueryStats(query=stats.query, config_label=stats.config_label)
+        ctx = self._context(plan, chunk_stats, deadline=deadline)
+        chunk_pairs: dict = {}
+        chunk_degraded: set = set()
+        finished = 0
+        interrupted = None
+        with self.tracer.adopt(root):
+            with self.tracer.span(
+                "worker", targets=len(quarantined.targets), backend="quarantine"
+            ):
+                try:
+                    for tid in quarantined.targets:
+                        if deadline is not None:
+                            deadline.check("quarantine_loop")
+                        self._run_target(
+                            plan, ctx, chunk_stats, tid, chunk_pairs, chunk_degraded
+                        )
+                        finished += 1
+                except DeadlineExceededError as exc:
+                    interrupted = exc
+        inflight = 1 if interrupted is not None and interrupted.in_target else 0
+        completeness = QueryCompleteness(
+            complete=interrupted is None,
+            reason=interrupted.reason if interrupted is not None else "",
+            targets_total=len(quarantined.targets),
+            targets_finished=finished,
+            targets_inflight=inflight,
+            targets_unstarted=max(0, len(quarantined.targets) - finished - inflight),
+        )
+        return ChunkOutcome(
+            pairs=chunk_pairs,
+            degraded_targets=chunk_degraded,
+            stats=chunk_stats,
+            degraded_keys=set(ctx.degraded_keys),
+            spans=(),
+            metrics_delta={},
+            completeness=completeness,
+        )
+
+    def _merge_process(self, outcomes, pairs, degraded_targets, stats, root) -> tuple:
         """Merge worker-process chunk outcomes, in submission order."""
         degraded_keys: set = set()
+        finished = 0
+        inflight = 0
+        reason = None
         for outcome in outcomes:
             pairs.update(outcome.pairs)
             degraded_targets |= outcome.degraded_targets
             stats.merge(outcome.stats)
             degraded_keys |= outcome.degraded_keys
+            comp = outcome.completeness
+            if comp is not None:
+                finished += comp.targets_finished
+                inflight += comp.targets_inflight
+                if not comp.complete:
+                    reason = reason or (comp.reason or "deadline")
+            else:
+                finished += outcome.stats.targets
             if outcome.metrics_delta:
                 self.metrics.merge_state(outcome.metrics_delta)
             if root is not None and root.enabled:
@@ -217,9 +408,9 @@ class QueryExecutor:
             raise ErrorBudgetExceededError(
                 budget, len(degraded_keys), query=stats.query
             )
-        return degraded_keys
+        return degraded_keys, finished, inflight, reason
 
-    def _run_parallel(self, plan, stats, chunks, workers, root) -> tuple:
+    def _run_parallel(self, plan, stats, chunks, workers, root, deadline) -> tuple:
         # One degraded-key set across all workers (guarded): the distinct
         # degraded-object count and the error budget are per *query*, not
         # per worker, and must not depend on chunk boundaries.
@@ -229,17 +420,32 @@ class QueryExecutor:
         def run_chunk(chunk):
             chunk_stats = QueryStats(query=stats.query, config_label=stats.config_label)
             ctx = self._context(
-                plan, chunk_stats, degraded_keys=degraded_keys, lock=degraded_lock
+                plan,
+                chunk_stats,
+                degraded_keys=degraded_keys,
+                lock=degraded_lock,
+                deadline=deadline,
             )
             chunk_pairs: dict = {}
             chunk_degraded: set = set()
+            chunk_finished = 0
+            interrupted = None
+            # Deadline expiry is caught *inside* the chunk so completed
+            # targets ship back as a partial outcome — it must never look
+            # like a task failure the scheduler would retry.
             with self.tracer.adopt(root):
                 with self.tracer.span("worker", targets=len(chunk)):
-                    for tid in chunk:
-                        self._run_target(
-                            plan, ctx, chunk_stats, tid, chunk_pairs, chunk_degraded
-                        )
-            return chunk_pairs, chunk_degraded, chunk_stats
+                    try:
+                        for tid in chunk:
+                            if deadline is not None:
+                                deadline.check("target_loop")
+                            self._run_target(
+                                plan, ctx, chunk_stats, tid, chunk_pairs, chunk_degraded
+                            )
+                            chunk_finished += 1
+                    except DeadlineExceededError as exc:
+                        interrupted = exc
+            return chunk_pairs, chunk_degraded, chunk_stats, chunk_finished, interrupted
 
         # A dedicated scheduler per query: it reuses the face-pair
         # scheduler's retry/backoff/serial-fallback semantics but not its
@@ -262,8 +468,11 @@ class QueryExecutor:
 
     # -- shared machinery (moved verbatim from the old per-kind drivers) --------
 
-    def _context(self, plan, stats, degraded_keys=None, lock=None) -> RefineContext:
+    def _context(
+        self, plan, stats, degraded_keys=None, lock=None, deadline=None
+    ) -> RefineContext:
         ctx = RefineContext(
+            deadline=deadline,
             computer=self.engine.computer,
             stats=stats,
             target_provider=plan.target.provider,

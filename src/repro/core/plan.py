@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core.errors import EngineConfigError
+from repro.core.errors import DeadlineExceededError, EngineConfigError
 from repro.core.refine import (
     NNCandidate,
     refine_containment,
@@ -38,6 +38,7 @@ __all__ = [
     "QuerySpec",
     "QueryPlan",
     "QueryResult",
+    "QueryCompleteness",
     "KindStrategy",
     "QUERY_KINDS",
 ]
@@ -68,6 +69,15 @@ class QuerySpec:
     # of the cuboid-ordered target list as a self-contained sub-query;
     # cuboid iteration order among the kept ids is preserved.
     target_ids: tuple | None = None
+    # Wall-clock budget for this query in milliseconds; overrides the
+    # engine-level EngineConfig.deadline_ms / REPRO_DEADLINE_MS. Expiry
+    # yields a partial QueryResult (see QueryResult.completeness).
+    deadline_ms: int | None = None
+    # Optional repro.core.deadline.CancellationToken; cancelling it
+    # unwinds the query at its next checkpoint with a partial result.
+    # In-process only: the process backend strips it from worker specs
+    # (workers get a re-budgeted deadline_ms instead).
+    cancellation: object = None
 
     def normalized(self) -> "QuerySpec":
         """Validate and canonicalize (``nn`` becomes ``knn`` with k=1)."""
@@ -115,6 +125,8 @@ class QuerySpec:
                     "target_ids applies only to joins over a loaded target dataset"
                 )
             spec = replace(spec, target_ids=tuple(int(t) for t in spec.target_ids))
+        if spec.deadline_ms is not None and spec.deadline_ms < 1:
+            raise EngineConfigError("deadline_ms must be None or >= 1")
         return spec
 
     @property
@@ -126,6 +138,44 @@ class QuerySpec:
             k = 1 if self.k is None else self.k
             return "nn_join" if k == 1 else f"knn_join(k={k})"
         return f"{self.kind}_join"
+
+
+@dataclass
+class QueryCompleteness:
+    """How much of a query actually ran (the anytime-result contract).
+
+    ``complete`` is True for an undisturbed run. When a deadline expires
+    or a :class:`~repro.core.deadline.CancellationToken` fires,
+    ``reason`` says which (``"deadline"`` / ``"cancelled"``) and the
+    target tallies partition the target list: ``targets_finished`` ran
+    to the end, ``targets_inflight`` were interrupted mid-refinement
+    (their confirmed-so-far matches are still in ``pairs`` — sound
+    under FPR, where a pair confirmed at any LOD is final), and
+    ``targets_unstarted`` never began. ``max_lod_reached`` is the
+    highest LOD any pair was evaluated at (-1: none). Picklable, so the
+    process backend ships per-chunk records back to the parent.
+    """
+
+    complete: bool = True
+    reason: str = ""  # "" | "deadline" | "cancelled"
+    targets_total: int = 0
+    targets_finished: int = 0
+    targets_inflight: int = 0
+    targets_unstarted: int = 0
+    max_lod_reached: int = -1
+    deadline_ms: int | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "complete": self.complete,
+            "reason": self.reason,
+            "targets_total": self.targets_total,
+            "targets_finished": self.targets_finished,
+            "targets_inflight": self.targets_inflight,
+            "targets_unstarted": self.targets_unstarted,
+            "max_lod_reached": self.max_lod_reached,
+            "deadline_ms": self.deadline_ms,
+        }
 
 
 @dataclass
@@ -155,6 +205,15 @@ class QueryResult:
     # ships these per chunk so the parent can deduplicate objects that
     # degraded in more than one worker.
     degraded_keys: set = field(default_factory=set)
+    # Anytime-result record: did the query run to the end, and if not,
+    # which targets finished / were in flight / never started. A partial
+    # result's pairs are always a correct subset of the complete run's.
+    completeness: QueryCompleteness = field(default_factory=QueryCompleteness)
+
+    @property
+    def complete(self) -> bool:
+        """True when the query ran to the end (no deadline/cancel cut)."""
+        return self.completeness.complete
 
     @property
     def total_matches(self) -> int:
@@ -284,6 +343,24 @@ class KindStrategy:
         """Settle one target; returns ``(pairs_value | None, n_results)``."""
         raise NotImplementedError
 
+    def partial_value(self, exc: DeadlineExceededError):
+        """The confirmed-so-far value of a target interrupted mid-refine.
+
+        Default: drop the in-flight target (sound, since nothing was
+        committed). Kinds whose per-LOD confirmations are final override
+        this to keep them — the anytime property of FPR.
+        """
+        return None, 0
+
+
+def _sorted_partial(exc: DeadlineExceededError):
+    """Sorted confirmed-so-far id matches from an interrupted refine."""
+    matches = exc.partial or []
+    if not matches:
+        return None, 0
+    value = sorted(set(matches))
+    return value, len(value)
+
 
 class IntersectionStrategy(KindStrategy):
     def filter(self, plan, tid):
@@ -295,6 +372,8 @@ class IntersectionStrategy(KindStrategy):
         if not matches:
             return None, 0
         return sorted(matches), len(matches)
+
+    partial_value = staticmethod(_sorted_partial)
 
 
 class WithinStrategy(KindStrategy):
@@ -313,12 +392,19 @@ class WithinStrategy(KindStrategy):
 
     def refine(self, plan, ctx, tid, candidates):
         definite, open_candidates = candidates
-        matches = set(definite) | set(
-            refine_within(ctx, tid, open_candidates, plan.spec.distance)
-        )
+        try:
+            refined = refine_within(ctx, tid, open_candidates, plan.spec.distance)
+        except DeadlineExceededError as exc:
+            # The filter's definite matches were confirmed before the
+            # interrupt; fold them into the partial answer.
+            exc.partial = sorted(set(definite) | set(exc.partial or ()))
+            raise
+        matches = set(definite) | set(refined)
         if not matches:
             return None, 0
         return sorted(matches), len(matches)
+
+    partial_value = staticmethod(_sorted_partial)
 
 
 class KnnStrategy(KindStrategy):
@@ -367,6 +453,8 @@ class ContainmentStrategy(KindStrategy):
         )
         matches = refine_containment(ctx, plan.spec.point, candidates, lods)
         return sorted(matches), len(matches)
+
+    partial_value = staticmethod(_sorted_partial)
 
 
 STRATEGIES = {

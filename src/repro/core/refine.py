@@ -41,7 +41,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.errors import DecodeFailureError, ErrorBudgetExceededError
+from repro.core.errors import (
+    DeadlineExceededError,
+    DecodeFailureError,
+    ErrorBudgetExceededError,
+)
 from repro.geometry.aabb import box_maxdist
 from repro.geometry.raycast import point_in_polyhedron
 from repro.obs.trace import DISABLED_TRACER
@@ -97,6 +101,16 @@ class RefineContext:
     degraded_keys: set = field(default_factory=set)
     lock: object = None
     touched_degraded: bool = False
+    # Optional repro.core.deadline.Deadline; refinement checks it at
+    # every round and candidate batch (None keeps checkpoints free).
+    deadline: object = None
+
+    # -- cooperative cancellation ----------------------------------------------
+
+    def checkpoint(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.deadline is not None:
+            self.deadline.check(where)
 
     # -- degraded-mode accounting ----------------------------------------------
 
@@ -142,7 +156,9 @@ class RefineContext:
     def decode_target(self, obj_id: int, lod: int):
         try:
             dec = self.target_provider.get(
-                obj_id, min(lod, self.target_provider.max_lod(obj_id))
+                obj_id,
+                min(lod, self.target_provider.max_lod(obj_id)),
+                deadline=self.deadline,
             )
         except DecodeFailureError:
             self.note_degraded("target", obj_id)
@@ -154,7 +170,9 @@ class RefineContext:
     def decode_source(self, obj_id: int, lod: int):
         try:
             dec = self.source_provider.get(
-                obj_id, min(lod, self.source_provider.max_lod(obj_id))
+                obj_id,
+                min(lod, self.source_provider.max_lod(obj_id)),
+                deadline=self.deadline,
             )
         except DecodeFailureError:
             self.note_degraded("source", obj_id)
@@ -302,13 +320,28 @@ def refine_intersection(ctx: RefineContext, target_id: int, candidates: dict) ->
     only ever shrinks this answer: an undecodable candidate is dropped,
     and an undecodable target returns the pairs already confirmed at the
     LODs that did decode (a correct subset, by property 1).
+
+    A deadline interrupt carries the confirmed-so-far ids out on the
+    exception (``exc.partial``) — each is final the moment it is
+    appended (property 1 again), so the partial answer is sound.
     """
     results: list[int] = []
+    try:
+        return _refine_intersection(ctx, target_id, candidates, results)
+    except DeadlineExceededError as exc:
+        exc.partial = list(results)
+        raise
+
+
+def _refine_intersection(
+    ctx: RefineContext, target_id: int, candidates: dict, results: list[int]
+) -> list[int]:
     survivors = dict(candidates)
     top_lod = ctx.lods[-1]
     for lod in ctx.lods:
         if not survivors:
             break
+        ctx.checkpoint("intersection_round")
         with ctx.tracer.span("refine", query="intersection", lod=lod,
                              survivors=len(survivors)) as round_span:
             try:
@@ -318,6 +351,7 @@ def refine_intersection(ctx: RefineContext, target_id: int, candidates: dict) ->
             ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
             settled = []
             for sid, parts in survivors.items():
+                ctx.checkpoint("intersection_pair")
                 try:
                     dec_s = ctx.decode_source(sid, lod)
                 except DecodeFailureError:
@@ -348,6 +382,7 @@ def refine_intersection(ctx: RefineContext, target_id: int, candidates: dict) ->
             return results
         t_box = _faces_aabb(dec_t)
         for sid in survivors:
+            ctx.checkpoint("intersection_containment_pair")
             try:
                 dec_s = ctx.decode_source(sid, top_lod)
             except DecodeFailureError:
@@ -390,13 +425,32 @@ def refine_within(
     upper bound ("LOD -1"): ``MAXDIST <= distance`` still soundly
     confirms a pair, and anything unconfirmable is excluded — the answer
     stays a correct subset.
+
+    A deadline interrupt carries the confirmed-so-far ids out on the
+    exception (``exc.partial``): a distance ≤ D at any LOD settles the
+    pair for good (property 2), so the partial answer is sound.
     """
     results: list[int] = []
+    try:
+        return _refine_within(ctx, target_id, candidates, distance, results)
+    except DeadlineExceededError as exc:
+        exc.partial = list(results)
+        raise
+
+
+def _refine_within(
+    ctx: RefineContext,
+    target_id: int,
+    candidates: dict,
+    distance: float,
+    results: list[int],
+) -> list[int]:
     survivors = list(candidates.items())
     top_lod = ctx.lods[-1]
     for lod in ctx.lods:
         if not survivors:
             break
+        ctx.checkpoint("within_round")
         with ctx.tracer.span("refine", query="within", lod=lod,
                              survivors=len(survivors)) as round_span:
             try:
@@ -464,6 +518,7 @@ def refine_nn(
             # Early NN determination without decoding further LODs.
             break
 
+        ctx.checkpoint("nn_round")
         with ctx.tracer.span("refine", query="nn", lod=lod,
                              survivors=len(survivors)) as round_span:
             try:
@@ -546,8 +601,23 @@ def refine_containment(
     further; only the top LOD can *exclude* a candidate. An undecodable
     candidate is dropped — MBB containment proves nothing about the mesh,
     so the answer stays a correct subset.
+
+    A deadline interrupt carries the confirmed-so-far ids out on the
+    exception (``exc.partial``) — inside a lower-LOD mesh means inside
+    the original, so each early accept is final.
     """
     matches: list[int] = []
+    try:
+        return _refine_containment(ctx, point, candidates, lods, matches)
+    except DeadlineExceededError as exc:
+        exc.partial = list(matches)
+        raise
+
+
+def _refine_containment(
+    ctx: RefineContext, point, candidates: list[int], lods: tuple[int, ...],
+    matches: list[int],
+) -> list[int]:
     if not lods:
         return matches
     top = lods[-1]
@@ -555,12 +625,14 @@ def refine_containment(
     for lod in lods:
         if not survivors:
             break
+        ctx.checkpoint("containment_round")
         with ctx.tracer.span(
             "refine", query="containment", lod=lod, survivors=len(survivors)
         ):
             ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
             remaining = []
             for sid in survivors:
+                ctx.checkpoint("containment_pair")
                 try:
                     dec = ctx.decode_source(sid, lod)
                 except DecodeFailureError:

@@ -38,22 +38,41 @@ manifests), so repeated queries against the same datasets pay the
 engine bootstrap once per process, and each process keeps its own warm
 decode cache — memory use scales with ``query_workers`` times
 ``cache_bytes`` in the worst case.
+
+Supervision
+    ``execute_chunks`` is a chunk *supervisor*, not a fire-and-forget
+    fan-out. Each submitted chunk carries a heartbeat file its worker
+    touches at chunk start and at every target boundary; the parent
+    polls outstanding futures and treats a stale heartbeat (older than
+    ``EngineConfig.worker_hang_timeout_seconds``) like a worker crash.
+    On a crash or hang the pool is killed — terminated *and* joined, so
+    no orphan processes outlive the query — and respawned, and the
+    unfinished chunks are resubmitted. A chunk that burns
+    ``chunk_max_attempts`` attempts is *quarantined*: returned as a
+    :class:`QuarantinedChunk` marker the executor re-runs serially
+    in-process, so one poisoned chunk costs one slot, not the whole
+    query's process backend. ``pool_failure_threshold`` consecutive
+    pool failures trip a circuit breaker that quarantines everything
+    still pending instead of thrashing respawns.
 """
 
 from __future__ import annotations
 
 import atexit
+import logging
 import os
 import pickle
 import shutil
 import tempfile
 import threading
+import time
+import traceback as _traceback
 import uuid
 import weakref
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.obs.logs import get_logger, log_event
 
@@ -62,6 +81,7 @@ __all__ = [
     "ChunkTask",
     "DatasetManifest",
     "ProcessBackendUnavailable",
+    "QuarantinedChunk",
     "execute_chunks",
     "shutdown",
 ]
@@ -75,6 +95,9 @@ _PER_QUERY_SERIES = (
     "repro_queries_total",
     "repro_query_seconds",
     "repro_degraded_objects_total",
+    # Partiality is accounted once per *query* by the parent from the
+    # merged completeness record, not once per worker chunk.
+    "repro_deadline_exceeded_total",
 )
 
 #: Worker-side engine cache size. Engines are keyed by (config, dataset
@@ -88,8 +111,13 @@ class ProcessBackendUnavailable(RuntimeError):
 
     The executor catches this and falls back to the thread backend; real
     query failures (``EngineError`` subclasses raised inside a worker)
-    propagate unchanged.
+    propagate unchanged. ``traceback`` carries the formatted cause so
+    the fallback log line can say exactly why.
     """
+
+    def __init__(self, message: str, traceback: str = ""):
+        super().__init__(message)
+        self.traceback = traceback
 
 
 @dataclass(frozen=True)
@@ -109,6 +137,9 @@ class ChunkTask:
     config: object  # sanitized EngineConfig (metrics stripped, serial)
     manifests: tuple
     spec: object  # QuerySpec restricted to this chunk's target_ids
+    chunk_key: str = ""  # stable chunk identity for deterministic faults
+    attempt: int = 0  # 0-based submission attempt
+    heartbeat_path: str = ""  # file the worker touches per target
 
 
 @dataclass
@@ -121,6 +152,16 @@ class ChunkOutcome:
     degraded_keys: set
     spans: list  # worker span trees as plain dicts ([] when untraced)
     metrics_delta: dict
+    completeness: object = None  # the sub-query's QueryCompleteness
+
+
+@dataclass
+class QuarantinedChunk:
+    """A chunk retired from the pool; the executor runs it serially."""
+
+    index: int
+    targets: tuple
+    reason: str  # "attempts_exhausted" | "circuit_breaker"
 
 
 # -- parent side ---------------------------------------------------------------
@@ -189,6 +230,33 @@ def shutdown() -> None:
 atexit.register(shutdown)
 
 
+def _kill_pool() -> None:
+    """Hard-stop the shared pool: terminate workers and *reap* them.
+
+    Joining after terminate is what guarantees no orphaned processes —
+    a SIGKILLed worker left unjoined would linger as a zombie for the
+    parent's lifetime.
+    """
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is None:
+        return
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        try:
+            if proc.is_alive():
+                proc.terminate()
+        except (OSError, ValueError):
+            pass
+    for proc in processes:
+        try:
+            proc.join(timeout=5.0)
+        except (OSError, ValueError, AssertionError):
+            pass
+
+
 def _spill_dir() -> str:
     global _SPILL_DIR
     if _SPILL_DIR is None:
@@ -228,16 +296,26 @@ def _worker_config(config):
         fault_injector=injector,
         query_workers=1,
         query_backend="thread",
+        # The worker's budget is the parent's *remaining* wall clock,
+        # re-stamped onto each chunk's spec at submission; a config- or
+        # env-level deadline must not start a fresh full budget per chunk.
+        deadline_ms=None,
     )
 
 
-def execute_chunks(engine, plan, chunks: list) -> list[ChunkOutcome]:
-    """Fan ``chunks`` (lists of target ids) across the process pool.
+def execute_chunks(engine, plan, chunks: list, deadline=None) -> list:
+    """Fan ``chunks`` (lists of target ids) across the supervised pool.
 
-    Returns chunk outcomes **in submission order** — the caller merges
-    them exactly like the thread backend's chunk results. Raises
-    :class:`ProcessBackendUnavailable` on pool/transport failures;
-    worker-side query errors (``EngineError``) propagate as themselves.
+    Returns one entry per chunk **in submission order** — a
+    :class:`ChunkOutcome`, or a :class:`QuarantinedChunk` marker for a
+    chunk the supervisor retired (the executor runs those serially
+    in-process). The caller merges them exactly like the thread
+    backend's chunk results. Raises :class:`ProcessBackendUnavailable`
+    only when the pool/transport infrastructure is unusable (spill I/O,
+    unpicklable payloads, pool bootstrap); worker crashes and hangs are
+    handled *here* by killing + respawning the pool and retrying the
+    affected chunks. Worker-side query errors (``EngineError``)
+    propagate as themselves.
     """
     from repro.core.errors import EngineError
 
@@ -252,24 +330,177 @@ def execute_chunks(engine, plan, chunks: list) -> list[ChunkOutcome]:
         import hashlib
 
         engine_key = hashlib.sha1(blob).digest()
-        pool = _ensure_pool(engine.query_workers)
-        futures = [
-            pool.submit(
-                _run_chunk,
-                ChunkTask(
+        return _supervise(
+            engine, plan, chunks, deadline, config, manifests, engine_key
+        )
+    except EngineError:
+        raise
+    except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
+        raise ProcessBackendUnavailable(str(exc), _traceback.format_exc()) from exc
+
+
+def _chunk_spec(plan, chunk, deadline):
+    """The chunk's restricted spec, deadline re-budgeted at submit time.
+
+    Tokens hold no cross-process plumbing, so ``cancellation`` is
+    stripped; the worker gets the parent's *remaining* milliseconds
+    instead (floored at 1ms — an already-expired budget still yields a
+    well-formed empty partial from the worker's first checkpoint).
+    """
+    deadline_ms = None
+    if deadline is not None:
+        remaining = deadline.remaining()
+        if remaining is not None:
+            deadline_ms = max(1, int(remaining * 1000))
+    return replace(
+        plan.spec,
+        target_ids=tuple(chunk),
+        cancellation=None,
+        deadline_ms=deadline_ms,
+    )
+
+
+def _heartbeat_age(path: str) -> float | None:
+    try:
+        return time.time() - os.path.getmtime(path)
+    except OSError:
+        return None
+
+
+def _supervise(engine, plan, chunks, deadline, config, manifests, engine_key):
+    """Submit, watch, retry, quarantine: the chunk supervision loop."""
+    from repro.core.errors import EngineError
+
+    executor = engine.executor
+    tracer = engine.tracer
+    max_attempts = engine.config.chunk_max_attempts
+    breaker = engine.config.pool_failure_threshold
+    hang_timeout = engine.config.worker_hang_timeout_seconds
+
+    outcomes: list = [None] * len(chunks)
+    attempts = [0] * len(chunks)
+    pending = set(range(len(chunks)))
+    heartbeats: dict[int, str] = {}
+    pool_failures = 0
+
+    def quarantine(index: int, reason: str) -> None:
+        outcomes[index] = QuarantinedChunk(
+            index=index, targets=tuple(chunks[index]), reason=reason
+        )
+        pending.discard(index)
+        executor._m_quarantined.inc()
+        log_event(
+            _LOG, "chunk_quarantined", level=logging.WARNING,
+            chunk=index, attempts=attempts[index], reason=reason,
+        )
+        with tracer.span(
+            "supervision", event="chunk_quarantined", chunk=index, reason=reason
+        ):
+            pass
+
+    def pool_failure(reason: str, error: str = "") -> None:
+        nonlocal pool_failures
+        pool_failures += 1
+        executor._m_worker_restarts.inc()
+        log_event(
+            _LOG, "worker_pool_restart", level=logging.WARNING,
+            reason=reason, error=error, consecutive_failures=pool_failures,
+            pending_chunks=len(pending),
+        )
+        with tracer.span(
+            "supervision", event="pool_restart", reason=reason,
+            consecutive_failures=pool_failures,
+        ):
+            pass
+        _kill_pool()
+
+    while pending:
+        # Retire chunks out of attempts, or everything once the breaker
+        # trips — resubmitting to a pool that keeps dying only burns time.
+        if pool_failures >= breaker:
+            for index in sorted(pending):
+                quarantine(index, "circuit_breaker")
+            break
+        for index in sorted(pending):
+            if attempts[index] >= max_attempts:
+                quarantine(index, "attempts_exhausted")
+        if not pending:
+            break
+
+        round_indices = sorted(pending)
+        futures = {}
+        try:
+            pool = _ensure_pool(engine.query_workers)
+            for index in round_indices:
+                path = heartbeats.get(index)
+                if path is None:
+                    path = os.path.join(_spill_dir(), f"hb-{uuid.uuid4().hex}")
+                    heartbeats[index] = path
+                with open(path, "a"):
+                    pass
+                os.utime(path)
+                task = ChunkTask(
                     engine_key=engine_key,
                     config=config,
                     manifests=manifests,
-                    spec=replace(plan.spec, target_ids=tuple(chunk)),
-                ),
+                    spec=_chunk_spec(plan, chunks[index], deadline),
+                    chunk_key=f"{plan.label}:{index}",
+                    attempt=attempts[index],
+                    heartbeat_path=path,
+                )
+                attempts[index] += 1
+                futures[pool.submit(_run_chunk, task)] = index
+        except BrokenProcessPool as exc:
+            pool_failure("submit_failed", repr(exc))
+            continue
+
+        poll = None if hang_timeout is None else max(0.05, hang_timeout / 4.0)
+        outstanding = set(futures)
+        broken = False
+        while outstanding and not broken:
+            done, outstanding = wait(
+                outstanding, timeout=poll, return_when=FIRST_COMPLETED
             )
-            for chunk in chunks
-        ]
-        return [future.result() for future in futures]
-    except EngineError:
-        raise
-    except (BrokenProcessPool, OSError, pickle.PicklingError, RuntimeError) as exc:
-        raise ProcessBackendUnavailable(str(exc)) from exc
+            for future in done:
+                index = futures[future]
+                try:
+                    outcome = future.result()
+                except EngineError:
+                    raise
+                except BrokenProcessPool as exc:
+                    if not broken:
+                        pool_failure("worker_crashed", repr(exc))
+                        broken = True
+                except (OSError, pickle.PickleError, EOFError) as exc:
+                    # Transport failure for this chunk (e.g. result
+                    # unpickling); burns the chunk's attempt but the
+                    # pool itself is still healthy.
+                    log_event(
+                        _LOG, "chunk_transport_error", level=logging.WARNING,
+                        chunk=index, error=repr(exc),
+                        traceback=_traceback.format_exc(),
+                    )
+                else:
+                    outcomes[index] = outcome
+                    pending.discard(index)
+            if broken or not outstanding:
+                break
+            if hang_timeout is not None:
+                hung = [
+                    futures[f]
+                    for f in outstanding
+                    if (_heartbeat_age(heartbeats[futures[f]]) or 0.0) > hang_timeout
+                ]
+                if hung:
+                    pool_failure(
+                        "worker_hang",
+                        f"chunks {hung} heartbeat older than {hang_timeout}s",
+                    )
+                    broken = True
+        if not broken:
+            # A clean round: the breaker counts *consecutive* failures.
+            pool_failures = 0
+    return outcomes
 
 
 # -- worker side ---------------------------------------------------------------
@@ -310,11 +541,30 @@ def _engine_for(task: ChunkTask):
     return engine
 
 
+def _heartbeat_fn(path: str):
+    def beat() -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # liveness reporting must never fail the chunk
+
+    return beat
+
+
 def _run_chunk(task: ChunkTask) -> ChunkOutcome:
     """Execute one restricted sub-query in this worker process."""
     from repro.obs.metrics import diff_states
 
+    heartbeat = _heartbeat_fn(task.heartbeat_path) if task.heartbeat_path else None
+    if heartbeat is not None:
+        heartbeat()
     engine = _engine_for(task)
+    injector = engine.config.fault_injector
+    if injector is not None:
+        # Chunk-level chaos (worker kill / hang) fires before any work,
+        # keyed by (chunk, attempt) so a retried chunk can deterministically
+        # succeed on its next attempt.
+        injector.before_chunk(task.chunk_key, task.attempt)
     tracer = engine.tracer
     if tracer.enabled:
         tracer.clear()
@@ -325,7 +575,11 @@ def _run_chunk(task: ChunkTask) -> ChunkOutcome:
     vertices_before = sum(p.decoded_vertices for p in providers)
     metrics_before = engine.metrics.export_state()
 
-    result = engine.execute(task.spec)
+    engine.executor.heartbeat = heartbeat
+    try:
+        result = engine.execute(task.spec)
+    finally:
+        engine.executor.heartbeat = None
 
     stats = result.stats
     # Provider vertex counters are lifetime-valued and this engine is
@@ -342,4 +596,5 @@ def _run_chunk(task: ChunkTask) -> ChunkOutcome:
         metrics_delta=diff_states(
             metrics_before, engine.metrics.export_state(), skip=_PER_QUERY_SERIES
         ),
+        completeness=result.completeness,
     )

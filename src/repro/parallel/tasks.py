@@ -22,7 +22,7 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
-from repro.core.errors import TaskExecutionError
+from repro.core.errors import DeadlineExceededError, TaskExecutionError
 from repro.obs import metrics as obs_metrics
 from repro.obs.logs import get_logger, log_event
 
@@ -67,6 +67,10 @@ class TaskScheduler:
     and unretried (e.g. a query's
     :class:`~repro.core.errors.ErrorBudgetExceededError` — retrying
     cannot help, and callers match on the type).
+    :class:`~repro.core.errors.DeadlineExceededError` is always treated
+    as fatal — a spent budget cannot be retried into existence — and an
+    optional ``deadline`` is checked before each task starts, so an
+    expired query stops launching new work.
     """
 
     def __init__(
@@ -77,6 +81,7 @@ class TaskScheduler:
         fault_injector=None,
         metrics: obs_metrics.MetricsRegistry | None = None,
         fatal_types: tuple = (),
+        deadline=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -89,6 +94,7 @@ class TaskScheduler:
         self.backoff_seconds = backoff_seconds
         self.fault_injector = fault_injector
         self.fatal_types = tuple(fatal_types)
+        self.deadline = deadline
         self.retries = 0
         self.serial_fallbacks = 0
         registry = metrics if metrics is not None else obs_metrics.REGISTRY
@@ -121,11 +127,15 @@ class TaskScheduler:
                 if backoff > 0:
                     time.sleep(backoff)
             try:
+                if self.deadline is not None:
+                    self.deadline.check("task")
                 if self.fault_injector is not None:
                     self.fault_injector.before_task(index, attempt)
                 return fn(item)
             except Exception as exc:
-                if isinstance(exc, self.fatal_types):
+                if isinstance(exc, self.fatal_types) or isinstance(
+                    exc, DeadlineExceededError
+                ):
                     raise
                 last = exc
         raise TaskExecutionError(
@@ -156,7 +166,9 @@ class TaskScheduler:
             if ok:
                 results.append(value)
                 continue
-            if isinstance(value, self.fatal_types):
+            if isinstance(value, self.fatal_types) or isinstance(
+                value, DeadlineExceededError
+            ):
                 raise value
             self.serial_fallbacks += 1
             self._m_serial_fallbacks.inc()

@@ -368,16 +368,20 @@ class DecodedObjectProvider:
             degraded=obj_id in self.salvaged_ids,
         )
 
-    def get(self, obj_id: int, lod: int) -> DecodedLOD:
+    def get(self, obj_id: int, lod: int, deadline=None) -> DecodedLOD:
         """Decode ``obj_id`` at ``lod``, degrading to a lower LOD on failure.
 
         Raises :class:`DecodeFailureError` when no LOD decodes at all.
+        ``deadline`` (a :class:`~repro.core.deadline.Deadline`) is
+        checked before every decode attempt — serving a cached entry
+        never raises, but an expired budget refuses to start new decode
+        work (:class:`~repro.core.errors.DeadlineExceededError`).
         Thread-safe: the whole miss path is serialized per provider.
         """
         with self._lock:
-            return self._get_locked(obj_id, lod)
+            return self._get_locked(obj_id, lod, deadline)
 
-    def _get_locked(self, obj_id: int, lod: int) -> DecodedLOD:
+    def _get_locked(self, obj_id: int, lod: int, deadline=None) -> DecodedLOD:
         key = (self.name, obj_id, lod)
         cached = self.cache.get(key)
         if cached is not None:
@@ -389,6 +393,10 @@ class DecodedObjectProvider:
         try:
             last_error: Exception | None = None
             for attempt_lod in range(lod, -1, -1):
+                # Outside the per-attempt except below, so expiry
+                # propagates instead of reading as a decode failure.
+                if deadline is not None:
+                    deadline.check("decode")
                 try:
                     decoded = self._decode_at(obj_id, attempt_lod)
                 except Exception as exc:

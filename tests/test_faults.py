@@ -72,6 +72,104 @@ class TestFaultInjector:
                 fired += 1
         assert fired == 2 and inj.total_injected == 2
 
+    def test_concurrent_fires_count_exactly(self):
+        # Regression: counts was a bare read-modify-write, so two
+        # threads firing at once could lose an increment.
+        import threading
+
+        inj = FaultInjector(seed=0, task_error_rate=1.0)
+        threads, per_thread = 8, 200
+
+        def worker(base):
+            for i in range(per_thread):
+                with pytest.raises(InjectedFault):
+                    inj.before_task(base * per_thread + i, 0)
+
+        pool = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert inj.counts["task"] == threads * per_thread
+
+    def test_concurrent_max_faults_never_overshoots(self):
+        import threading
+
+        cap = 50
+        inj = FaultInjector(seed=0, task_error_rate=1.0, max_faults=cap)
+        fired = [0] * 8
+
+        def worker(slot):
+            for i in range(200):
+                try:
+                    inj.before_task(slot * 200 + i, 0)
+                except InjectedFault:
+                    fired[slot] += 1
+
+        pool = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert sum(fired) == cap == inj.total_injected
+
+    def test_pickle_roundtrip_preserves_decisions(self):
+        import pickle
+
+        inj = FaultInjector(seed=3, decode_error_rate=0.5, worker_kill_rate=0.4)
+        clone = pickle.loads(pickle.dumps(inj))
+        assert self._decode_pattern(clone) == self._decode_pattern(
+            FaultInjector(seed=3, decode_error_rate=0.5)
+        )
+        # the lock is recreated, not shared, and still guards counts
+        assert clone._lock is not inj._lock
+        clone._fire("task", 1.0, "k")
+        assert clone.counts["task"] == 1
+
+    def test_decode_delay_is_deterministic_and_counted(self):
+        inj = FaultInjector(
+            seed=2, decode_delay_rate=0.5, decode_delay_seconds=0.001
+        )
+        for i in range(32):
+            inj.before_decode("ds", i, 0)
+        fired = inj.counts.get("decode_delay", 0)
+        assert 0 < fired < 32
+        twin = FaultInjector(
+            seed=2, decode_delay_rate=0.5, decode_delay_seconds=0.001
+        )
+        for i in range(32):
+            twin.before_decode("ds", i, 0)
+        assert twin.counts.get("decode_delay", 0) == fired
+
+    def test_hang_only_fires_at_chunk_scope(self):
+        # Hangs are injected in before_chunk (worker processes), never
+        # before_task — an in-process task hang would stall the parent,
+        # which has no supervisor above it.
+        inj = FaultInjector(seed=2, task_hang_rate=1.0, task_hang_seconds=0.001)
+        for i in range(8):
+            inj.before_task(i, 0)
+        assert inj.counts.get("chunk_hang", 0) == 0
+        inj.before_chunk("label:0", 0)
+        assert inj.counts.get("chunk_hang", 0) == 1
+
+    def test_before_chunk_hang_keyed_by_attempt(self):
+        # worker_kill_rate stays 0 here — a real kill would SIGKILL the
+        # test process. The hang side shares task_hang_* knobs.
+        inj = FaultInjector(seed=2, task_hang_rate=0.6, task_hang_seconds=0.001)
+        first = [
+            inj._roll("chunk_hang", f"c:{i}:0") < 0.6 for i in range(16)
+        ]
+        retry = [
+            inj._roll("chunk_hang", f"c:{i}:1") < 0.6 for i in range(16)
+        ]
+        assert any(first)
+        assert first != retry, "retries must re-roll, not repeat the fault"
+        for i in range(16):
+            inj.before_chunk(f"c:{i}", 0)
+        assert inj.counts.get("chunk_hang", 0) == sum(first)
+
 
 class TestSchedulerRetry:
     def test_retry_recovers_from_transient_failure(self):

@@ -3,13 +3,24 @@
 The property: for every query kind, running with ``query_workers=4``
 produces byte-identical pairs (including dict insertion order),
 identical degraded-target sets, and identical merged per-LOD counters
-to the serial run — with and without injected decode faults.
+to the serial run — with and without injected decode faults. The chaos
+suite at the bottom extends the property to supervised process workers:
+SIGKILLed and hung workers are detected, the pool is respawned, and the
+query still answers correctly (fully, or as a sound partial with a
+``completeness`` record) — never by silently falling back to threads.
 """
+
+import multiprocessing
+import os
 
 import pytest
 
 from repro.core import EngineConfig, QuerySpec, ThreeDPro
 from repro.faults import FaultInjector
+
+#: CI varies this (chaos matrix axis); the default seed provably fires
+#: at least one worker kill for the nn join below at rate 0.4.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "2"))
 
 SPECS = [
     QuerySpec(kind="intersection", source="nuclei_b", target="nuclei_a"),
@@ -245,9 +256,10 @@ class TestProcessBackendObservability:
 
 
 class TestBackendResolution:
-    def test_default_is_thread(self):
+    def test_default_is_thread(self, monkeypatch):
         from repro.core import EngineConfig
 
+        monkeypatch.delenv("REPRO_QUERY_BACKEND", raising=False)
         assert EngineConfig().resolve_query_backend() == "thread"
 
     def test_env_fallback(self, monkeypatch):
@@ -272,3 +284,166 @@ class TestBackendResolution:
 
         with pytest.raises(EngineConfigError):
             EngineConfig(query_backend="fork")
+
+
+def _chunk_count(n_targets, workers):
+    """Mirror QueryExecutor._chunk_targets for parent-side roll checks."""
+    chunk_size = -(-n_targets // (workers * 4))
+    return -(-n_targets // chunk_size)
+
+
+def _expected_first_attempt_kills(injector, label, n_chunks):
+    """Which chunks the seed kills on attempt 0 (pure roll, no firing)."""
+    return [
+        i
+        for i in range(n_chunks)
+        if injector._roll("worker_kill", f"{label}:{i}:0")
+        < injector.worker_kill_rate
+    ]
+
+
+def _counter_value(registry, name):
+    entry = registry.to_dict().get(name) or {}
+    if "value" in entry:
+        return entry["value"]
+    return sum(series.get("value", 0.0) for series in entry.get("series", []))
+
+
+def _assert_no_orphans():
+    from repro.parallel import procpool
+
+    procpool.shutdown()
+    for proc in multiprocessing.active_children():
+        proc.join(timeout=10)
+    assert multiprocessing.active_children() == []
+
+
+class TestChaosSupervision:
+    """Killed and hung workers must not corrupt, hang, or degrade queries."""
+
+    SPEC = QuerySpec(kind="nn", source="vessels", target="nuclei_a")
+
+    def _run_chaos(self, datasets, injector, caplog=None, **config_kwargs):
+        import logging
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = _build(
+            datasets,
+            query_workers=2,
+            query_backend="process",
+            fault_injector=injector,
+            metrics=registry,
+            **config_kwargs,
+        )
+        if caplog is not None:
+            with caplog.at_level(logging.WARNING, logger="repro"):
+                result = engine.execute(self.SPEC)
+        else:
+            result = engine.execute(self.SPEC)
+        return result, registry
+
+    def test_sigkilled_worker_recovers(self, datasets, caplog):
+        serial, _ = _run(datasets, self.SPEC, workers=1)
+        injector = FaultInjector(seed=CHAOS_SEED, worker_kill_rate=0.4)
+        n_chunks = _chunk_count(serial.stats.targets, workers=2)
+        kills = _expected_first_attempt_kills(
+            injector, self.SPEC.normalized().label, n_chunks
+        )
+        result, registry = self._run_chaos(datasets, injector, caplog=caplog)
+        # The answer is correct and complete — retries and quarantine
+        # absorbed the crashes without a whole-query thread fallback.
+        assert list(result.pairs.items()) == list(serial.pairs.items())
+        assert result.complete
+        assert not any(
+            record.getMessage() == "process_backend_fallback"
+            for record in caplog.records
+        ), "supervision must not fall back to the thread backend"
+        if kills:
+            assert _counter_value(registry, "repro_worker_restarts_total") >= 1
+            assert any(
+                record.getMessage() == "worker_pool_restart"
+                for record in caplog.records
+            )
+        _assert_no_orphans()
+
+    def test_always_killed_chunks_are_quarantined(self, datasets, caplog):
+        # rate 1.0: every attempt of every chunk dies, so the supervisor
+        # must burn chunk_max_attempts (2) rounds — one restart each —
+        # and then answer entirely from quarantined serial execution.
+        serial, _ = _run(datasets, self.SPEC, workers=1)
+        injector = FaultInjector(seed=CHAOS_SEED, worker_kill_rate=1.0)
+        result, registry = self._run_chaos(datasets, injector, caplog=caplog)
+        assert list(result.pairs.items()) == list(serial.pairs.items())
+        assert result.complete
+        n_chunks = _chunk_count(serial.stats.targets, workers=2)
+        assert _counter_value(registry, "repro_chunks_quarantined_total") == n_chunks
+        assert _counter_value(registry, "repro_worker_restarts_total") == 2
+        assert any(
+            record.getMessage() == "chunk_quarantined" for record in caplog.records
+        )
+        _assert_no_orphans()
+
+    def test_hung_worker_detected_and_recovered(self, datasets, caplog):
+        serial, _ = _run(datasets, self.SPEC, workers=1)
+        injector = FaultInjector(
+            seed=1, task_hang_rate=0.3, task_hang_seconds=30.0
+        )
+        result, registry = self._run_chaos(
+            datasets, injector, caplog=caplog, worker_hang_timeout_seconds=2.0
+        )
+        assert list(result.pairs.items()) == list(serial.pairs.items())
+        assert result.complete
+        assert _counter_value(registry, "repro_worker_restarts_total") >= 1
+        assert any(
+            record.getMessage() == "worker_pool_restart"
+            for record in caplog.records
+        )
+        _assert_no_orphans()
+
+    def test_kill_chaos_with_deadline_stays_sound(self, datasets):
+        from dataclasses import replace as dc_replace
+
+        serial, _ = _run(datasets, self.SPEC, workers=1)
+        injector = FaultInjector(seed=CHAOS_SEED, worker_kill_rate=0.4)
+        from repro.obs.metrics import MetricsRegistry
+
+        engine = _build(
+            datasets,
+            query_workers=2,
+            query_backend="process",
+            fault_injector=injector,
+            metrics=MetricsRegistry(),
+        )
+        result = engine.execute(dc_replace(self.SPEC, deadline_ms=60_000))
+        # Under a generous deadline the chaos run still finishes; under
+        # any deadline the pairs must be a subset of the clean answer.
+        assert set(result.pairs) <= set(serial.pairs)
+        for tid, value in result.pairs.items():
+            assert value == serial.pairs[tid]
+        comp = result.completeness
+        assert comp.targets_total == (
+            comp.targets_finished + comp.targets_inflight + comp.targets_unstarted
+        )
+        _assert_no_orphans()
+
+    def test_supervision_spans_recorded(self, datasets):
+        injector = FaultInjector(seed=CHAOS_SEED, worker_kill_rate=1.0)
+        engine = _build(
+            datasets,
+            query_workers=2,
+            query_backend="process",
+            fault_injector=injector,
+            tracing=True,
+        )
+        engine.execute(self.SPEC)
+        [root] = engine.tracer.roots
+        events = [
+            span.attrs.get("event")
+            for span in root.children
+            if span.name == "supervision"
+        ]
+        assert "pool_restart" in events
+        assert "chunk_quarantined" in events
+        _assert_no_orphans()
