@@ -1,0 +1,378 @@
+#!/usr/bin/env python
+"""Perf-regression harness: per-phase medians + funnel counts vs baseline.
+
+Runs the gate scene (the same datasets as ``check_observability.py``)
+through a fixed workload of queries, repeats each query several times,
+and records:
+
+* per-phase **median** wall times (filter / decode / compute / total) —
+  medians because CI machines hiccup and a single slow repeat must not
+  fail the world;
+* the refinement **funnel counts** (candidates, evaluated, settled,
+  decoded objects/bytes) — these are deterministic, so they are compared
+  exactly: a funnel drift is an algorithmic change, not noise;
+* an **instrument-overhead micro-benchmark**: the measured per-call cost
+  of the metric handles and funnel updates, scaled by the number of
+  such updates the workload actually performed, as a fraction of the
+  median query time (must stay under 1%).
+
+Modes::
+
+    bench_regress.py                       # run, write BENCH_7.json
+    bench_regress.py --check               # also compare vs the baseline
+    bench_regress.py --update-baseline     # refresh results/ baseline
+    bench_regress.py --selftest            # prove a 2x compute slowdown
+                                           # is detected (temp baseline)
+
+``--check`` exit codes: 0 = within thresholds, 1 = threshold breach
+(CI treats this as a warning — timing baselines are machine-relative),
+2 = harness error (always fails CI). Timing comparisons are
+noise-tolerant: a phase regresses only if it is both ``--threshold``
+times slower (default 1.5x) *and* at least ``--min-delta`` seconds
+slower (default 10ms). Funnel counts must match exactly.
+
+``REPRO_BENCH_SCALE`` scales the repeat count (CI uses 1; bump it
+locally for tighter medians).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from check_observability import build_datasets  # noqa: E402
+
+from repro.core import EngineConfig, ThreeDPro  # noqa: E402
+from repro.core.plan import QuerySpec  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+
+SCHEMA = "bench_regress/v1"
+PHASES = ("filter", "decode", "compute", "total")
+
+#: The fixed workload: name -> QuerySpec over the gate scene.
+WORKLOADS = {
+    "nn_join": QuerySpec(kind="nn", source="vessels", target="nuclei_a"),
+    "within_join": QuerySpec(
+        kind="within", source="vessels", target="nuclei_a", distance=40.0
+    ),
+    "knn_join": QuerySpec(kind="knn", source="vessels", target="nuclei_a", k=2),
+}
+
+
+def _repeats() -> int:
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "1") or "1")
+    return max(3, 5 * scale)
+
+
+def _build_engine(datasets) -> ThreeDPro:
+    engine = ThreeDPro(EngineConfig(metrics=MetricsRegistry()))
+    for dataset in datasets.values():
+        engine.load_dataset(dataset)
+    return engine
+
+
+def _funnel_counts(funnel) -> dict:
+    stages = {
+        str(lod): stage.as_dict() for lod, stage in sorted(funnel.stages.items())
+    }
+    return {
+        "candidates": funnel.candidates,
+        "mbb_pruned": funnel.mbb_pruned,
+        "filter_confirmed": funnel.filter_confirmed,
+        "confirmed_final": funnel.confirmed_final,
+        "confirmed_total": funnel.confirmed_total,
+        "decoded_bytes_total": funnel.decoded_bytes_total,
+        "stages": stages,
+    }
+
+
+def run_workloads(datasets, repeats: int) -> dict:
+    """One record per workload: per-phase medians + one run's funnel."""
+    out = {}
+    for name, spec in WORKLOADS.items():
+        # A fresh engine per workload: the decode cache state (and so
+        # the funnel's hit/miss split) must not depend on dict order of
+        # earlier workloads. The first repeat is the cold-cache run and
+        # is excluded from timing medians.
+        engine = _build_engine(datasets)
+        samples: dict[str, list[float]] = {phase: [] for phase in PHASES}
+        funnel = None
+        for i in range(repeats + 1):
+            result = engine.execute(spec)
+            if i == 0:
+                funnel = _funnel_counts(result.stats.funnel)
+                continue
+            stats = result.stats
+            samples["filter"].append(stats.filter_seconds)
+            samples["decode"].append(stats.decode_seconds)
+            samples["compute"].append(stats.compute_seconds)
+            samples["total"].append(stats.total_seconds)
+        out[name] = {
+            "median_seconds": {
+                phase: statistics.median(values)
+                for phase, values in samples.items()
+            },
+            "results": result.stats.results,
+            "funnel": funnel,
+        }
+    return out
+
+
+def measure_instrument_overhead(workloads: dict) -> dict:
+    """Micro-benchmark the telemetry hot paths against real query time.
+
+    Times the three per-pair instrument operations (funnel stage
+    update, counter-handle inc, histogram-handle observe), scales each
+    by how often the heaviest workload actually performs it, and
+    reports the summed cost as a fraction of that workload's median
+    total time.
+    """
+    from repro.obs.funnel import QueryFunnel
+    from repro.obs.profile import pop_phase, push_phase
+
+    registry = MetricsRegistry()
+    counter = registry.counter("bench_overhead_total", "overhead probe").handle()
+    histogram = registry.histogram("bench_overhead_seconds", "overhead probe").handle()
+    funnel = QueryFunnel()
+    n = 50_000
+
+    start = time.perf_counter()
+    for _ in range(n):
+        counter.inc()
+    counter_ns = (time.perf_counter() - start) / n
+
+    start = time.perf_counter()
+    for _ in range(n):
+        histogram.observe(0.5)
+    histogram_ns = (time.perf_counter() - start) / n
+
+    stage = funnel.stage(0)
+    start = time.perf_counter()
+    for _ in range(n):
+        stage.evaluated += 1
+        stage.settled += 1
+    funnel_ns = (time.perf_counter() - start) / n
+
+    start = time.perf_counter()
+    for _ in range(n):
+        push_phase("bench")
+        pop_phase()
+    phase_ns = (time.perf_counter() - start) / n
+
+    # The dominant workload's real op counts: every evaluated pair costs
+    # one funnel update; each query emits a bounded set of counter incs
+    # and histogram observes (stages x labels, < 64); each target pushes
+    # two phases and each decode one.
+    name, record = max(
+        workloads.items(), key=lambda item: item[1]["median_seconds"]["total"]
+    )
+    evaluated = sum(
+        stage["evaluated"] for stage in record["funnel"]["stages"].values()
+    )
+    decoded = sum(
+        stage["decoded_objects"] for stage in record["funnel"]["stages"].values()
+    )
+    emissions = 64
+    per_query = (
+        evaluated * 2 * funnel_ns
+        + emissions * (counter_ns + histogram_ns)
+        + (2 * record["results"] + decoded + 2) * phase_ns
+    )
+    total = record["median_seconds"]["total"]
+    return {
+        "counter_inc_seconds": counter_ns,
+        "histogram_observe_seconds": histogram_ns,
+        "funnel_update_seconds": funnel_ns,
+        "phase_push_pop_seconds": phase_ns,
+        "reference_workload": name,
+        "estimated_per_query_seconds": per_query,
+        "overhead_ratio": per_query / total if total else 0.0,
+    }
+
+
+def run_report(datasets, repeats: int) -> dict:
+    workloads = run_workloads(datasets, repeats)
+    overhead = measure_instrument_overhead(workloads)
+    return {
+        "schema": SCHEMA,
+        "repeats": repeats,
+        "workloads": workloads,
+        "instrument_overhead": overhead,
+    }
+
+
+# -- baseline comparison --------------------------------------------------------
+
+
+def compare(baseline: dict, current: dict, threshold: float, min_delta: float):
+    """(breaches, errors): timing breaches are warnings, errors are bugs."""
+    breaches: list[str] = []
+    errors: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        errors.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r} "
+            f"vs current {current.get('schema')!r} (refresh the baseline)"
+        )
+        return breaches, errors
+    for name, record in current["workloads"].items():
+        base = baseline["workloads"].get(name)
+        if base is None:
+            errors.append(f"{name}: not in baseline (refresh the baseline)")
+            continue
+        for phase in PHASES:
+            cur = record["median_seconds"][phase]
+            ref = base["median_seconds"][phase]
+            delta = cur - ref
+            if ref > 0 and cur / ref > threshold and delta > min_delta:
+                breaches.append(
+                    f"{name}/{phase}: {cur:.4f}s vs baseline {ref:.4f}s "
+                    f"({cur / ref:.2f}x, +{delta * 1000:.1f}ms)"
+                )
+        if record["results"] != base["results"]:
+            errors.append(
+                f"{name}: results {record['results']} != "
+                f"baseline {base['results']}"
+            )
+        if record["funnel"] != base["funnel"]:
+            errors.append(
+                f"{name}: funnel counts drifted from baseline "
+                f"(deterministic counts — this is an algorithmic change, "
+                f"not noise; refresh the baseline if intended)"
+            )
+    ratio = current["instrument_overhead"]["overhead_ratio"]
+    if ratio >= 0.01:
+        errors.append(
+            f"instrument overhead {ratio:.2%} of query time (budget: <1%)"
+        )
+    return breaches, errors
+
+
+# -- self-test: injected slowdown must be detected ------------------------------
+
+
+def _inject_compute_slowdown(factor: float) -> None:
+    """Busy-pad the geometry kernels so compute runs ~factor x slower."""
+    from repro.parallel.executor import GeometryComputer
+
+    def slowed(method):
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            result = method(*args, **kwargs)
+            pad_until = start + (time.perf_counter() - start) * factor
+            while time.perf_counter() < pad_until:
+                pass
+            return result
+
+        return wrapper
+
+    for name in ("intersects", "min_distance", "pairwise_min_distances"):
+        setattr(GeometryComputer, name, slowed(getattr(GeometryComputer, name)))
+
+
+def selftest(datasets, repeats: int, threshold: float, min_delta: float) -> int:
+    print("selftest: building clean baseline...")
+    baseline = run_report(datasets, repeats)
+    clean = run_report(datasets, repeats)
+    breaches, errors = compare(baseline, clean, threshold, min_delta)
+    if errors:
+        print("selftest FAILED: clean re-run reported errors:")
+        for line in errors:
+            print(f"  - {line}")
+        return 1
+    if breaches:
+        print("selftest WARNING: clean re-run breached timing thresholds "
+              "(noisy machine):")
+        for line in breaches:
+            print(f"  - {line}")
+    print("selftest: injecting 2x compute slowdown...")
+    _inject_compute_slowdown(2.0)
+    slowed = run_report(datasets, repeats)
+    breaches, errors = compare(baseline, slowed, threshold, min_delta)
+    compute_breaches = [b for b in breaches if "/compute" in b or "/total" in b]
+    if not compute_breaches:
+        print("selftest FAILED: 2x compute slowdown went undetected")
+        for line in breaches + errors:
+            print(f"  - {line}")
+        return 1
+    print("selftest: slowdown detected:")
+    for line in compute_breaches:
+        print(f"  - {line}")
+    print("selftest passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=ROOT / "BENCH_7.json")
+    parser.add_argument(
+        "--baseline", type=Path,
+        default=ROOT / "results" / "bench_regress_baseline.json",
+    )
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the current report as the new baseline")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="breach when a phase is this many times slower")
+    parser.add_argument("--min-delta", type=float, default=0.010,
+                        help="and at least this many seconds slower")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify an injected 2x compute slowdown is caught")
+    args = parser.parse_args(argv)
+
+    repeats = _repeats()
+    print(f"building gate scene... ({repeats} timed repeats per workload)")
+    datasets = build_datasets()
+
+    if args.selftest:
+        return selftest(datasets, repeats, args.threshold, args.min_delta)
+
+    report = run_report(datasets, repeats)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report -> {args.out}")
+    for name, record in report["workloads"].items():
+        medians = record["median_seconds"]
+        print(f"  {name}: " + " ".join(
+            f"{phase}={medians[phase] * 1000:.1f}ms" for phase in PHASES
+        ) + f" results={record['results']}")
+    overhead = report["instrument_overhead"]
+    print(f"  instrument overhead: {overhead['overhead_ratio']:.3%} "
+          f"of {overhead['reference_workload']} median (budget <1%)")
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"baseline -> {args.baseline}")
+        return 0
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"error: no baseline at {args.baseline} "
+                  f"(run with --update-baseline first)")
+            return 2
+        baseline = json.loads(args.baseline.read_text())
+        breaches, errors = compare(baseline, report, args.threshold, args.min_delta)
+        for line in errors:
+            print(f"ERROR: {line}")
+        for line in breaches:
+            print(f"BREACH: {line}")
+        if errors:
+            return 2
+        if breaches:
+            print("timing threshold breached (machine-relative; treat as a "
+                  "warning unless reproducible)")
+            return 1
+        print("within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,13 @@ the checked-in golden set:
 7. a deadline-bounded join reports a ``completeness`` record whose
    arithmetic adds up, whose pairs are a sound subset of the undeadlined
    answer, and whose partiality agrees with the root span attributes and
-   the ``repro_deadline_exceeded_total`` counter.
+   the ``repro_deadline_exceeded_total`` counter;
+8. the refinement funnel reconciles with the pairs ledger and the query
+   stats on every query kind — stages are monotonic (settled never
+   exceeds evaluated, the confirmed/rejected/degraded split sums to
+   settled), per-LOD evaluated/settled equal the ledger exactly, and the
+   funnel's total confirmations equal ``stats.results`` — including on a
+   fault-injected run and under the active query backend.
 
 The join respects ``REPRO_QUERY_WORKERS`` / ``REPRO_QUERY_BACKEND``, so
 CI also runs this gate under the process query backend.
@@ -92,7 +98,7 @@ def run_join(datasets, tracing: bool):
 
 
 def check_prometheus(engine) -> None:
-    print("[2/7] Prometheus export vs golden series list")
+    print("[2/8] Prometheus export vs golden series list")
     text = engine.metrics.to_prometheus()
     present = {
         line.split("{")[0].split(" ")[0]
@@ -111,7 +117,7 @@ def check_prometheus(engine) -> None:
 
 
 def check_chrome_trace(engine) -> None:
-    print("[3/7] Chrome trace vs golden schema")
+    print("[3/8] Chrome trace vs golden schema")
     schema = json.loads((GOLDEN / "chrome_trace_schema.json").read_text())
     doc = json.loads(json.dumps(engine.tracer.to_chrome_trace()))
     for key in schema["required_top_level"]:
@@ -136,7 +142,7 @@ def check_chrome_trace(engine) -> None:
 
 
 def check_phase_agreement(engine, stats) -> None:
-    print("[1/7] trace phase totals vs QueryStats")
+    print("[1/8] trace phase totals vs QueryStats")
     totals = phase_totals(engine.tracer)
     for phase, value in (
         ("filter", stats.filter_seconds),
@@ -155,7 +161,7 @@ def check_phase_agreement(engine, stats) -> None:
 
 
 def check_disabled_overhead(datasets, traced_seconds: float) -> None:
-    print("[4/7] disabled-tracing fast path")
+    print("[4/8] disabled-tracing fast path")
     engine, result, elapsed = run_join(datasets, tracing=False)
     check(engine.tracer.span("anything") is NOOP_SPAN, "disabled tracer hands out NOOP_SPAN")
     check(engine.tracer.roots == [], "disabled tracer collected no spans")
@@ -171,7 +177,7 @@ def check_disabled_overhead(datasets, traced_seconds: float) -> None:
 
 
 def check_pairs_ledger(datasets) -> None:
-    print("[5/7] degraded-run pairs ledger")
+    print("[5/8] degraded-run pairs ledger")
     from repro.faults import FaultInjector
 
     engine = ThreeDPro(
@@ -203,7 +209,7 @@ def check_pairs_ledger(datasets) -> None:
 
 
 def check_decode_equivalence(datasets) -> None:
-    print("[6/7] columnar slice decode vs reference replay")
+    print("[6/8] columnar slice decode vs reference replay")
     import numpy as np
 
     from repro.compression import ReplayDecoder
@@ -235,7 +241,7 @@ def check_decode_equivalence(datasets) -> None:
 
 
 def check_partial_completeness(datasets, reference) -> None:
-    print("[7/7] deadline-bounded partial result consistency")
+    print("[7/8] deadline-bounded partial result consistency")
     registry = MetricsRegistry()
     engine = ThreeDPro(
         EngineConfig(tracing=True, metrics=registry, deadline_ms=1)
@@ -286,6 +292,53 @@ def check_partial_completeness(datasets, reference) -> None:
         )
 
 
+def check_funnel(datasets) -> None:
+    print("[8/8] refinement funnel vs pairs ledger / query stats")
+    from repro.core.plan import QuerySpec
+    from repro.faults import FaultInjector
+
+    engine = ThreeDPro(EngineConfig(metrics=MetricsRegistry()))
+    for dataset in datasets.values():
+        engine.load_dataset(dataset)
+    specs = [
+        QuerySpec(kind="intersection", source="vessels", target="nuclei_a"),
+        QuerySpec(kind="within", source="vessels", target="nuclei_a", distance=40.0),
+        QuerySpec(kind="nn", source="vessels", target="nuclei_a"),
+        QuerySpec(kind="knn", source="vessels", target="nuclei_a", k=2),
+        QuerySpec(kind="containment", source="nuclei_a", point=(0.0, 0.0, 0.0)),
+    ]
+    for spec in specs:
+        result = engine.execute(spec)
+        funnel = result.funnel
+        violations = funnel.violations(result.stats, strict=True)
+        check(
+            not violations,
+            f"{spec.kind}: funnel reconciles "
+            f"({funnel.summary()})"
+            + ("" if not violations else f" -- {violations}"),
+        )
+    # The reconciliation must hold when decodes fail and refinement
+    # degrades to MBB fallbacks — the historical ledger-drop scenario.
+    faulted = ThreeDPro(
+        EngineConfig(
+            metrics=MetricsRegistry(),
+            fault_injector=FaultInjector(seed=11, decode_error_rate=0.9),
+        )
+    )
+    for dataset in datasets.values():
+        faulted.load_dataset(dataset)
+    result = faulted.within_join("nuclei_a", "vessels", 40.0)
+    check(result.stats.degraded_objects > 0, "faulted join actually degraded")
+    violations = result.funnel.violations(result.stats, strict=True)
+    check(
+        not violations,
+        "faulted within: funnel reconciles"
+        + ("" if not violations else f" -- {violations}"),
+    )
+    degraded = sum(s.degraded for s in result.funnel.stages.values())
+    check(degraded > 0, f"faulted join books degraded settlements ({degraded})")
+
+
 def main() -> int:
     print("building datasets...")
     datasets = build_datasets()
@@ -297,6 +350,7 @@ def main() -> int:
     check_pairs_ledger(datasets)
     check_decode_equivalence(datasets)
     check_partial_completeness(datasets, result)
+    check_funnel(datasets)
     if _FAILURES:
         print(f"\n{len(_FAILURES)} check(s) FAILED:")
         for failure in _FAILURES:

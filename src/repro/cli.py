@@ -9,7 +9,10 @@ Commands:
 * ``query``    — run a join between two dataset directories;
 * ``profile``  — print the Section 6.5 LOD-schedule profile for a join;
 * ``obs``      — run a traced join and export telemetry (span-tree JSON,
-  Chrome ``trace_event`` JSON, Prometheus text, metrics JSON).
+  Chrome ``trace_event`` JSON, Prometheus/OpenMetrics text, metrics
+  JSON, refinement-funnel summary, span self-time table, and — with
+  ``--profile`` — a sampling profile with collapsed-stack flamegraph
+  export).
 """
 
 from __future__ import annotations
@@ -136,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the metrics registry as JSON")
     obs.add_argument("--log-json", action="store_true",
                      help="stream structured JSON events to stderr during the run")
+    obs.add_argument("--format", choices=["prometheus", "openmetrics"],
+                     default="prometheus", dest="metrics_format",
+                     help="text exposition format for --metrics-prom")
+    obs.add_argument("--top", type=int, default=0, metavar="N",
+                     help="print the top-N spans by self time")
+    obs.add_argument("--profile", action="store_true",
+                     help="run the sampling profiler during the query and "
+                          "print its top self-time frames")
+    obs.add_argument("--profile-interval-ms", type=float, default=2.0,
+                     help="sampling interval for --profile (default 2ms)")
+    obs.add_argument("--profile-collapsed", type=Path, default=None,
+                     help="write collapsed-stack text for flamegraph.pl / "
+                          "speedscope (implies --profile)")
     return parser
 
 
@@ -329,11 +345,12 @@ def _cmd_obs(args) -> int:
 
     from repro.obs.logs import configure_json_logging
     from repro.obs.metrics import REGISTRY as metrics
-    from repro.obs.trace import phase_totals
+    from repro.obs.trace import phase_totals, self_time_table
 
     handler = None
     if args.log_json:
         handler = configure_json_logging(sys.stderr, level=logging.INFO)
+    profiling = args.profile or args.profile_collapsed is not None
     try:
         # One query per CLI process: the process-wide registry is the
         # export, so module-level publishers (salvage loading, fault
@@ -347,6 +364,8 @@ def _cmd_obs(args) -> int:
                 query_workers=args.query_workers,
                 query_backend=args.query_backend,
                 deadline_ms=args.deadline_ms,
+                profiling=profiling,
+                profile_interval_ms=args.profile_interval_ms,
             )
         )
         target = _load_dataset_cli(args.target, args.salvage)
@@ -362,6 +381,10 @@ def _cmd_obs(args) -> int:
                 f"partial ({comp.reason}): {comp.targets_finished}/"
                 f"{comp.targets_total} targets finished"
             )
+        print(f"funnel: {result.funnel.summary()}")
+        headroom = result.completeness.deadline_headroom_ratio
+        if headroom is not None:
+            print(f"deadline headroom: {headroom:.1%} of budget left")
         totals = phase_totals(engine.tracer)
         print(
             "trace totals: "
@@ -369,6 +392,23 @@ def _cmd_obs(args) -> int:
         )
         spans = sum(1 for _ in engine.tracer.walk())
         print(f"trace: {spans} spans under {len(engine.tracer.roots)} root(s)")
+        if args.top > 0:
+            print(f"top {args.top} spans by self time:")
+            for row in self_time_table(engine.tracer.roots, args.top):
+                print(
+                    f"  {row['self_seconds']:>8.4f}s self  "
+                    f"{row['total_seconds']:>8.4f}s total  "
+                    f"{row['count']:>5}x  {row['name']}"
+                )
+        if profiling:
+            profile = engine.take_profile()
+            print(f"profile: {profile.total_samples} samples "
+                  f"@ {engine.config.profile_interval_ms}ms")
+            print(profile.format_table(args.top or 10))
+            if args.profile_collapsed is not None:
+                args.profile_collapsed.write_text(profile.to_collapsed())
+                print(f"collapsed stacks -> {args.profile_collapsed} "
+                      f"(feed to flamegraph.pl or speedscope.app)")
         if args.trace_json is not None:
             args.trace_json.write_text(engine.tracer.to_json())
             print(f"span tree -> {args.trace_json}")
@@ -378,8 +418,11 @@ def _cmd_obs(args) -> int:
             )
             print(f"chrome trace -> {args.chrome_trace} (load in chrome://tracing)")
         if args.metrics_prom is not None:
-            args.metrics_prom.write_text(metrics.to_prometheus())
-            print(f"prometheus metrics -> {args.metrics_prom}")
+            if args.metrics_format == "openmetrics":
+                args.metrics_prom.write_text(metrics.to_openmetrics())
+            else:
+                args.metrics_prom.write_text(metrics.to_prometheus())
+            print(f"{args.metrics_format} metrics -> {args.metrics_prom}")
         if args.metrics_json is not None:
             args.metrics_json.write_text(json.dumps(metrics.to_dict(), indent=2))
             print(f"metrics json -> {args.metrics_json}")

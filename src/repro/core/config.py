@@ -122,6 +122,13 @@ class EngineConfig:
     # (repro.obs.metrics.REGISTRY) with a private MetricsRegistry.
     tracing: bool = False
     metrics: object = None
+    # Sampling profiler (repro.obs.profile): when enabled the engine
+    # runs a sampling thread for the duration of each query, bucketing
+    # stacks by pipeline phase; per-chunk profiles from process workers
+    # are shipped back and merged. Off by default — the only cost then
+    # is a thread-local list push/pop per phase.
+    profiling: bool = False
+    profile_interval_ms: float = 2.0
 
     def __post_init__(self):
         if self.paradigm not in ("fr", "fpr"):
@@ -152,6 +159,8 @@ class EngineConfig:
             raise EngineConfigError("task_retries must be >= 0")
         if self.task_backoff_seconds < 0:
             raise EngineConfigError("task_backoff_seconds must be >= 0")
+        if self.profile_interval_ms <= 0:
+            raise EngineConfigError("profile_interval_ms must be > 0")
         if self.lod_list is not None:
             if not self.lod_list:
                 raise EngineConfigError("lod_list must be non-empty when given")

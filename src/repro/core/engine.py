@@ -32,6 +32,7 @@ from repro.core.stats import QueryStats
 from repro.index.rtree import RTree, RTreeEntry
 from repro.mesh.polyhedron import Polyhedron
 from repro.obs import metrics as obs_metrics
+from repro.obs.profile import ProfileReport, SamplingProfiler
 from repro.obs.trace import Tracer
 from repro.parallel.executor import Device, GeometryComputer
 from repro.parallel.tasks import TaskScheduler
@@ -92,6 +93,11 @@ class ThreeDPro:
         )
         self.query_workers = self.config.resolve_query_workers()
         self.query_backend = self.config.resolve_query_backend()
+        self.profiler = (
+            SamplingProfiler(interval_seconds=self.config.profile_interval_ms / 1000.0)
+            if self.config.profiling
+            else None
+        )
         self.executor = QueryExecutor(self)
         self._datasets: dict[str, _LoadedDataset] = {}
         self._probe_seq = 0
@@ -157,6 +163,19 @@ class ThreeDPro:
     def dataset_provider(self, name: str) -> DecodedObjectProvider:
         """The decode provider behind a loaded dataset (counter inspection)."""
         return self._get(name).provider
+
+    # -- profiling ---------------------------------------------------------------
+
+    def take_profile(self) -> ProfileReport | None:
+        """Detach the profiler's accumulated samples (None when off).
+
+        The process backend calls this after each chunk so the report
+        ships back with the chunk's stats; interactive callers use it to
+        collect one query's samples before exporting a flamegraph.
+        """
+        if self.profiler is None:
+            return None
+        return self.profiler.take()
 
     # -- LOD scheduling ----------------------------------------------------------
 

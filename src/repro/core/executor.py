@@ -50,7 +50,9 @@ from repro.core.errors import DeadlineExceededError, ErrorBudgetExceededError
 from repro.core.plan import QueryCompleteness, QueryPlan, QueryResult
 from repro.core.refine import RefineContext
 from repro.core.stats import QueryStats
+from repro.obs.funnel import PAIR_STAGES
 from repro.obs.logs import get_logger, log_event
+from repro.obs.profile import phase_scope
 from repro.obs.trace import Span, TimedPhase
 from repro.parallel.tasks import TaskScheduler
 
@@ -84,6 +86,49 @@ class QueryExecutor:
             "repro_deadline_exceeded_total",
             "Queries returning partial results (deadline expiry or cancellation)",
         )
+        # SLO accounting: end-to-end latency and deadline headroom, per
+        # query kind. The unlabeled repro_query_seconds above stays the
+        # stable aggregate; these carry the per-kind SLO series.
+        self._m_query_latency = self.metrics.histogram(
+            "repro_query_latency_seconds",
+            "End-to-end query wall time, labeled by query kind",
+        )
+        self._m_headroom = self.metrics.histogram(
+            "repro_deadline_headroom_ratio",
+            "Fraction of the deadline budget left when the query returned",
+            buckets=(0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+        )
+        # Refinement-funnel series, emitted once per query from the
+        # merged QueryStats.funnel (worker emissions are skipped by the
+        # procpool metrics-delta filter, so counts never double).
+        self._m_funnel_candidates = self.metrics.counter(
+            "repro_funnel_candidates_total",
+            "Candidates entering refinement, labeled by query kind",
+        )
+        self._m_funnel_mbb_pruned = self.metrics.counter(
+            "repro_funnel_mbb_pruned_total",
+            "Candidates dropped by MBB distance ranges before any decode",
+        )
+        self._m_funnel_pairs = self.metrics.counter(
+            "repro_funnel_pairs_total",
+            "Refinement pair flow, labeled by kind, LOD, and funnel stage",
+        )
+        self._m_funnel_decoded_objects = self.metrics.counter(
+            "repro_funnel_decoded_objects_total",
+            "Cache-miss decodes that produced geometry, labeled by kind and LOD",
+        )
+        self._m_funnel_decoded_bytes = self.metrics.counter(
+            "repro_funnel_decoded_bytes_total",
+            "Bytes of decoded geometry produced, labeled by kind and LOD",
+        )
+        self._m_funnel_cache = self.metrics.counter(
+            "repro_funnel_decode_cache_total",
+            "Decode cache accesses during refinement, labeled by kind, LOD, result",
+        )
+        self._m_funnel_decode_failures = self.metrics.counter(
+            "repro_funnel_decode_failures_total",
+            "Decode requests whose whole fallback ladder failed, by kind and LOD",
+        )
         # Process-backend supervision counters, registered eagerly so
         # they export (at zero) from any engine; incremented by
         # repro.parallel.procpool's chunk supervisor.
@@ -111,6 +156,25 @@ class QueryExecutor:
     # -- driving ---------------------------------------------------------------
 
     def run(self, plan: QueryPlan) -> QueryResult:
+        """Run a plan, under the sampling profiler when one is configured.
+
+        The ``other`` phase scope covers the whole query on the driving
+        thread; planning/merge samples land there, while TimedPhase and
+        the decode provider push ``filter``/``compute``/``decode`` on
+        top of it. Profiler start/stop nest (probe queries recurse into
+        ``run``), so one sampler covers the outer query.
+        """
+        profiler = self.engine.profiler
+        if profiler is None:
+            return self._run(plan)
+        profiler.start()
+        try:
+            with phase_scope("other"):
+                return self._run(plan)
+        finally:
+            profiler.stop()
+
+    def _run(self, plan: QueryPlan) -> QueryResult:
         providers = plan.providers
         stats = self._new_stats(plan.label, providers)
         started = time.perf_counter()
@@ -193,6 +257,7 @@ class QueryExecutor:
             len(tids), finished, inflight, reason, stats, deadline
         )
         self._finish_stats(stats, started, providers, root)
+        self._emit_attribution(plan, stats, completeness, root)
         if not completeness.complete:
             self._note_partial(stats, completeness, root)
         return QueryResult(
@@ -218,6 +283,13 @@ class QueryExecutor:
         self, total, finished, inflight, reason, stats, deadline
     ) -> QueryCompleteness:
         evaluated = stats.pairs_evaluated_by_lod
+        headroom = None
+        if deadline is not None and deadline.deadline_ms:
+            remaining = deadline.remaining()
+            if remaining is not None:
+                headroom = min(
+                    1.0, remaining / (deadline.deadline_ms / 1000.0)
+                )
         return QueryCompleteness(
             complete=reason is None,
             reason=reason or "",
@@ -229,7 +301,68 @@ class QueryExecutor:
             ),
             max_lod_reached=max(evaluated) if evaluated else -1,
             deadline_ms=deadline.deadline_ms if deadline is not None else None,
+            deadline_headroom_ratio=headroom,
         )
+
+    def _emit_attribution(self, plan, stats, completeness, root) -> None:
+        """Emit the merged funnel and SLO series, once per query.
+
+        Runs after the chunk merge, so the counts cover every backend's
+        workers exactly once (worker processes' own emissions are
+        excluded from the metrics delta they ship back). The funnel
+        summary is also attached to the root span.
+        """
+        kind = plan.spec.kind
+        funnel = stats.funnel
+        self._m_query_latency.observe(stats.total_seconds, kind=kind)
+        if completeness.deadline_headroom_ratio is not None:
+            self._m_headroom.observe(
+                completeness.deadline_headroom_ratio, kind=kind
+            )
+        if funnel.candidates:
+            self._m_funnel_candidates.inc(funnel.candidates, kind=kind)
+        if funnel.mbb_pruned:
+            self._m_funnel_mbb_pruned.inc(funnel.mbb_pruned, kind=kind)
+        for lod, stage in sorted(funnel.stages.items()):
+            for stage_name in PAIR_STAGES:
+                count = getattr(stage, stage_name)
+                if count:
+                    self._m_funnel_pairs.inc(
+                        count, kind=kind, lod=lod, stage=stage_name
+                    )
+            if stage.decoded_objects:
+                self._m_funnel_decoded_objects.inc(
+                    stage.decoded_objects, kind=kind, lod=lod
+                )
+            if stage.decoded_bytes:
+                self._m_funnel_decoded_bytes.inc(
+                    stage.decoded_bytes, kind=kind, lod=lod
+                )
+            if stage.cache_hits:
+                self._m_funnel_cache.inc(
+                    stage.cache_hits, kind=kind, lod=lod, result="hit"
+                )
+            if stage.cache_misses:
+                self._m_funnel_cache.inc(
+                    stage.cache_misses, kind=kind, lod=lod, result="miss"
+                )
+            if stage.decode_failures:
+                self._m_funnel_decode_failures.inc(
+                    stage.decode_failures, kind=kind, lod=lod
+                )
+        if funnel.filter_confirmed or funnel.confirmed_final:
+            # Results confirmed off the per-LOD ledger: the filter's
+            # definite matches and NN's final top-k selection.
+            if funnel.filter_confirmed:
+                self._m_funnel_pairs.inc(
+                    funnel.filter_confirmed, kind=kind, lod=-1, stage="confirmed"
+                )
+            if funnel.confirmed_final:
+                self._m_funnel_pairs.inc(
+                    funnel.confirmed_final, kind=kind, lod=-2, stage="confirmed"
+                )
+        if root is not None and root.enabled:
+            root.set(funnel=funnel.summary())
 
     def _note_partial(self, stats, completeness, root) -> None:
         self._m_deadline_exceeded.inc(reason=completeness.reason)
@@ -256,7 +389,9 @@ class QueryExecutor:
             stats.targets += 1
         with TimedPhase(self.tracer, stats, "filter"):
             candidates = strategy.filter(plan, tid)
-        stats.candidates += strategy.candidate_count(candidates)
+        n_candidates = strategy.candidate_count(candidates)
+        stats.candidates += n_candidates
+        stats.funnel.candidates += n_candidates
         ctx.touched_degraded = False
         with TimedPhase(self.tracer, stats, "compute", **strategy.compute_attrs(tid)):
             try:
@@ -388,6 +523,11 @@ class QueryExecutor:
                 finished += outcome.stats.targets
             if outcome.metrics_delta:
                 self.metrics.merge_state(outcome.metrics_delta)
+            profile = getattr(outcome, "profile", None)
+            if profile is not None and self.engine.profiler is not None:
+                # Per-chunk worker profile: fold into the parent's report
+                # so one flamegraph covers every process that refined.
+                self.engine.profiler.absorb(profile)
             if root is not None and root.enabled:
                 for payload in outcome.spans:
                     span = Span.from_payload(

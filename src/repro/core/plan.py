@@ -164,6 +164,10 @@ class QueryCompleteness:
     targets_unstarted: int = 0
     max_lod_reached: int = -1
     deadline_ms: int | None = None
+    # SLO accounting: fraction of the deadline budget left when the
+    # query finished (1.0 = instant, 0.0 = expired). None when the
+    # query ran without a deadline.
+    deadline_headroom_ratio: float | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -175,6 +179,7 @@ class QueryCompleteness:
             "targets_unstarted": self.targets_unstarted,
             "max_lod_reached": self.max_lod_reached,
             "deadline_ms": self.deadline_ms,
+            "deadline_headroom_ratio": self.deadline_headroom_ratio,
         }
 
 
@@ -228,6 +233,11 @@ class QueryResult:
     def matches(self) -> list:
         """The single target's matches (probe / containment queries)."""
         return self.pairs.get(0, [])
+
+    @property
+    def funnel(self):
+        """The refinement-funnel record (``stats.funnel``) for this query."""
+        return self.stats.funnel
 
     def __iter__(self):
         """Legacy ``(pairs, stats)`` unpacking — kept one release."""
@@ -392,6 +402,10 @@ class WithinStrategy(KindStrategy):
 
     def refine(self, plan, ctx, tid, candidates):
         definite, open_candidates = candidates
+        # The filter's definite matches are confirmed without any
+        # refinement; the funnel books them at the query level so
+        # confirmed_total still reconciles with the result count.
+        ctx.stats.funnel.filter_confirmed += len(definite)
         try:
             refined = refine_within(ctx, tid, open_candidates, plan.spec.distance)
         except DeadlineExceededError as exc:
@@ -427,6 +441,10 @@ class KnnStrategy(KindStrategy):
         nearest = refine_nn(ctx, tid, candidates, k=plan.spec.k)
         if not nearest:
             return None, 0
+        # NN confirmation is by elimination: the survivors that end up
+        # in the top-k were never "settled" per LOD, so book them as
+        # query-level final confirmations for funnel reconciliation.
+        ctx.stats.funnel.confirmed_final += len(nearest)
         return [(c.sid, c.maxdist, c.exact) for c in nearest], len(nearest)
 
 

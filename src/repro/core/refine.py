@@ -112,6 +112,36 @@ class RefineContext:
         if self.deadline is not None:
             self.deadline.check(where)
 
+    # -- pairs ledger + funnel (single-writer, agree by construction) -----------
+
+    def ledger_evaluated(self, lod: int, n: int) -> None:
+        """Charge ``n`` pairs as refined at ``lod`` (ledger + funnel)."""
+        if not n:
+            return
+        self.stats.pairs_evaluated_by_lod[lod] += n
+        self.stats.funnel.stage(lod).evaluated += n
+
+    def ledger_settled(
+        self, lod: int, confirmed: int = 0, rejected: int = 0, degraded: int = 0
+    ) -> None:
+        """Settle pairs at ``lod``, classified by *how* they settled.
+
+        ``confirmed`` became results, ``rejected`` are definite
+        non-results, ``degraded`` were settled (dropped or confirmed via
+        an upper bound) on degraded geometry. The sum lands on
+        ``pairs_pruned_by_lod`` and the split on the funnel stage, so the
+        two can never drift apart.
+        """
+        settled = confirmed + rejected + degraded
+        if not settled:
+            return
+        self.stats.pairs_pruned_by_lod[lod] += settled
+        stage = self.stats.funnel.stage(lod)
+        stage.settled += settled
+        stage.confirmed += confirmed
+        stage.rejected += rejected
+        stage.degraded += degraded
+
     # -- degraded-mode accounting ----------------------------------------------
 
     def note_degraded(self, side: str, obj_id: int) -> None:
@@ -159,6 +189,7 @@ class RefineContext:
                 obj_id,
                 min(lod, self.target_provider.max_lod(obj_id)),
                 deadline=self.deadline,
+                funnel=self.stats.funnel,
             )
         except DecodeFailureError:
             self.note_degraded("target", obj_id)
@@ -173,6 +204,7 @@ class RefineContext:
                 obj_id,
                 min(lod, self.source_provider.max_lod(obj_id)),
                 deadline=self.deadline,
+                funnel=self.stats.funnel,
             )
         except DecodeFailureError:
             self.note_degraded("source", obj_id)
@@ -348,21 +380,24 @@ def _refine_intersection(
                 dec_t = ctx.decode_target(target_id, lod)
             except DecodeFailureError:
                 return results
-            ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+            ctx.ledger_evaluated(lod, len(survivors))
             settled = []
+            confirmed = degraded = 0
             for sid, parts in survivors.items():
                 ctx.checkpoint("intersection_pair")
                 try:
                     dec_s = ctx.decode_source(sid, lod)
                 except DecodeFailureError:
                     settled.append(sid)  # unconfirmable candidate: drop
+                    degraded += 1
                     continue
                 if ctx.pair_intersects(dec_t, dec_s, sid, parts, lod):
                     results.append(sid)
                     settled.append(sid)
+                    confirmed += 1
             for sid in settled:
                 del survivors[sid]
-            ctx.stats.pairs_pruned_by_lod[lod] += len(settled)
+            ctx.ledger_settled(lod, confirmed=confirmed, degraded=degraded)
             round_span.set(settled=len(settled))
 
     # Containment stage (Algorithm 1 steps 8-12): no face pair intersects,
@@ -378,29 +413,39 @@ def _refine_intersection(
             # containment is unprovable and the remaining candidates are
             # dropped — the answer stays a correct subset.
             ctx.note_degraded("target", target_id)
-            ctx.stats.pairs_pruned_by_lod[top_lod] += len(survivors)
+            ctx.ledger_settled(top_lod, degraded=len(survivors))
             return results
         t_box = _faces_aabb(dec_t)
+        confirmed = degraded = 0
         for sid in survivors:
             ctx.checkpoint("intersection_containment_pair")
             try:
                 dec_s = ctx.decode_source(sid, top_lod)
             except DecodeFailureError:
+                degraded += 1
                 continue
             if dec_s.num_faces == 0:
                 ctx.note_degraded("source", sid)
+                degraded += 1
                 continue
             s_box = _faces_aabb(dec_s)
             if _box_contains(t_box, s_box):
                 probe = dec_s.triangles[0, 0]
                 if point_in_polyhedron(probe, dec_t.triangles):
                     results.append(sid)
+                    confirmed += 1
                     continue
             if _box_contains(s_box, t_box):
                 probe = dec_t.triangles[0, 0]
                 if point_in_polyhedron(probe, dec_s.triangles):
                     results.append(sid)
-        ctx.stats.pairs_pruned_by_lod[top_lod] += len(survivors)
+                    confirmed += 1
+        ctx.ledger_settled(
+            top_lod,
+            confirmed=confirmed,
+            degraded=degraded,
+            rejected=len(survivors) - confirmed - degraded,
+        )
     return results
 
 
@@ -461,29 +506,40 @@ def _refine_within(
                 # ledger — charged to the LOD whose decode failed — and
                 # every survivor settles here (confirmed or excluded), so
                 # pruned ≤ evaluated holds per LOD in degraded runs too.
-                ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+                ctx.ledger_evaluated(lod, len(survivors))
+                confirmed = 0
                 for sid, _parts in survivors:
                     if ctx.box_upper_bound(target_id, sid) <= distance:
                         results.append(sid)
-                ctx.stats.pairs_pruned_by_lod[lod] += len(survivors)
+                        confirmed += 1
+                ctx.ledger_settled(
+                    lod, confirmed=confirmed, degraded=len(survivors) - confirmed
+                )
                 return results
-            ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
-            dists, _inexact = ctx.batch_min_distances(
+            ctx.ledger_evaluated(lod, len(survivors))
+            dists, inexact = ctx.batch_min_distances(
                 dec_t, survivors, lod, stop_below=distance, target_id=target_id
             )
             remaining = []
-            settled = 0
-            for (sid, parts), dist in zip(survivors, dists):
+            confirmed = rejected = degraded = 0
+            for (sid, parts), dist, rough in zip(survivors, dists, inexact):
                 if dist <= distance:
                     results.append(sid)
-                    settled += 1
+                    confirmed += 1
+                elif lod == top_lod:
+                    # Exact distances exclude the rest; a rough distance
+                    # (degraded decode or MBB fallback) is only an upper
+                    # bound, so its exclusion is a degraded-mode drop.
+                    if rough or dec_t.degraded:
+                        degraded += 1
+                    else:
+                        rejected += 1
                 else:
                     remaining.append((sid, parts))
-            if lod == top_lod:
-                settled += len(remaining)  # exact distances exclude the rest
-                remaining = []
-            ctx.stats.pairs_pruned_by_lod[lod] += settled
-            round_span.set(settled=settled)
+            ctx.ledger_settled(
+                lod, confirmed=confirmed, rejected=rejected, degraded=degraded
+            )
+            round_span.set(settled=confirmed + rejected + degraded)
             survivors = remaining
     return results
 
@@ -511,7 +567,9 @@ def refine_nn(
 
     # Initial prune from the MBB-based ranges alone (before any decoding).
     minmax = _kth_smallest((c.maxdist for c in survivors), k)
+    before = len(survivors)
     survivors = [c for c in survivors if c.mindist <= minmax]
+    ctx.stats.funnel.mbb_pruned += before - len(survivors)
 
     for lod in ctx.lods:
         if len(survivors) <= k and lod != top_lod:
@@ -527,7 +585,7 @@ def refine_nn(
                 # MBB-only: candidates keep whatever ranges are already
                 # established; none of them can be called exact.
                 break
-            ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+            ctx.ledger_evaluated(lod, len(survivors))
             dists, inexact = ctx.batch_min_distances(
                 dec_t, [(c.sid, c.parts) for c in survivors], lod, target_id=target_id
             )
@@ -553,7 +611,7 @@ def refine_nn(
             # LOD i" — the quantity the schedule profiling feeds on).
             minmax = _kth_smallest((c.maxdist for c in survivors), k)
             kept = [c for c in survivors if c.mindist <= minmax]
-            ctx.stats.pairs_pruned_by_lod[lod] += len(survivors) - len(kept)
+            ctx.ledger_settled(lod, rejected=len(survivors) - len(kept))
             round_span.set(settled=len(survivors) - len(kept))
             survivors = kept
 
@@ -629,18 +687,26 @@ def _refine_containment(
         with ctx.tracer.span(
             "refine", query="containment", lod=lod, survivors=len(survivors)
         ):
-            ctx.stats.pairs_evaluated_by_lod[lod] += len(survivors)
+            ctx.ledger_evaluated(lod, len(survivors))
             remaining = []
+            confirmed = degraded = 0
             for sid in survivors:
                 ctx.checkpoint("containment_pair")
                 try:
                     dec = ctx.decode_source(sid, lod)
                 except DecodeFailureError:
+                    degraded += 1  # unverifiable candidate: drop
                     continue
                 if point_in_polyhedron(point, dec.triangles):
                     matches.append(sid)  # inside a subset => inside
+                    confirmed += 1
                 elif lod < top:
                     remaining.append(sid)
-            ctx.stats.pairs_pruned_by_lod[lod] += len(survivors) - len(remaining)
+            ctx.ledger_settled(
+                lod,
+                confirmed=confirmed,
+                degraded=degraded,
+                rejected=len(survivors) - len(remaining) - confirmed - degraded,
+            )
             survivors = remaining
     return matches

@@ -16,6 +16,8 @@ from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.funnel import QueryFunnel
+
 __all__ = ["QueryStats"]
 
 
@@ -58,6 +60,11 @@ class QueryStats:
     # per-query deltas.
     decode_seconds_base: float = 0.0
     decode_failures_base: int = 0
+
+    # Refinement-funnel telemetry: per-LOD evaluated/settled splits and
+    # decode traffic, written through RefineContext's ledger_* helpers so
+    # it agrees with the pairs ledger above by construction.
+    funnel: QueryFunnel = field(default_factory=QueryFunnel)
 
     @contextmanager
     def clock(self, phase: str):
@@ -113,6 +120,7 @@ class QueryStats:
             self.pairs_pruned_by_lod[lod] += count
         for lod, count in other.face_pairs_by_lod.items():
             self.face_pairs_by_lod[lod] += count
+        self.funnel.merge(other.funnel)
 
     def as_dict(self) -> dict:
         return {
@@ -135,6 +143,7 @@ class QueryStats:
             "cache_misses": self.cache_misses,
             "degraded_objects": self.degraded_objects,
             "decode_failures": self.decode_failures,
+            "funnel": self.funnel.as_dict(),
         }
 
     def summary(self) -> str:

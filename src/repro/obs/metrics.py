@@ -24,11 +24,14 @@ accepts one via ``EngineConfig(metrics=...)``).
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 
 __all__ = [
     "Counter",
+    "CounterHandle",
     "Gauge",
     "Histogram",
+    "HistogramHandle",
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKETS",
@@ -86,6 +89,55 @@ class _Metric:
         return f"<{type(self).__name__} {self.name}>"
 
 
+class CounterHandle:
+    """A pre-resolved counter series for hot paths.
+
+    ``counter.handle(**labels)`` resolves the label key once; ``inc`` on
+    the handle skips the per-call kwargs dict and label-tuple build that
+    :meth:`Counter.inc` pays. Used on the decode/cache hot paths, where
+    the instrument fires per cache access.
+    """
+
+    __slots__ = ("_series", "_key", "_lock")
+
+    def __init__(self, counter: "Counter", key: tuple):
+        self._series = counter._series
+        self._key = key
+        self._lock = counter._lock
+        with self._lock:
+            self._series.setdefault(key, 0.0)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._series[self._key] += amount
+
+
+class HistogramHandle:
+    """A pre-resolved histogram series for hot paths (see CounterHandle)."""
+
+    __slots__ = ("_series", "_buckets", "_n", "_lock")
+
+    def __init__(self, histogram: "Histogram", key: tuple):
+        with histogram._lock:
+            series = histogram._series.get(key)
+            if series is None:
+                series = histogram._series[key] = _HistogramSeries(
+                    len(histogram.buckets)
+                )
+        self._series = series
+        self._buckets = histogram.buckets
+        self._n = len(histogram.buckets)
+        self._lock = histogram._lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            i = bisect_left(self._buckets, value)
+            if i < self._n:
+                self._series.counts[i] += 1
+            self._series.sum += value
+            self._series.count += 1
+
+
 class Counter(_Metric):
     """Monotonically increasing value, one series per label set."""
 
@@ -101,6 +153,10 @@ class Counter(_Metric):
         key = _label_key(labels)
         with self._lock:
             self._series[key] = self._series.get(key, 0.0) + amount
+
+    def handle(self, **labels) -> CounterHandle:
+        """A :class:`CounterHandle` bound to one label set."""
+        return CounterHandle(self, _label_key(labels))
 
     def value(self, **labels) -> float:
         return self._series.get(_label_key(labels), 0.0)
@@ -186,12 +242,15 @@ class Histogram(_Metric):
             series = self._series.get(key)
             if series is None:
                 series = self._series[key] = _HistogramSeries(len(self.buckets))
-            for i, bound in enumerate(self.buckets):
-                if value <= bound:
-                    series.counts[i] += 1
-                    break
+            i = bisect_left(self.buckets, value)
+            if i < len(self.buckets):
+                series.counts[i] += 1
             series.sum += value
             series.count += 1
+
+    def handle(self, **labels) -> HistogramHandle:
+        """A :class:`HistogramHandle` bound to one label set."""
+        return HistogramHandle(self, _label_key(labels))
 
     def count(self, **labels) -> int:
         series = self._series.get(_label_key(labels))
@@ -364,6 +423,34 @@ class MetricsRegistry:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")
             metric._render(lines)
+        return "\n".join(lines) + "\n"
+
+    def to_openmetrics(self) -> str:
+        """The OpenMetrics 1.0 text format.
+
+        Differences from :meth:`to_prometheus` that scrapers validate:
+        ``# TYPE`` precedes ``# HELP``; a counter's *family* name drops
+        the ``_total`` suffix while its sample keeps it; the exposition
+        ends with ``# EOF``.
+        """
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                family = name[: -len("_total")] if name.endswith("_total") else name
+                lines.append(f"# TYPE {family} counter")
+                if metric.help:
+                    lines.append(f"# HELP {family} {metric.help}")
+                for key, value in sorted(metric._series.items()):
+                    lines.append(
+                        f"{_series_name(family + '_total', key)} {_fmt(value)}"
+                    )
+            else:
+                lines.append(f"# TYPE {name} {metric.kind}")
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                metric._render(lines)
+        lines.append("# EOF")
         return "\n".join(lines) + "\n"
 
     def to_dict(self) -> dict:

@@ -35,6 +35,8 @@ import threading
 import time
 from contextlib import contextmanager
 
+from repro.obs.profile import pop_phase, push_phase
+
 __all__ = [
     "Span",
     "Tracer",
@@ -42,6 +44,7 @@ __all__ = [
     "NOOP_SPAN",
     "DISABLED_TRACER",
     "phase_totals",
+    "self_time_table",
 ]
 
 
@@ -322,23 +325,26 @@ class TimedPhase:
     the only tracer artifact touched is the no-op span singleton.
     """
 
-    __slots__ = ("_span", "_stats", "_attr", "_start")
+    __slots__ = ("_span", "_stats", "_attr", "_name", "_start")
 
     def __init__(self, tracer: Tracer, stats, name: str, **attrs):
         attr = f"{name}_seconds"
         if not hasattr(stats, attr):
             raise AttributeError(f"unknown phase {name!r}")
         self._attr = attr
+        self._name = name
         self._stats = stats
         self._span = tracer.span(name, **attrs)
 
     def __enter__(self):
         self._span.__enter__()
+        push_phase(self._name)
         self._start = time.perf_counter()
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         elapsed = time.perf_counter() - self._start
+        pop_phase()
         self._span.__exit__(exc_type, exc, tb)
         wall = self._span.wall_seconds
         if wall is None:  # disabled tracing: use our own measurement
@@ -374,3 +380,30 @@ def phase_totals(spans) -> dict[str, float]:
     for root in spans:
         visit(root, False)
     return totals
+
+
+def self_time_table(spans, n: int | None = None) -> list[dict]:
+    """Per-span-name self time over a span tree, largest first.
+
+    A span's *self* time is its wall time minus the wall time of its
+    direct children (floored at zero — children recorded on other
+    threads can overlap their parent). Accepts an iterable of root
+    :class:`Span` objects or a :class:`Tracer`; returns up to ``n`` rows
+    of ``{"name", "count", "self_seconds", "total_seconds"}``.
+    """
+    if isinstance(spans, Tracer):
+        spans = spans.roots
+    rows: dict[str, dict] = {}
+    for root in spans:
+        for span in root.walk():
+            wall = span.wall_seconds or 0.0
+            child_wall = sum(c.wall_seconds or 0.0 for c in span.children)
+            row = rows.setdefault(
+                span.name,
+                {"name": span.name, "count": 0, "self_seconds": 0.0, "total_seconds": 0.0},
+            )
+            row["count"] += 1
+            row["self_seconds"] += max(0.0, wall - child_wall)
+            row["total_seconds"] += wall
+    ranked = sorted(rows.values(), key=lambda r: (-r["self_seconds"], r["name"]))
+    return ranked[:n] if n is not None else ranked

@@ -98,6 +98,18 @@ _PER_QUERY_SERIES = (
     # Partiality is accounted once per *query* by the parent from the
     # merged completeness record, not once per worker chunk.
     "repro_deadline_exceeded_total",
+    # Performance attribution is emitted once per query by the parent
+    # from the merged stats/funnel; a worker chunk's own emission would
+    # double-count every stage.
+    "repro_query_latency_seconds",
+    "repro_deadline_headroom_ratio",
+    "repro_funnel_candidates_total",
+    "repro_funnel_mbb_pruned_total",
+    "repro_funnel_pairs_total",
+    "repro_funnel_decoded_objects_total",
+    "repro_funnel_decoded_bytes_total",
+    "repro_funnel_decode_cache_total",
+    "repro_funnel_decode_failures_total",
 )
 
 #: Worker-side engine cache size. Engines are keyed by (config, dataset
@@ -153,6 +165,10 @@ class ChunkOutcome:
     spans: list  # worker span trees as plain dicts ([] when untraced)
     metrics_delta: dict
     completeness: object = None  # the sub-query's QueryCompleteness
+    # The chunk's sampling-profiler report (repro.obs.profile
+    # .ProfileReport) when the worker engine runs with profiling on;
+    # the parent absorbs it so flamegraphs cover worker time too.
+    profile: object = None
 
 
 @dataclass
@@ -597,4 +613,5 @@ def _run_chunk(task: ChunkTask) -> ChunkOutcome:
             metrics_before, engine.metrics.export_state(), skip=_PER_QUERY_SERIES
         ),
         completeness=result.completeness,
+        profile=engine.take_profile(),
     )

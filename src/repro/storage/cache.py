@@ -36,6 +36,7 @@ from repro.core.errors import DecodeFailureError
 from repro.index.aabbtree import TriangleAABBTree
 from repro.obs import metrics as obs_metrics
 from repro.obs.logs import get_logger, log_event
+from repro.obs.profile import pop_phase, push_phase
 
 __all__ = ["DecodedLOD", "DecodeCache", "DecodedObjectProvider"]
 
@@ -153,8 +154,14 @@ class DecodeCache:
         self.evictions = 0
         self.evicted_bytes = 0
         registry = metrics if metrics is not None else obs_metrics.REGISTRY
-        self._m_hits = registry.counter("repro_cache_hits_total", "Decode cache hits")
-        self._m_misses = registry.counter("repro_cache_misses_total", "Decode cache misses")
+        # Unlabeled handles: get() fires one of these per cache access,
+        # so skip the label-key build Counter.inc pays on every call.
+        self._m_hits = registry.counter(
+            "repro_cache_hits_total", "Decode cache hits"
+        ).handle()
+        self._m_misses = registry.counter(
+            "repro_cache_misses_total", "Decode cache misses"
+        ).handle()
         self._m_evictions = registry.counter(
             "repro_cache_evictions_total", "Entries evicted by the byte budget"
         )
@@ -302,9 +309,10 @@ class DecodedObjectProvider:
         self._failed_lod: dict[int, int] = {}
         self.decode_failures = 0
         registry = metrics if metrics is not None else obs_metrics.REGISTRY
+        # Handles on the per-decode-call instruments (see DecodeCache).
         self._m_decode_seconds = registry.histogram(
             "repro_decode_seconds", "Wall time of cache-miss decode calls"
-        )
+        ).handle()
         self._m_decode_failures = registry.counter(
             "repro_decode_failures_total", "Decode attempts that raised"
         )
@@ -314,7 +322,7 @@ class DecodedObjectProvider:
         )
         self._m_decoded_vertices = registry.counter(
             "repro_decoded_vertices_total", "Vertices reinserted by progressive decoders"
-        )
+        ).handle()
         self._m_table_build_seconds = registry.histogram(
             "repro_decode_table_build_seconds",
             "Wall time compiling columnar LOD tables (once per object)",
@@ -322,7 +330,7 @@ class DecodedObjectProvider:
         self._m_slice_seconds = registry.histogram(
             "repro_decode_slice_seconds",
             "Wall time materializing LOD face slices from compiled tables",
-        )
+        ).handle()
 
     def _decode_at(self, obj_id: int, lod: int) -> DecodedLOD:
         """One decode attempt at exactly ``lod``; may raise."""
@@ -368,7 +376,7 @@ class DecodedObjectProvider:
             degraded=obj_id in self.salvaged_ids,
         )
 
-    def get(self, obj_id: int, lod: int, deadline=None) -> DecodedLOD:
+    def get(self, obj_id: int, lod: int, deadline=None, funnel=None) -> DecodedLOD:
         """Decode ``obj_id`` at ``lod``, degrading to a lower LOD on failure.
 
         Raises :class:`DecodeFailureError` when no LOD decodes at all.
@@ -376,20 +384,29 @@ class DecodedObjectProvider:
         checked before every decode attempt — serving a cached entry
         never raises, but an expired budget refuses to start new decode
         work (:class:`~repro.core.errors.DeadlineExceededError`).
+        ``funnel`` (a :class:`~repro.obs.funnel.QueryFunnel`) receives
+        this request's decode traffic, charged to the requested ``lod``.
         Thread-safe: the whole miss path is serialized per provider.
         """
         with self._lock:
-            return self._get_locked(obj_id, lod, deadline)
+            return self._get_locked(obj_id, lod, deadline, funnel)
 
-    def _get_locked(self, obj_id: int, lod: int, deadline=None) -> DecodedLOD:
+    def _get_locked(self, obj_id: int, lod: int, deadline=None, funnel=None) -> DecodedLOD:
         key = (self.name, obj_id, lod)
         cached = self.cache.get(key)
         if cached is not None:
+            if funnel is not None:
+                funnel.stage(lod).cache_hits += 1
             return cached
+        if funnel is not None:
+            funnel.stage(lod).cache_misses += 1
         if lod <= self._failed_lod.get(obj_id, -1):
+            if funnel is not None:
+                funnel.stage(lod).decode_failures += 1
             raise DecodeFailureError(self.name, obj_id, self.failed_ids[obj_id])
 
         start = time.perf_counter()
+        push_phase("decode")
         try:
             last_error: Exception | None = None
             for attempt_lod in range(lod, -1, -1):
@@ -420,16 +437,23 @@ class DecodedObjectProvider:
                         requested_lod=lod, served_lod=attempt_lod,
                     )
                 self.cache.put(key, decoded)
+                if funnel is not None:
+                    stage = funnel.stage(lod)
+                    stage.decoded_objects += 1
+                    stage.decoded_bytes += decoded.nbytes
                 return decoded
             reason = repr(last_error) if last_error is not None else "unknown"
             self.failed_ids[obj_id] = reason
             self._failed_lod[obj_id] = max(self._failed_lod.get(obj_id, -1), lod)
+            if funnel is not None:
+                funnel.stage(lod).decode_failures += 1
             log_event(
                 _LOG, "decode_exhausted", level=logging.ERROR,
                 dataset=self.name, object=obj_id, requested_lod=lod, reason=reason,
             )
             raise DecodeFailureError(self.name, obj_id, reason)
         finally:
+            pop_phase()
             elapsed = time.perf_counter() - start
             self.decode_seconds += elapsed
             self._m_decode_seconds.observe(elapsed)

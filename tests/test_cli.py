@@ -169,6 +169,61 @@ class TestQueryAndProfile:
         assert "repro_cache_hits_total" in prom.read_text()
         assert "repro_queries_total" in json.loads(mjson.read_text())
 
+    def test_obs_funnel_and_top(self, generated, capsys):
+        code = main(
+            [
+                "obs",
+                str(generated / "nuclei_a"),
+                str(generated / "nuclei_b"),
+                "--query", "nn",
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "funnel: candidates=" in text
+        assert "top 3 spans by self time:" in text
+
+    def test_obs_openmetrics_format(self, generated, tmp_path):
+        prom = tmp_path / "metrics.om"
+        code = main(
+            [
+                "obs",
+                str(generated / "nuclei_a"),
+                str(generated / "nuclei_b"),
+                "--query", "nn",
+                "--format", "openmetrics",
+                "--metrics-prom", str(prom),
+            ]
+        )
+        assert code == 0
+        text = prom.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_queries_total" in text
+
+    def test_obs_profile_collapsed(self, generated, tmp_path, capsys):
+        collapsed = tmp_path / "profile.collapsed"
+        code = main(
+            [
+                "obs",
+                str(generated / "nuclei_a"),
+                str(generated / "nuclei_b"),
+                "--query", "within",
+                "--distance", "2.0",
+                "--profile-collapsed", str(collapsed),  # implies --profile
+                "--profile-interval-ms", "0.5",
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "profile:" in text
+        assert collapsed.exists()
+        # every line is "phase;frame;... count"
+        for line in collapsed.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack
+            int(count)
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,198 @@
+"""Edge cases of the metrics exposition: escaping, buckets, handles.
+
+The happy-path registry behavior lives in test_obs.py; this file pins
+the corners scrapers actually trip on — label values containing quotes,
+backslashes, and newlines; the ``+Inf`` bucket; empty registries;
+concurrent observation; and the OpenMetrics dialect (TYPE-before-HELP
+ordering, counter ``_total`` suffix handling, the ``# EOF`` terminator).
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    CounterHandle,
+    HistogramHandle,
+    MetricsRegistry,
+    diff_states,
+)
+
+
+class TestLabelEscaping:
+    def test_quote_backslash_newline_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("weird_total", "odd labels")
+        counter.inc(1, path='C:\\data\\"x"\nnext')
+        text = registry.to_prometheus()
+        assert 'path="C:\\\\data\\\\\\"x\\"\\nnext"' in text
+        # the raw newline must never reach the exposition body
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_escaped_export_is_line_parseable(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h").inc(2, k='a"b\\c\nd')
+        lines = [
+            line for line in registry.to_prometheus().splitlines()
+            if line and not line.startswith("#")
+        ]
+        # one sample per line, value parseable after the closing brace
+        for line in lines:
+            value = line.rsplit(" ", 1)[1]
+            float(value)
+
+    def test_label_sets_sorted_deterministically(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "h")
+        counter.inc(1, zebra="z", alpha="a")
+        counter.inc(1, alpha="a", zebra="z")
+        text = registry.to_prometheus()
+        assert text.count('c_total{alpha="a",zebra="z"} 2') == 1
+
+
+class TestHistogramEdges:
+    def test_inf_bucket_catches_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h", buckets=(0.1, 1.0))
+        hist.observe(50.0)  # above every finite bucket
+        text = registry.to_prometheus()
+        assert 'h_seconds_bucket{le="0.1"} 0' in text
+        assert 'h_seconds_bucket{le="1"} 0' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_count 1" in text
+
+    def test_boundary_value_is_inclusive(self):
+        # Prometheus `le` is <=: a value equal to a bound lands in it.
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h", buckets=(0.1, 1.0))
+        hist.observe(0.1)
+        assert hist.bucket_counts()[0.1] == 1
+
+    def test_buckets_must_be_distinct_and_nonempty(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("a_seconds", "h", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b_seconds", "h", buckets=(1.0, 1.0))
+
+    def test_concurrent_observe_loses_nothing(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h", buckets=(0.5,))
+        handle = hist.handle(kind="x")
+        per_thread, threads = 2_000, 8
+
+        def hammer():
+            for i in range(per_thread):
+                hist.observe(0.1)
+                handle.observe(1.0)
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert hist.count() == per_thread * threads
+        assert hist.count(kind="x") == per_thread * threads
+        assert hist.bucket_counts(kind="x")[0.5] == 0  # all went to +Inf
+
+
+class TestEmptyRegistry:
+    def test_prometheus_export(self):
+        assert MetricsRegistry().to_prometheus() == "\n"
+
+    def test_openmetrics_export_is_just_eof(self):
+        assert MetricsRegistry().to_openmetrics() == "# EOF\n"
+
+    def test_to_dict_empty(self):
+        assert MetricsRegistry().to_dict() == {}
+
+    def test_diff_of_empty_states(self):
+        registry = MetricsRegistry()
+        assert diff_states(registry.export_state(), registry.export_state()) == {}
+
+
+class TestOpenMetrics:
+    def test_type_precedes_help(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "the help")
+        lines = registry.to_openmetrics().splitlines()
+        assert lines.index("# TYPE c counter") < lines.index("# HELP c the help")
+
+    def test_counter_family_drops_total_sample_keeps_it(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "h").inc(3)
+        text = registry.to_openmetrics()
+        assert "# TYPE requests counter" in text
+        assert "requests_total 3" in text
+        assert "# TYPE requests_total" not in text
+
+    def test_counter_without_total_suffix_gains_it_on_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("evicted_bytes", "h").inc(7)
+        text = registry.to_openmetrics()
+        assert "# TYPE evicted_bytes counter" in text
+        assert "evicted_bytes_total 7" in text
+
+    def test_ends_with_eof(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "h").set(1)
+        assert registry.to_openmetrics().endswith("# EOF\n")
+
+    def test_histogram_rendered_same_as_prometheus(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", "h", buckets=(1.0,)).observe(0.5)
+        om = registry.to_openmetrics()
+        assert 'h_seconds_bucket{le="1"} 1' in om
+        assert 'h_seconds_bucket{le="+Inf"} 1' in om
+
+
+class TestHandles:
+    def test_counter_handle_shares_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "h")
+        handle = counter.handle(kind="a")
+        assert isinstance(handle, CounterHandle)
+        handle.inc()
+        handle.inc(2.5)
+        counter.inc(1, kind="a")
+        assert counter.value(kind="a") == 4.5
+
+    def test_counter_handle_registers_series_eagerly(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h").handle(kind="a")
+        assert 'c_total{kind="a"} 0' in registry.to_prometheus()
+
+    def test_histogram_handle_matches_observe(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h", buckets=(0.1, 1.0))
+        handle = hist.handle()
+        assert isinstance(handle, HistogramHandle)
+        handle.observe(0.05)
+        hist.observe(0.05)
+        assert hist.count() == 2
+        assert hist.bucket_counts()[0.1] == 2
+
+    def test_handle_survives_merge_state(self):
+        # merge_state mutates series in place; a pre-resolved handle
+        # must keep writing to the live series afterwards.
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h", buckets=(1.0,))
+        handle = hist.handle()
+        handle.observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h_seconds", "h", buckets=(1.0,)).observe(0.5)
+        registry.merge_state(other.export_state())
+        handle.observe(0.5)
+        assert hist.count() == 3
+
+    def test_export_state_roundtrips_pickle(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h").handle(kind="a").inc()
+        registry.histogram("h_seconds", "h").handle(kind="a").observe(0.2)
+        state = pickle.loads(pickle.dumps(registry.export_state()))
+        fresh = MetricsRegistry()
+        fresh.merge_state(state)
+        assert fresh.counter("c_total").value(kind="a") == 1
+        assert fresh.histogram("h_seconds").count(kind="a") == 1
