@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the ``repro serve`` query service (CI gate).
+
+Exercises the full out-of-process path — real subprocesses, real HTTP —
+that the in-process tests in ``tests/test_serve.py`` cannot cover:
+
+1. ``repro generate`` synthesizes a small tissue scene into dataset
+   directories;
+2. ``repro serve`` boots on an OS-assigned port (``--port 0``) and the
+   announced URL is parsed from its stdout;
+3. a buffered remote query (``repro query --remote``) and a streaming
+   remote query (``--remote --stream``) both succeed, print the shared
+   result rendering, and agree with a local in-process run of the same
+   spec pair-for-pair;
+4. ``GET /metrics`` exposes ``repro_query_latency_seconds`` (the query
+   actually flowed through the instrumented engine) plus the server
+   gauges;
+5. SIGINT produces a clean shutdown: the server exits promptly with a
+   zero-ish status and leaves no orphan processes in its process group.
+
+Usage: ``PYTHONPATH=src python scripts/serve_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+BOOT_TIMEOUT = 60.0
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO, env=ENV, capture_output=True, text=True, timeout=300,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"FAIL: `repro {' '.join(args)}` exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+    return proc
+
+
+def check(ok: bool, label: str) -> None:
+    if not ok:
+        raise SystemExit(f"FAIL: {label}")
+    print(f"ok: {label}")
+
+
+def boot_server(*args: str) -> tuple[subprocess.Popen, str]:
+    """Start ``repro serve`` and wait for its announced URL."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args, "--port", "0"],
+        cwd=REPO, env=ENV, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, start_new_session=True,
+    )
+    deadline = time.monotonic() + BOOT_TIMEOUT
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = re.search(r"serving on (http://\S+)", line)
+        if match:
+            return proc, match.group(1)
+    proc.kill()
+    raise SystemExit(
+        "FAIL: server never announced its URL\n" + "".join(lines)
+    )
+
+
+def fetch(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.read().decode("utf-8")
+
+
+def pairs_from_output(stdout: str) -> dict[str, str]:
+    """Parse the `target <id>: [...]` rows printed by _print_result."""
+    return dict(re.findall(r"^  target (\d+): (.+)$", stdout, re.MULTILINE))
+
+
+def group_is_gone(pgid: int) -> bool:
+    try:
+        os.killpg(pgid, 0)
+    except ProcessLookupError:
+        return True
+    return False
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro_serve_smoke_"))
+
+    # 1. Synthesize a small scene.
+    run_cli("generate", str(tmp), "--nuclei", "24", "--vessels", "1",
+            "--seed", "7")
+    check((tmp / "nuclei_a").is_dir() and (tmp / "nuclei_b").is_dir(),
+          "generate produced dataset directories")
+
+    # Local ground truth for the exact spec the remote queries will run.
+    local = run_cli("query", str(tmp / "nuclei_a"), str(tmp / "nuclei_b"),
+                    "--query", "within", "--distance", "3.0",
+                    "--limit", "1000")
+    local_pairs = pairs_from_output(local.stdout)
+
+    # 2. Boot the service.
+    proc, url = boot_server(str(tmp / "nuclei_a"), str(tmp / "nuclei_b"),
+                            str(tmp / "vessels"))
+    pgid = os.getpgid(proc.pid)
+    print(f"ok: server up at {url}")
+    try:
+        health = json.loads(fetch(f"{url}/healthz"))
+        check(health.get("ok") is True, "healthz reports ok")
+        datasets = json.loads(fetch(f"{url}/v1/datasets"))
+        check(set(datasets["datasets"]) >= {"nuclei_a", "nuclei_b"},
+              "served datasets listed")
+
+        # 3. Buffered and streaming remote queries via the CLI.
+        buffered = run_cli("query", "nuclei_a", "nuclei_b",
+                           "--query", "within", "--distance", "3.0",
+                           "--remote", url, "--limit", "1000")
+        check(pairs_from_output(buffered.stdout) == local_pairs,
+              "buffered remote pairs == local pairs")
+
+        streamed = run_cli("query", "nuclei_a", "nuclei_b",
+                           "--query", "within", "--distance", "3.0",
+                           "--remote", url, "--stream", "--limit", "1000")
+        check(pairs_from_output(streamed.stdout) == local_pairs,
+              "streamed remote pairs == local pairs")
+        check("confirmed" in streamed.stdout or not local_pairs,
+              "streaming printed per-frame progress")
+
+        # 4. The instrumented engine showed up in /metrics.
+        metrics = fetch(f"{url}/metrics")
+        for name in ("repro_query_latency_seconds",
+                     "repro_server_inflight",
+                     "repro_server_requests_total"):
+            check(name in metrics, f"/metrics exposes {name}")
+
+        # 5. Clean shutdown, no orphans.
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=30)
+        check(proc.returncode in (0, -signal.SIGINT),
+              f"server exited cleanly (rc={proc.returncode})")
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline and not group_is_gone(pgid):
+            time.sleep(0.2)
+        check(group_is_gone(pgid), "no orphan processes in the server group")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,11 @@ Commands:
 * ``compress`` — ingest OFF/STL mesh files into a compressed dataset;
 * ``inspect``  — summarize a dataset directory (objects, LODs, bytes);
 * ``decode``   — export one object at one LOD to OFF or STL;
-* ``query``    — run a join between two dataset directories;
+* ``query``    — run a join between two dataset directories, or — with
+  ``--remote URL`` — against a running query service (``--stream`` for
+  progressive NDJSON results);
+* ``serve``    — run the long-lived HTTP query service over one or more
+  dataset directories (see :mod:`repro.serve`);
 * ``profile``  — print the Section 6.5 LOD-schedule profile for a join;
 * ``obs``      — run a traced join and export telemetry (span-tree JSON,
   Chrome ``trace_event`` JSON, Prometheus/OpenMetrics text, metrics
@@ -99,6 +103,37 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: REPRO_DEADLINE_MS env or unbounded)")
     qry.add_argument("--limit", type=int, default=10, help="result rows to print")
     qry.add_argument("--salvage", action="store_true", help=salvage_help)
+    qry.add_argument("--remote", metavar="URL", default=None,
+                     help="query a running `repro serve` instance instead of "
+                          "loading datasets locally; TARGET and SOURCE are "
+                          "then dataset *names* loaded on the server")
+    qry.add_argument("--stream", action="store_true",
+                     help="with --remote: stream confirmed pairs per LOD "
+                          "round (NDJSON) instead of one buffered response")
+
+    srv = sub.add_parser("serve", help="run the HTTP query service")
+    srv.add_argument("datasets", type=Path, nargs="+",
+                     help="dataset directories to load and serve")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=None,
+                     help="listen port (default: REPRO_SERVE_PORT env or 8030; "
+                          "0 picks a free port)")
+    srv.add_argument("--max-inflight", type=int, default=None,
+                     help="concurrent executing queries (default: "
+                          "REPRO_SERVE_MAX_INFLIGHT env or 4)")
+    srv.add_argument("--max-queue", type=int, default=None,
+                     help="requests allowed to wait for a slot before 429 "
+                          "(default: REPRO_SERVE_MAX_QUEUE env or 16)")
+    srv.add_argument("--paradigm", choices=["fr", "fpr"], default="fpr")
+    srv.add_argument("--accel", choices=sorted(_ACCEL), default="none")
+    srv.add_argument("--query-workers", type=int, default=None,
+                     help="threads fanning query targets (default: "
+                          "REPRO_QUERY_WORKERS env or serial)")
+    srv.add_argument("--query-backend", choices=["thread", "process"], default=None)
+    srv.add_argument("--deadline-ms", type=int, default=None,
+                     help="server-wide default wall-clock budget per query "
+                          "(a spec-level deadline_ms overrides it)")
+    srv.add_argument("--salvage", action="store_true", help=salvage_help)
 
     prof = sub.add_parser("profile", help="profile the LOD schedule for a join")
     prof.add_argument("target", type=Path)
@@ -290,9 +325,8 @@ def _build_spec(args, target: str, source: str) -> QuerySpec:
     return QuerySpec(kind="knn", source=source, target=target, k=args.k)
 
 
-def _cmd_query(args) -> int:
-    engine, target, source = _make_engine(args)
-    result = engine.execute(_build_spec(args, target, source))
+def _print_result(result, limit: int) -> None:
+    """The shared result rendering for local and remote queries."""
     print(result.stats.summary())
     comp = result.completeness
     if not comp.complete:
@@ -310,11 +344,78 @@ def _cmd_query(args) -> int:
         )
     shown = 0
     for tid in sorted(result.pairs):
-        if shown >= args.limit:
+        if shown >= limit:
             print(f"... and {len(result.pairs) - shown} more targets")
             break
         print(f"  target {tid}: {result.pairs[tid]}")
         shown += 1
+
+
+def _cmd_query_remote(args) -> int:
+    from dataclasses import replace
+
+    from repro.serve.client import RemoteEngine, RemoteError
+    from repro.serve.stream import assemble_frames
+
+    # With --remote the positional arguments are dataset *names* already
+    # loaded on the server, not local directories.
+    spec = _build_spec(args, str(args.target), str(args.source))
+    if args.deadline_ms is not None:
+        spec = replace(spec, deadline_ms=args.deadline_ms)
+    remote = RemoteEngine(args.remote)
+    try:
+        if args.stream:
+            frames = []
+            for frame in remote.stream(spec):
+                frames.append(frame)
+                if frame.get("frame") == "pairs":
+                    print(
+                        f"  target {frame['target']} @ LOD {frame['lod']}: "
+                        f"+{len(frame['matches'])} confirmed"
+                    )
+            result = assemble_frames(frames)
+        else:
+            result = remote.execute(spec)
+    except (RemoteError, RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_result(result, args.limit)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.app import make_server, serve_forever
+
+    engine = ThreeDPro(EngineConfig(
+        paradigm=args.paradigm,
+        accel=_ACCEL[args.accel],
+        query_workers=args.query_workers,
+        query_backend=args.query_backend,
+        deadline_ms=args.deadline_ms,
+    ))
+    for path in args.datasets:
+        dataset = _load_dataset_cli(path, args.salvage)
+        engine.load_dataset(dataset)
+        print(f"loaded {dataset.name!r}: {len(dataset)} objects")
+    server = make_server(
+        engine, host=args.host, port=args.port,
+        max_inflight=args.max_inflight, max_queue=args.max_queue,
+    )
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          f"(datasets: {', '.join(engine.dataset_names)})", flush=True)
+    serve_forever(server)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    if args.remote is not None:
+        return _cmd_query_remote(args)
+    if args.stream:
+        raise SystemExit("--stream requires --remote (local queries buffer)")
+    engine, target, source = _make_engine(args)
+    result = engine.execute(_build_spec(args, target, source))
+    _print_result(result, args.limit)
     return 0
 
 
@@ -438,6 +539,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "decode": _cmd_decode,
     "query": _cmd_query,
+    "serve": _cmd_serve,
     "profile": _cmd_profile,
     "obs": _cmd_obs,
 }

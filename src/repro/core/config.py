@@ -3,6 +3,25 @@
 One :class:`EngineConfig` captures a full experimental cell of the
 paper's Table 1: the query paradigm (FR or FPR) plus the acceleration
 methods applied. ``Accel`` mirrors the table's columns.
+
+Runtime-tunable settings resolve through one shared precedence chain
+(:func:`resolve_setting`), documented once here and used by the engine,
+the executor, the CLI, and the query server:
+
+========================  ====================================================
+layer (highest first)     example
+========================  ====================================================
+``QuerySpec`` field       ``QuerySpec(deadline_ms=50)``
+call-site override        ``--deadline-ms 50`` / ``resolve_setting(override=)``
+``EngineConfig`` field    ``EngineConfig(deadline_ms=50)``
+``REPRO_*`` environment   ``REPRO_DEADLINE_MS=50``
+built-in default          no deadline
+========================  ====================================================
+
+The first layer whose value is not ``None`` wins. Environment values
+are parsed and validated loudly — a malformed ``REPRO_*`` raises
+:class:`~repro.core.errors.EngineConfigError` rather than silently
+falling back to the default.
 """
 
 from __future__ import annotations
@@ -12,7 +31,114 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.errors import EngineConfigError
 
-__all__ = ["Accel", "EngineConfig"]
+__all__ = ["Accel", "EngineConfig", "SETTINGS", "resolve_setting"]
+
+
+def _parse_int(env_name: str, raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise EngineConfigError(
+            f"{env_name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _check_min(env_name: str, minimum: int):
+    def check(value):
+        if value < minimum:
+            raise EngineConfigError(f"{env_name} must be >= {minimum}")
+        return value
+
+    return check
+
+
+@dataclass(frozen=True)
+class Setting:
+    """One runtime-tunable setting and how its layers resolve.
+
+    ``parse`` turns the raw environment string into a value (raising
+    :class:`EngineConfigError` on malformed input); ``check`` validates
+    any resolved value regardless of which layer supplied it.
+    """
+
+    name: str
+    env: str | None
+    default: object
+    parse: object = str
+    check: object = None
+
+    def from_env(self):
+        """The environment layer's value, or ``None`` when unset."""
+        if self.env is None:
+            return None
+        raw = os.environ.get(self.env, "").strip()
+        if not raw:
+            return None
+        return self.parse(self.env, raw) if self.parse is not str else raw
+
+
+def _parse_backend(env_name: str, raw: str) -> str:
+    value = raw.lower()
+    if value not in ("thread", "process"):
+        raise EngineConfigError(
+            f"{env_name} must be 'thread' or 'process', got {raw!r}"
+        )
+    return value
+
+
+#: Every setting that resolves through the shared precedence chain.
+SETTINGS: dict[str, Setting] = {
+    s.name: s
+    for s in (
+        Setting(
+            "query_workers", "REPRO_QUERY_WORKERS", 1,
+            parse=_parse_int, check=_check_min("query_workers", 1),
+        ),
+        Setting("query_backend", "REPRO_QUERY_BACKEND", "thread",
+                parse=_parse_backend),
+        Setting(
+            "deadline_ms", "REPRO_DEADLINE_MS", None,
+            parse=_parse_int, check=_check_min("deadline_ms", 1),
+        ),
+        # Query-service knobs (repro.serve): resolved by the server from
+        # the same chain so `repro serve`, tests, and deployments agree.
+        Setting(
+            "serve_port", "REPRO_SERVE_PORT", 8030,
+            parse=_parse_int, check=_check_min("serve_port", 0),
+        ),
+        Setting(
+            "serve_max_inflight", "REPRO_SERVE_MAX_INFLIGHT", 4,
+            parse=_parse_int, check=_check_min("serve_max_inflight", 1),
+        ),
+        Setting(
+            "serve_max_queue", "REPRO_SERVE_MAX_QUEUE", 16,
+            parse=_parse_int, check=_check_min("serve_max_queue", 0),
+        ),
+    )
+}
+
+
+def resolve_setting(name: str, *, spec=None, override=None, config=None):
+    """Resolve one setting through the documented precedence chain.
+
+    ``spec`` is the per-query (``QuerySpec``) value, ``override`` the
+    call-site / CLI value, ``config`` either an :class:`EngineConfig`
+    (its field of the same name is read) or a plain value. The first
+    non-``None`` layer wins: spec > override > config > env > default.
+    Whatever layer supplies the value, it is validated by the setting's
+    ``check``.
+    """
+    setting = SETTINGS[name]
+    config_value = (
+        getattr(config, name, None) if isinstance(config, EngineConfig) else config
+    )
+    for value in (spec, override, config_value):
+        if value is not None:
+            return setting.check(value) if setting.check else value
+    value = setting.from_env()
+    if value is not None:
+        return setting.check(value) if setting.check else value
+    return setting.default
 
 
 @dataclass(frozen=True)
@@ -179,65 +305,13 @@ class EngineConfig:
         return replace(self, paradigm=paradigm)
 
     def resolve_query_workers(self) -> int:
-        """The effective query-worker count.
-
-        An explicit ``query_workers`` always wins; otherwise the
-        ``REPRO_QUERY_WORKERS`` environment variable applies (rejecting
-        malformed values loudly rather than silently running serial),
-        and the default is 1.
-        """
-        if self.query_workers is not None:
-            return self.query_workers
-        env = os.environ.get("REPRO_QUERY_WORKERS", "").strip()
-        if not env:
-            return 1
-        try:
-            value = int(env)
-        except ValueError:
-            raise EngineConfigError(
-                f"REPRO_QUERY_WORKERS must be an integer, got {env!r}"
-            ) from None
-        if value < 1:
-            raise EngineConfigError("REPRO_QUERY_WORKERS must be >= 1")
-        return value
+        """The effective query-worker count (see :func:`resolve_setting`)."""
+        return resolve_setting("query_workers", config=self)
 
     def resolve_deadline_ms(self) -> int | None:
-        """The effective per-query wall-clock budget in milliseconds.
-
-        An explicit ``deadline_ms`` always wins; otherwise the
-        ``REPRO_DEADLINE_MS`` environment variable applies (rejecting
-        malformed values loudly rather than silently running
-        unbounded), and the default is ``None`` (no deadline).
-        """
-        if self.deadline_ms is not None:
-            return self.deadline_ms
-        env = os.environ.get("REPRO_DEADLINE_MS", "").strip()
-        if not env:
-            return None
-        try:
-            value = int(env)
-        except ValueError:
-            raise EngineConfigError(
-                f"REPRO_DEADLINE_MS must be an integer, got {env!r}"
-            ) from None
-        if value < 1:
-            raise EngineConfigError("REPRO_DEADLINE_MS must be >= 1")
-        return value
+        """The effective per-query wall-clock budget in milliseconds."""
+        return resolve_setting("deadline_ms", config=self)
 
     def resolve_query_backend(self) -> str:
-        """The effective parallel backend: ``"thread"`` or ``"process"``.
-
-        An explicit ``query_backend`` always wins; otherwise the
-        ``REPRO_QUERY_BACKEND`` environment variable applies (rejecting
-        unknown values loudly), and the default is ``"thread"``.
-        """
-        if self.query_backend is not None:
-            return self.query_backend
-        env = os.environ.get("REPRO_QUERY_BACKEND", "").strip().lower()
-        if not env:
-            return "thread"
-        if env not in ("thread", "process"):
-            raise EngineConfigError(
-                f"REPRO_QUERY_BACKEND must be 'thread' or 'process', got {env!r}"
-            )
-        return env
+        """The effective parallel backend: ``"thread"`` or ``"process"``."""
+        return resolve_setting("query_backend", config=self)

@@ -304,20 +304,21 @@ class ThreeDPro:
         warnings.warn(
             f"ThreeDPro.{method} returns a bare result and drops QueryStats; "
             f"use engine.execute(QuerySpec(...)) which returns a QueryResult. "
-            f"The bare form will be removed in the next release.",
+            f"The bare form will be removed in 2.0.",
             DeprecationWarning,
             stacklevel=3,
         )
 
     def containment_query(self, source_name: str, point) -> tuple[list[int], QueryStats]:
-        """Source objects containing ``point``, with progressive early accept.
+        """Deprecated: use ``execute(QuerySpec(kind="containment", point=...))``.
 
         The paper notes (Section 4.1) that point-in-polyhedron checks also
-        benefit from the FPR paradigm: a point inside a lower-LOD mesh is
-        inside the original (the LOD is a spatial subset), so containment
-        can often be confirmed without decoding further. Only the top LOD
-        can *exclude* a candidate.
+        benefit from the FPR paradigm; the ``execute`` form returns the
+        full :class:`~repro.core.plan.QueryResult` (completeness, funnel,
+        wire serialization) instead of this bare ``(matches, stats)``
+        tuple.
         """
+        self._warn_bare_form("containment_query")
         result = self.execute(
             QuerySpec(kind="containment", source=source_name, point=point)
         )

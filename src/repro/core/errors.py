@@ -20,6 +20,7 @@ __all__ = [
     "DeadlineExceededError",
     "ErrorBudgetExceededError",
     "TaskExecutionError",
+    "WireFormatError",
 ]
 
 
@@ -33,6 +34,16 @@ class EngineConfigError(EngineError, ValueError):
 
 class DatasetNotLoadedError(EngineError, KeyError):
     """Raised when a query references a dataset name that is not loaded."""
+
+
+class WireFormatError(EngineError, ValueError):
+    """Raised for malformed wire payloads (the serve JSON contract).
+
+    Strictness is deliberate: unknown fields, a missing or unsupported
+    ``schema_version``, and wrong-typed fields all reject rather than
+    silently dropping data — the versioned schema is the compatibility
+    mechanism, not leniency.
+    """
 
 
 class StorageError(EngineError):

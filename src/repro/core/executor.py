@@ -45,6 +45,7 @@ import logging
 import threading
 import time
 
+from repro.core.config import resolve_setting
 from repro.core.deadline import Deadline
 from repro.core.errors import DeadlineExceededError, ErrorBudgetExceededError
 from repro.core.plan import QueryCompleteness, QueryPlan, QueryResult
@@ -270,10 +271,8 @@ class QueryExecutor:
         )
 
     def _deadline_for(self, spec) -> Deadline | None:
-        """Per-query deadline: spec > config > REPRO_DEADLINE_MS env."""
-        ms = spec.deadline_ms
-        if ms is None:
-            ms = self.config.resolve_deadline_ms()
+        """Per-query deadline via the one resolver: spec > config > env."""
+        ms = resolve_setting("deadline_ms", spec=spec.deadline_ms, config=self.config)
         token = spec.cancellation
         if ms is None and token is None:
             return None
@@ -387,6 +386,7 @@ class QueryExecutor:
         strategy = plan.strategy
         if strategy.counts_targets:
             stats.targets += 1
+        ctx.progress_target = tid
         with TimedPhase(self.tracer, stats, "filter"):
             candidates = strategy.filter(plan, tid)
         n_candidates = strategy.candidate_count(candidates)
@@ -624,6 +624,7 @@ class QueryExecutor:
             exact_nn_distances=self.config.exact_nn_distances,
             max_decode_failures=self.config.max_decode_failures,
             tracer=self.tracer,
+            progress=plan.spec.progress,
         )
         if degraded_keys is not None:
             ctx.degraded_keys = degraded_keys

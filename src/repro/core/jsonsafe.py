@@ -1,0 +1,53 @@
+"""Builtin-type normalization at JSON boundaries.
+
+Engine internals are free to hold numpy scalars — LODTable cumulatives,
+kernel distance reductions, R-tree MINDIST/MAXDIST math all produce
+``np.int64`` / ``np.float64`` — but everything crossing a JSON boundary
+(``QueryStats.as_dict``, ``QueryCompleteness.as_dict``, the serve wire
+schema) must be builtin types: ``json.dumps`` rejects numpy scalars, and
+a dict keyed by ``np.int64`` silently serializes differently from one
+keyed by ``int``. :func:`json_safe` is that single normalization point.
+"""
+
+from __future__ import annotations
+
+__all__ = ["json_safe"]
+
+
+def _scalar(value):
+    """Coerce one scalar to a builtin, or return it unchanged."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, int):
+        return int(value)  # collapses bool-like and IntEnum subclasses too
+    if isinstance(value, float):
+        return float(value)
+    # Numpy scalars are not int/float subclasses in general, but all
+    # expose item() returning the closest builtin. Checked by duck type
+    # so this module never has to import numpy.
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        return item()
+    return value
+
+
+def json_safe(value):
+    """Recursively convert ``value`` into JSON-serializable builtins.
+
+    Numpy scalars become ``int``/``float``/``bool``; numpy arrays become
+    nested lists; tuples/sets become lists; dict keys are normalized the
+    same way (non-string keys stay non-string — ``json.dumps`` stringifies
+    builtin ints consistently, which is all the wire format needs).
+    Unknown objects pass through untouched, so ``json.dumps`` still
+    raises loudly on genuinely unserializable values instead of silently
+    mangling them.
+    """
+    if isinstance(value, dict):
+        return {_scalar(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [json_safe(v) for v in items]
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist) and getattr(value, "ndim", 0):
+        return tolist()
+    return _scalar(value)

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core.errors import DeadlineExceededError, EngineConfigError
+from repro.core.errors import DeadlineExceededError, EngineConfigError, WireFormatError
+from repro.core.jsonsafe import json_safe
 from repro.core.refine import (
     NNCandidate,
     refine_containment,
@@ -41,9 +42,23 @@ __all__ = [
     "QueryCompleteness",
     "KindStrategy",
     "QUERY_KINDS",
+    "WIRE_SCHEMA_VERSION",
 ]
 
 QUERY_KINDS = ("intersection", "within", "nn", "knn", "containment")
+
+#: Version of the JSON wire contract (specs and results). Bumped on any
+#: incompatible change; the server rejects unknown versions with a 400
+#: and ``from_wire`` raises :class:`~repro.core.errors.WireFormatError`.
+WIRE_SCHEMA_VERSION = 1
+
+#: QuerySpec fields that cross the wire (everything else is in-process
+#: state: ``probe`` carries a live mesh, ``cancellation`` a token,
+#: ``progress`` a streaming callback).
+_SPEC_WIRE_FIELDS = (
+    "kind", "source", "target", "distance", "k", "point", "target_ids",
+    "deadline_ms",
+)
 
 
 @dataclass(frozen=True)
@@ -78,6 +93,12 @@ class QuerySpec:
     # In-process only: the process backend strips it from worker specs
     # (workers get a re-budgeted deadline_ms instead).
     cancellation: object = None
+    # Optional progressive-results callback ``(target_id, lod, matches)``
+    # invoked as refinement confirms pairs (the serve layer's streaming
+    # hook). In-process only, like ``cancellation``: excluded from the
+    # wire schema and stripped from process-backend worker specs. May be
+    # called from worker threads — implementations must be thread-safe.
+    progress: object = None
 
     def normalized(self) -> "QuerySpec":
         """Validate and canonicalize (``nn`` becomes ``knn`` with k=1)."""
@@ -139,6 +160,78 @@ class QuerySpec:
             return "nn_join" if k == 1 else f"knn_join(k={k})"
         return f"{self.kind}_join"
 
+    # -- the wire schema (the canonical public query contract) -----------------
+
+    def to_wire(self) -> dict:
+        """This spec as a versioned JSON-safe dict (the serve contract).
+
+        The spec is normalized first, so ``from_wire(spec.to_wire())``
+        is the identity on normalized specs. ``None`` fields are
+        omitted. Raises :class:`~repro.core.errors.WireFormatError` for
+        specs carrying in-process-only state (``probe``,
+        ``cancellation``, ``progress``) — those never cross the wire.
+        """
+        spec = self.normalized()
+        if spec.probe is not None:
+            raise WireFormatError(
+                "probe specs are not wire-serializable (load the probe as a "
+                "dataset and query it by name)"
+            )
+        if spec.cancellation is not None or spec.progress is not None:
+            raise WireFormatError(
+                "cancellation tokens and progress callbacks are in-process "
+                "state and cannot cross the wire"
+            )
+        payload = {"schema_version": WIRE_SCHEMA_VERSION}
+        for name in _SPEC_WIRE_FIELDS:
+            value = getattr(spec, name)
+            if value is not None:
+                payload[name] = json_safe(value)
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "QuerySpec":
+        """Parse a wire dict back into a normalized spec — strictly.
+
+        Unknown fields, a missing/unsupported ``schema_version``, and
+        invalid parameter combinations all raise
+        :class:`~repro.core.errors.WireFormatError` (the latter wrapping
+        the normalization error), never silently drop data.
+        """
+        if not isinstance(payload, dict):
+            raise WireFormatError(
+                f"spec payload must be a JSON object, got {type(payload).__name__}"
+            )
+        version = payload.get("schema_version")
+        if version is None:
+            raise WireFormatError("spec payload is missing schema_version")
+        if version != WIRE_SCHEMA_VERSION:
+            raise WireFormatError(
+                f"unsupported schema_version {version!r} "
+                f"(this build speaks {WIRE_SCHEMA_VERSION})"
+            )
+        unknown = sorted(
+            k for k in payload if k != "schema_version" and k not in _SPEC_WIRE_FIELDS
+        )
+        if unknown:
+            raise WireFormatError(
+                f"unknown spec field(s) {', '.join(unknown)} "
+                f"(known: {', '.join(_SPEC_WIRE_FIELDS)})"
+            )
+        if "kind" not in payload:
+            raise WireFormatError("spec payload is missing kind")
+        kwargs = {}
+        for name in _SPEC_WIRE_FIELDS:
+            if name in payload:
+                value = payload[name]
+                if name in ("point", "target_ids") and isinstance(value, list):
+                    value = tuple(value)
+                kwargs[name] = value
+        try:
+            return cls(**kwargs).normalized()
+        except (EngineConfigError, TypeError, ValueError) as exc:
+            raise WireFormatError(f"invalid spec: {exc}") from exc
+
 
 @dataclass
 class QueryCompleteness:
@@ -170,8 +263,11 @@ class QueryCompleteness:
     deadline_headroom_ratio: float | None = None
 
     def as_dict(self) -> dict:
-        return {
-            "complete": self.complete,
+        # json_safe at the boundary: max_lod_reached and the target
+        # tallies can arrive as numpy ints (LOD keys flow out of
+        # LODTable cumulatives and kernel reductions upstream).
+        return json_safe({
+            "complete": bool(self.complete),
             "reason": self.reason,
             "targets_total": self.targets_total,
             "targets_finished": self.targets_finished,
@@ -180,7 +276,12 @@ class QueryCompleteness:
             "max_lod_reached": self.max_lod_reached,
             "deadline_ms": self.deadline_ms,
             "deadline_headroom_ratio": self.deadline_headroom_ratio,
-        }
+        })
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryCompleteness":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
 
 
 @dataclass
@@ -243,6 +344,74 @@ class QueryResult:
         """Legacy ``(pairs, stats)`` unpacking — kept one release."""
         yield self.pairs
         yield self.stats
+
+    # -- the wire schema -------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """This result as a versioned JSON-safe dict (the serve contract).
+
+        Pairs are keyed by the target id's decimal string (JSON objects
+        key on strings); NN/kNN matches serialize as ``[sid, distance,
+        exact]`` triples. Stats (funnel included), completeness, and
+        degraded targets ride along, so a remote client reconstructs the
+        full :class:`QueryResult` — funnel conservation checks intact.
+        """
+        spec_wire = None
+        if self.spec is not None and self.spec.probe is None:
+            spec_wire = replace(
+                self.spec, cancellation=None, progress=None
+            ).to_wire()
+        return json_safe({
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "spec": spec_wire,
+            "pairs": {str(tid): matches for tid, matches in self.pairs.items()},
+            "stats": self.stats.as_dict(),
+            "completeness": self.completeness.as_dict(),
+            "degraded_targets": sorted(self.degraded_targets),
+            "total_matches": self.total_matches,
+        })
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "QueryResult":
+        """Reconstruct a result from its wire dict — strictly versioned.
+
+        The round trip preserves everything a caller can observe:
+        ``pairs`` (int keys restored; kNN triples back to tuples),
+        merged stats with the funnel, completeness, and the degraded
+        target set. ``QueryStats`` timing fields are the server's
+        measurements, unchanged.
+        """
+        if not isinstance(payload, dict):
+            raise WireFormatError(
+                f"result payload must be a JSON object, got {type(payload).__name__}"
+            )
+        version = payload.get("schema_version")
+        if version != WIRE_SCHEMA_VERSION:
+            raise WireFormatError(
+                f"unsupported result schema_version {version!r} "
+                f"(this build speaks {WIRE_SCHEMA_VERSION})"
+            )
+        spec = None
+        if payload.get("spec") is not None:
+            spec = QuerySpec.from_wire(payload["spec"])
+        nn_style = spec is not None and spec.kind == "knn"
+        pairs = {}
+        for tid, matches in payload.get("pairs", {}).items():
+            if nn_style:
+                matches = [
+                    (int(sid), float(dist), bool(exact))
+                    for sid, dist, exact in matches
+                ]
+            pairs[int(tid)] = matches
+        stats = QueryStats.from_dict(payload.get("stats", {}))
+        completeness = QueryCompleteness.from_dict(payload.get("completeness", {}))
+        return cls(
+            pairs,
+            stats,
+            degraded_targets=set(payload.get("degraded_targets", ())),
+            spec=spec,
+            completeness=completeness,
+        )
 
 
 @dataclass
@@ -406,6 +575,9 @@ class WithinStrategy(KindStrategy):
         # refinement; the funnel books them at the query level so
         # confirmed_total still reconciles with the result count.
         ctx.stats.funnel.filter_confirmed += len(definite)
+        # Filter-level confirmations stream at pseudo-LOD -1, matching
+        # the funnel's filter_confirmed bucket.
+        ctx.emit_confirmed(-1, sorted(definite))
         try:
             refined = refine_within(ctx, tid, open_candidates, plan.spec.distance)
         except DeadlineExceededError as exc:
@@ -445,7 +617,11 @@ class KnnStrategy(KindStrategy):
         # in the top-k were never "settled" per LOD, so book them as
         # query-level final confirmations for funnel reconciliation.
         ctx.stats.funnel.confirmed_final += len(nearest)
-        return [(c.sid, c.maxdist, c.exact) for c in nearest], len(nearest)
+        matches = [(c.sid, c.maxdist, c.exact) for c in nearest]
+        # Final-selection confirmations stream at pseudo-LOD -2 (the
+        # top-k only exists once elimination finishes).
+        ctx.emit_confirmed(-2, matches)
+        return matches, len(nearest)
 
 
 class ContainmentStrategy(KindStrategy):

@@ -104,8 +104,26 @@ class RefineContext:
     # Optional repro.core.deadline.Deadline; refinement checks it at
     # every round and candidate batch (None keeps checkpoints free).
     deadline: object = None
+    # Progressive-results hook (QuerySpec.progress): a callable
+    # ``(target_id, lod, matches)`` invoked as pairs confirm, plus the
+    # target the executor is currently refining. FPR never revokes a
+    # confirmation, so every emission is final — the serve layer streams
+    # them to clients before the query completes.
+    progress: object = None
+    progress_target: object = None
 
     # -- cooperative cancellation ----------------------------------------------
+
+    def emit_confirmed(self, lod: int, matches) -> None:
+        """Push newly confirmed ``matches`` at ``lod`` to the progress hook.
+
+        ``lod`` uses the funnel's conventions: a real LOD for per-round
+        confirmations, ``-1`` for filter-level confirmations (within's
+        definite matches), ``-2`` for final-selection confirmations
+        (NN's top-k). No-op without a hook or without matches.
+        """
+        if self.progress is not None and matches:
+            self.progress(self.progress_target, lod, list(matches))
 
     def checkpoint(self, where: str = "") -> None:
         """Raise :class:`DeadlineExceededError` if the budget is spent."""
@@ -383,6 +401,7 @@ def _refine_intersection(
             ctx.ledger_evaluated(lod, len(survivors))
             settled = []
             confirmed = degraded = 0
+            mark = len(results)
             for sid, parts in survivors.items():
                 ctx.checkpoint("intersection_pair")
                 try:
@@ -398,6 +417,7 @@ def _refine_intersection(
             for sid in settled:
                 del survivors[sid]
             ctx.ledger_settled(lod, confirmed=confirmed, degraded=degraded)
+            ctx.emit_confirmed(lod, results[mark:])
             round_span.set(settled=len(settled))
 
     # Containment stage (Algorithm 1 steps 8-12): no face pair intersects,
@@ -417,6 +437,7 @@ def _refine_intersection(
             return results
         t_box = _faces_aabb(dec_t)
         confirmed = degraded = 0
+        mark = len(results)
         for sid in survivors:
             ctx.checkpoint("intersection_containment_pair")
             try:
@@ -446,6 +467,7 @@ def _refine_intersection(
             degraded=degraded,
             rejected=len(survivors) - confirmed - degraded,
         )
+        ctx.emit_confirmed(top_lod, results[mark:])
     return results
 
 
@@ -508,6 +530,7 @@ def _refine_within(
                 # pruned ≤ evaluated holds per LOD in degraded runs too.
                 ctx.ledger_evaluated(lod, len(survivors))
                 confirmed = 0
+                mark = len(results)
                 for sid, _parts in survivors:
                     if ctx.box_upper_bound(target_id, sid) <= distance:
                         results.append(sid)
@@ -515,6 +538,7 @@ def _refine_within(
                 ctx.ledger_settled(
                     lod, confirmed=confirmed, degraded=len(survivors) - confirmed
                 )
+                ctx.emit_confirmed(lod, results[mark:])
                 return results
             ctx.ledger_evaluated(lod, len(survivors))
             dists, inexact = ctx.batch_min_distances(
@@ -522,6 +546,7 @@ def _refine_within(
             )
             remaining = []
             confirmed = rejected = degraded = 0
+            mark = len(results)
             for (sid, parts), dist, rough in zip(survivors, dists, inexact):
                 if dist <= distance:
                     results.append(sid)
@@ -539,6 +564,7 @@ def _refine_within(
             ctx.ledger_settled(
                 lod, confirmed=confirmed, rejected=rejected, degraded=degraded
             )
+            ctx.emit_confirmed(lod, results[mark:])
             round_span.set(settled=confirmed + rejected + degraded)
             survivors = remaining
     return results
@@ -690,6 +716,7 @@ def _refine_containment(
             ctx.ledger_evaluated(lod, len(survivors))
             remaining = []
             confirmed = degraded = 0
+            mark = len(matches)
             for sid in survivors:
                 ctx.checkpoint("containment_pair")
                 try:
@@ -708,5 +735,6 @@ def _refine_containment(
                 degraded=degraded,
                 rejected=len(survivors) - len(remaining) - confirmed - degraded,
             )
+            ctx.emit_confirmed(lod, matches[mark:])
             survivors = remaining
     return matches

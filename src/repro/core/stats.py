@@ -16,9 +16,18 @@ from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.core.jsonsafe import json_safe
 from repro.obs.funnel import QueryFunnel
 
 __all__ = ["QueryStats"]
+
+#: Scalar fields that round-trip through ``as_dict``/``from_dict``
+#: unchanged (the per-LOD ledgers and the funnel are handled apart).
+_SCALAR_FIELDS = (
+    "total_seconds", "filter_seconds", "decode_seconds", "compute_seconds",
+    "targets", "candidates", "results", "decoded_vertices",
+    "cache_hits", "cache_misses", "degraded_objects", "decode_failures",
+)
 
 
 @dataclass
@@ -123,7 +132,10 @@ class QueryStats:
         self.funnel.merge(other.funnel)
 
     def as_dict(self) -> dict:
-        return {
+        # json_safe at the boundary: LOD keys and counter values can be
+        # numpy scalars (LODTable cumulatives, kernel reductions), which
+        # json.dumps rejects; the export contract is builtins only.
+        return json_safe({
             "query": self.query,
             "config": self.config_label,
             "total_seconds": self.total_seconds,
@@ -144,7 +156,36 @@ class QueryStats:
             "degraded_objects": self.degraded_objects,
             "decode_failures": self.decode_failures,
             "funnel": self.funnel.as_dict(),
-        }
+        })
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryStats":
+        """Rebuild stats from :meth:`as_dict` output (the wire round trip).
+
+        Accepts per-LOD ledger keys as ints or decimal strings — JSON
+        stringifies object keys — and restores the funnel, so the
+        ledger/funnel conservation invariants survive a serialize →
+        deserialize cycle. Derived fields (``other_seconds``,
+        ``face_pairs_total``) are recomputed, not stored.
+        """
+        stats = cls(
+            query=payload.get("query", ""),
+            config_label=payload.get("config", ""),
+        )
+        for name in _SCALAR_FIELDS:
+            if name in payload:
+                setattr(stats, name, payload[name])
+        for attr, key in (
+            ("pairs_evaluated_by_lod", "pairs_evaluated_by_lod"),
+            ("pairs_pruned_by_lod", "pairs_pruned_by_lod"),
+            ("face_pairs_by_lod", "face_pairs_by_lod"),
+        ):
+            ledger = getattr(stats, attr)
+            for lod, count in payload.get(key, {}).items():
+                ledger[int(lod)] += count
+        if "funnel" in payload:
+            stats.funnel = QueryFunnel.from_dict(payload["funnel"])
+        return stats
 
     def summary(self) -> str:
         """One-line human-readable digest."""

@@ -91,6 +91,11 @@ class FunnelStage:
             "decode_failures": self.decode_failures,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FunnelStage":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
 
 @dataclass
 class QueryFunnel:
@@ -143,6 +148,25 @@ class QueryFunnel:
                 for lod, stage in sorted(self.stages.items())
             },
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryFunnel":
+        """Rebuild a funnel from :meth:`as_dict` output (wire round trip).
+
+        Stage keys arrive as the decimal strings ``as_dict`` emits (or
+        ints, pre-JSON); derived totals (``confirmed_total``) are
+        recomputed so :meth:`violations` gives the same verdict on both
+        sides of the wire.
+        """
+        funnel = cls(
+            candidates=payload.get("candidates", 0),
+            mbb_pruned=payload.get("mbb_pruned", 0),
+            filter_confirmed=payload.get("filter_confirmed", 0),
+            confirmed_final=payload.get("confirmed_final", 0),
+        )
+        for lod, stage in payload.get("stages", {}).items():
+            funnel.stages[int(lod)] = FunnelStage.from_dict(stage)
+        return funnel
 
     # -- consistency ----------------------------------------------------------
 

@@ -362,6 +362,9 @@ def _chunk_spec(plan, chunk, deadline):
     stripped; the worker gets the parent's *remaining* milliseconds
     instead (floored at 1ms — an already-expired budget still yields a
     well-formed empty partial from the worker's first checkpoint).
+    ``progress`` callbacks are in-process-only for the same reason —
+    consumers needing per-LOD streaming under this backend rely on the
+    serve layer's catch-up flush after the merged result lands.
     """
     deadline_ms = None
     if deadline is not None:
@@ -372,6 +375,7 @@ def _chunk_spec(plan, chunk, deadline):
         plan.spec,
         target_ids=tuple(chunk),
         cancellation=None,
+        progress=None,
         deadline_ms=deadline_ms,
     )
 

@@ -1,0 +1,41 @@
+"""repro.serve: a long-lived HTTP/JSON query service.
+
+The service keeps loaded datasets, compiled plans, and the shared
+decode cache hot across requests, speaking the versioned wire schema
+(:mod:`repro.core.plan`'s ``to_wire``/``from_wire``) over plain
+stdlib HTTP:
+
+* ``GET /healthz`` — liveness probe;
+* ``GET /metrics`` — the engine's metrics registry as Prometheus text;
+* ``GET /v1/datasets`` — loaded dataset names;
+* ``POST /v1/query`` — one buffered query (spec wire in, result wire out);
+* ``POST /v1/query/stream`` — NDJSON progressive frames: confirmed
+  pairs per LOD round as refinement settles them, terminated by a
+  stats + completeness summary frame.
+
+Overload is governed by :class:`~repro.serve.admission.AdmissionController`
+(bounded in-flight + bounded wait queue -> 429/503) and identical
+concurrent buffered queries coalesce into one execution
+(:class:`~repro.serve.coalesce.SingleFlight`).
+"""
+
+from repro.serve.admission import AdmissionController, OverloadedError
+from repro.serve.app import QueryService, make_server
+from repro.serve.client import RemoteEngine, RemoteError
+from repro.serve.coalesce import SingleFlight
+from repro.serve.stream import FrameEmitter, assemble_frames
+from repro.serve.wire import canonical_spec_json, spec_key
+
+__all__ = [
+    "AdmissionController",
+    "FrameEmitter",
+    "OverloadedError",
+    "QueryService",
+    "RemoteEngine",
+    "RemoteError",
+    "SingleFlight",
+    "assemble_frames",
+    "canonical_spec_json",
+    "make_server",
+    "spec_key",
+]

@@ -1,0 +1,122 @@
+"""Admission control: bounded in-flight work, bounded waiting, fast rejection.
+
+The server admits at most ``max_inflight`` concurrently executing
+queries; up to ``max_queue`` more may wait for a slot. Beyond that the
+request is rejected *immediately* with 429 — an overloaded server must
+shed load without letting the backlog grow unbounded — and a request
+that waited its full ``queue_timeout_seconds`` without getting a slot
+is rejected with 503. In-flight queries are never disturbed by either.
+
+Queue depth and in-flight count are exported as gauges
+(``repro_server_inflight`` / ``repro_server_queued``) and every
+rejection increments ``repro_server_rejected_total{reason=...}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.core.errors import EngineError
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["AdmissionController", "OverloadedError"]
+
+
+class OverloadedError(EngineError):
+    """The server cannot admit this request right now.
+
+    ``status`` is the HTTP status the server maps it to: 429 when the
+    wait queue is full (retry later), 503 when the request waited its
+    whole timeout without getting a slot.
+    """
+
+    def __init__(self, status: int, reason: str, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.reason = reason
+
+
+class AdmissionController:
+    """A semaphore-bounded admission gate with a bounded wait queue."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        queue_timeout_seconds: float = 30.0,
+        metrics=None,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout_seconds = queue_timeout_seconds
+        self._slots = threading.Semaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._queued = 0
+        registry = metrics if metrics is not None else obs_metrics.REGISTRY
+        self._g_inflight = registry.gauge(
+            "repro_server_inflight", "Queries currently executing."
+        )
+        self._g_queued = registry.gauge(
+            "repro_server_queued", "Requests waiting for an execution slot."
+        )
+        self._m_rejected = registry.counter(
+            "repro_server_rejected_total",
+            "Requests rejected by admission control, by reason.",
+        )
+        self._g_inflight.set(0)
+        self._g_queued.set(0)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    @contextmanager
+    def slot(self):
+        """Hold one execution slot; raises :class:`OverloadedError` instead
+        of admitting past the configured bounds."""
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                if self._queued >= self.max_queue:
+                    self._m_rejected.inc(reason="queue_full")
+                    raise OverloadedError(
+                        429,
+                        "queue_full",
+                        f"server at capacity: {self.max_inflight} in flight, "
+                        f"{self._queued} queued (max {self.max_queue})",
+                    )
+                self._queued += 1
+                self._g_queued.set(self._queued)
+            try:
+                admitted = self._slots.acquire(timeout=self.queue_timeout_seconds)
+            finally:
+                with self._lock:
+                    self._queued -= 1
+                    self._g_queued.set(self._queued)
+            if not admitted:
+                self._m_rejected.inc(reason="queue_timeout")
+                raise OverloadedError(
+                    503,
+                    "queue_timeout",
+                    f"no execution slot freed within "
+                    f"{self.queue_timeout_seconds:.0f}s",
+                )
+        with self._lock:
+            self._inflight += 1
+            self._g_inflight.set(self._inflight)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                self._g_inflight.set(self._inflight)
+            self._slots.release()

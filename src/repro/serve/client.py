@@ -1,0 +1,96 @@
+"""A stdlib HTTP client for the query service.
+
+:class:`RemoteEngine` mirrors the in-process engine's ``execute``
+surface over the wire: specs go out as versioned JSON, results come
+back through ``QueryResult.from_wire`` — so CLI code and tests run the
+same calls against a local engine or a remote server and compare the
+answers pair for pair.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.core.plan import QueryResult, QuerySpec
+from repro.serve.stream import assemble_frames
+
+__all__ = ["RemoteEngine", "RemoteError"]
+
+
+class RemoteError(Exception):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class RemoteEngine:
+    """``engine.execute``-shaped access to a running query service."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _request(self, path: str, payload=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method="POST" if payload is not None else "GET",
+        )
+        try:
+            return urllib.request.urlopen(req, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raise RemoteError(exc.code, _error_message(exc)) from exc
+
+    def _json(self, path: str, payload=None) -> dict:
+        with self._request(path, payload) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    # -- API -------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("/healthz")
+
+    def datasets(self) -> list[str]:
+        return self._json("/v1/datasets")["datasets"]
+
+    def metrics_text(self) -> str:
+        with self._request("/metrics") as resp:
+            return resp.read().decode("utf-8")
+
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """One buffered remote query, reconstructed as a ``QueryResult``."""
+        return QueryResult.from_wire(self._json("/v1/query", spec.to_wire()))
+
+    def execute_raw(self, payload: dict) -> dict:
+        """Ship an already-built wire payload; returns the result wire dict."""
+        return self._json("/v1/query", payload)
+
+    def stream(self, spec: QuerySpec):
+        """Yield decoded NDJSON frames of a progressive query, in order."""
+        with self._request("/v1/query/stream", spec.to_wire()) as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def execute_stream(self, spec: QuerySpec) -> QueryResult:
+        """Run a streaming query and assemble the frames into a result."""
+        return assemble_frames(self.stream(spec))
+
+
+def _error_message(exc: urllib.error.HTTPError) -> str:
+    try:
+        return json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+    except Exception:
+        return str(exc)

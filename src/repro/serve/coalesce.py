@@ -1,0 +1,74 @@
+"""Cross-request coalescing: one execution per identical in-flight spec.
+
+A classic single-flight map keyed on the canonical normalized-spec hash
+(:func:`repro.serve.wire.spec_key`): the first request with a given key
+becomes the *leader* and actually executes; requests arriving with the
+same key while the leader is still running become *followers* and block
+until the leader finishes, then share its result object (sharing is
+safe — callers only serialize the result to the wire). Keys part ways
+the moment the leader finishes: a later identical request starts a
+fresh flight and sees fresh data.
+
+Leader failure propagates: followers re-raise the leader's exception,
+since their request would have failed identically.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["SingleFlight"]
+
+
+class _Flight:
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result = None
+        self.error = None
+
+
+class SingleFlight:
+    """Deduplicate concurrent identical work under a keyed flight map."""
+
+    def __init__(self, metrics=None):
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        registry = metrics if metrics is not None else obs_metrics.REGISTRY
+        self._m_coalesced = registry.counter(
+            "repro_server_coalesced_total",
+            "Requests served from another in-flight identical query.",
+        )
+
+    def run(self, key: str, fn):
+        """Execute ``fn`` once per concurrent ``key``.
+
+        Returns ``(value, leader)`` — ``leader`` is False when this call
+        waited on another request's execution instead of running its own.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = self._flights[key] = _Flight()
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            self._m_coalesced.inc()
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result, False
+        try:
+            flight.result = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.result, True

@@ -1,0 +1,26 @@
+"""Canonical spec serialization: the coalescing key.
+
+Two requests coalesce exactly when their *normalized* specs serialize
+to the same canonical JSON — ``QuerySpec.to_wire`` normalizes first
+(``nn`` becomes ``knn(k=1)``, defaults are materialized), so surface
+spelling differences ("nn" vs "knn k=1") cannot split a flight, and
+any semantic difference (another ``k``, another ``deadline_ms``)
+cannot join one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_spec_json", "spec_key"]
+
+
+def canonical_spec_json(spec) -> str:
+    """The spec's normalized wire dict as sorted, minimal JSON."""
+    return json.dumps(spec.to_wire(), sort_keys=True, separators=(",", ":"))
+
+
+def spec_key(spec) -> str:
+    """The single-flight map key for ``spec`` (sha256 of canonical JSON)."""
+    return hashlib.sha256(canonical_spec_json(spec).encode("utf-8")).hexdigest()

@@ -5,10 +5,19 @@ import pytest
 
 from repro.compression import PPVPEncoder
 from repro.core import EngineConfig, ThreeDPro
+from repro.core.plan import QuerySpec
 from repro.geometry import point_in_polyhedron
 from repro.mesh import icosphere
 from repro.storage import Dataset
 from tests.test_compression_classify import dented_icosphere
+
+
+def containment(engine, dataset, point):
+    """matches + stats via the unified query API."""
+    result = engine.execute(
+        QuerySpec(kind="containment", source=dataset, point=tuple(point))
+    )
+    return result.matches, result.stats
 
 
 @pytest.fixture(scope="module")
@@ -28,18 +37,18 @@ def spheres_engine():
 class TestContainmentQuery:
     def test_point_in_nested_spheres(self, spheres_engine):
         engine, _ = spheres_engine
-        matches, stats = engine.containment_query("spheres", (0.1, 0.1, 0.1))
+        matches, stats = containment(engine, "spheres", (0.1, 0.1, 0.1))
         assert matches == [0, 1]
         assert stats.results == 2
 
     def test_point_in_outer_only(self, spheres_engine):
         engine, _ = spheres_engine
-        matches, _ = engine.containment_query("spheres", (1.5, 0.0, 0.0))
+        matches, _ = containment(engine, "spheres", (1.5, 0.0, 0.0))
         assert matches == [1]
 
     def test_point_outside_everything(self, spheres_engine):
         engine, _ = spheres_engine
-        matches, stats = engine.containment_query("spheres", (5.0, 5.0, 5.0))
+        matches, stats = containment(engine, "spheres", (5.0, 5.0, 5.0))
         assert matches == []
         assert stats.candidates == 0  # MBB filter kills it
 
@@ -47,7 +56,7 @@ class TestContainmentQuery:
         engine, _ = spheres_engine
         # A deep interior point is inside even the coarsest LOD, so the
         # FPR path should settle at LOD 0 for both containing spheres.
-        _matches, stats = engine.containment_query("spheres", (0.01, 0.0, 0.0))
+        _matches, stats = containment(engine, "spheres", (0.01, 0.0, 0.0))
         assert stats.pairs_pruned_by_lod.get(0, 0) >= 2
 
     def test_matches_direct_ray_cast(self, spheres_engine):
@@ -59,7 +68,7 @@ class TestContainmentQuery:
                 for i, mesh in enumerate(meshes)
                 if point_in_polyhedron(point, mesh.triangles)
             )
-            got, _ = engine.containment_query("spheres", tuple(point))
+            got, _ = containment(engine, "spheres", point)
             assert got == expected, point
 
     def test_fr_paradigm_agrees(self, spheres_engine):
@@ -70,8 +79,8 @@ class TestContainmentQuery:
         )
         rng = np.random.default_rng(10)
         for point in rng.uniform(-2.2, 2.2, size=(10, 3)):
-            fr, _ = fr_engine.containment_query("spheres", tuple(point))
-            fpr, _ = fpr_engine.containment_query("spheres", tuple(point))
+            fr, _ = containment(fr_engine, "spheres", point)
+            fpr, _ = containment(fpr_engine, "spheres", point)
             assert fr == fpr
 
     def test_nonconvex_object(self):
@@ -81,14 +90,14 @@ class TestContainmentQuery:
         rng = np.random.default_rng(11)
         for point in rng.uniform(-1.05, 1.05, size=(20, 3)):
             expected = point_in_polyhedron(point, mesh.triangles)
-            got, _ = engine.containment_query("dented", tuple(point))
+            got, _ = containment(engine, "dented", point)
             assert (0 in got) == expected, point
 
 
 class TestContainmentStats:
     def test_stats_time_phases_accounted(self, spheres_engine):
         engine, _ = spheres_engine
-        _matches, stats = engine.containment_query("spheres", (0.1, 0.1, 0.1))
+        _matches, stats = containment(engine, "spheres", (0.1, 0.1, 0.1))
         assert stats.total_seconds >= 0
         accounted = stats.filter_seconds + stats.decode_seconds + stats.compute_seconds
         assert accounted <= stats.total_seconds + 1e-6

@@ -133,3 +133,78 @@ class TestQueryStats:
         assert payload["face_pairs_total"] == 32
         # a plain dict, safe to serialize and detached from the stats object
         assert type(payload["face_pairs_by_lod"]) is dict
+
+
+class TestResolveSetting:
+    """The one shared precedence chain: spec > override > config > env > default."""
+
+    def test_default_when_nothing_set(self, monkeypatch):
+        from repro.core.config import resolve_setting
+
+        monkeypatch.delenv("REPRO_SERVE_PORT", raising=False)
+        assert resolve_setting("serve_port") == 8030
+        monkeypatch.delenv("REPRO_DEADLINE_MS", raising=False)
+        assert resolve_setting("deadline_ms") is None
+
+    def test_env_beats_default(self, monkeypatch):
+        from repro.core.config import resolve_setting
+
+        monkeypatch.setenv("REPRO_SERVE_MAX_INFLIGHT", "9")
+        assert resolve_setting("serve_max_inflight") == 9
+
+    def test_config_beats_env(self, monkeypatch):
+        from repro.core.config import resolve_setting
+
+        monkeypatch.setenv("REPRO_DEADLINE_MS", "500")
+        assert resolve_setting("deadline_ms", config=EngineConfig(deadline_ms=50)) == 50
+
+    def test_override_beats_config(self, monkeypatch):
+        from repro.core.config import resolve_setting
+
+        monkeypatch.setenv("REPRO_QUERY_WORKERS", "8")
+        config = EngineConfig(query_workers=4)
+        assert resolve_setting("query_workers", override=2, config=config) == 2
+
+    def test_spec_beats_everything(self, monkeypatch):
+        from repro.core.config import resolve_setting
+
+        monkeypatch.setenv("REPRO_DEADLINE_MS", "500")
+        config = EngineConfig(deadline_ms=50)
+        assert resolve_setting("deadline_ms", spec=5, override=25, config=config) == 5
+
+    def test_plain_value_config_layer(self):
+        from repro.core.config import resolve_setting
+
+        # Settings with no EngineConfig field accept a plain value.
+        assert resolve_setting("serve_max_queue", config=3) == 3
+
+    def test_malformed_env_raises_loudly(self, monkeypatch):
+        from repro.core.config import resolve_setting
+
+        monkeypatch.setenv("REPRO_SERVE_PORT", "not-a-port")
+        with pytest.raises(EngineConfigError, match="REPRO_SERVE_PORT"):
+            resolve_setting("serve_port")
+
+    def test_out_of_range_rejected_whatever_the_layer(self, monkeypatch):
+        from repro.core.config import resolve_setting
+
+        with pytest.raises(EngineConfigError, match="query_workers"):
+            resolve_setting("query_workers", override=0)
+        monkeypatch.setenv("REPRO_QUERY_WORKERS", "-1")
+        with pytest.raises(EngineConfigError, match="query_workers"):
+            resolve_setting("query_workers")
+
+    def test_invalid_backend_env_rejected(self, monkeypatch):
+        from repro.core.config import resolve_setting
+
+        monkeypatch.setenv("REPRO_QUERY_BACKEND", "fork")
+        with pytest.raises(EngineConfigError, match="REPRO_QUERY_BACKEND"):
+            resolve_setting("query_backend")
+
+    def test_engine_config_wrappers_route_through_resolver(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUERY_WORKERS", "3")
+        monkeypatch.setenv("REPRO_QUERY_BACKEND", "process")
+        config = EngineConfig()
+        assert config.resolve_query_workers() == 3
+        assert config.resolve_query_backend() == "process"
+        assert EngineConfig(query_workers=2).resolve_query_workers() == 2

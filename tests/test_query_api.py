@@ -164,6 +164,21 @@ class TestDeprecatedBareForms:
         )
         assert bare == (full.matches[0] if full.matches else None)
 
+    def test_containment_query_warns(self, engine, small_scene):
+        point = tuple(float(x) for x in small_scene.nuclei_b[0].vertices.mean(axis=0))
+        with pytest.warns(DeprecationWarning, match="containment_query"):
+            bare_matches, bare_stats = engine.containment_query("nuclei_b", point)
+        full = engine.execute(
+            QuerySpec(kind="containment", source="nuclei_b", point=point)
+        )
+        assert bare_matches == full.matches
+        assert bare_stats.results == full.stats.results
+
+    def test_deprecation_names_removal_version(self, engine, small_scene):
+        probe = small_scene.nuclei_a[0]
+        with pytest.warns(DeprecationWarning, match="removed in 2.0"):
+            engine.intersection_query("nuclei_b", probe)
+
     def test_probe_spec_returns_stats(self, engine, small_scene):
         """The replacement form keeps the stats the bare form drops."""
         probe = small_scene.nuclei_a[0]
