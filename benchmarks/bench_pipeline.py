@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Refine-stage pipeline benchmark: batched LOD rounds vs per-pair dispatch.
+
+Runs the intersection and within joins twice per backend — with the
+batched gather/segment refinement (``core/batch.py``, the default) and
+with ``EngineConfig(batched_refine=False)``, the old one-kernel-call-
+per-candidate-pair path — and records, in ``results/pipeline.json``:
+
+* refine-stage wall time (``stats.compute_seconds``: the compute phase
+  net of decode time) for both modes, plus the speedup;
+* a parity verdict per backend (serial / thread / process): result
+  pairs, funnel counters, and the per-LOD pairs ledger must be
+  identical between the two modes, or the whole run fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py            # full run
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --check    # gate mode
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick    # 1 repeat
+
+``--check`` exits 2 on any parity mismatch (hard failure: the batched
+path changed an answer or a count) and 1 when the median speedup falls
+under ``--floor`` (default 5x — machine-relative, so CI treats exit 1
+as a warning, like ``scripts/bench_regress.py``). The workload scale
+follows ``REPRO_BENCH_SCALE`` (default ``tiny``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.runner import make_engine  # noqa: E402
+from repro.bench.workloads import get_workload  # noqa: E402
+
+RESULTS = Path(__file__).resolve().parent.parent / "results" / "pipeline.json"
+
+BACKENDS = {
+    "serial": {"query_workers": 1},
+    "thread": {"query_workers": 4, "query_backend": "thread"},
+    "process": {"query_workers": 4, "query_backend": "process"},
+}
+
+
+def _run_join(workload, test_id: str, batched: bool, **overrides):
+    engine = make_engine(
+        "fpr", "B", workload=workload, batched_refine=batched, **overrides
+    )
+    if test_id == "INT-NN":
+        return engine.intersection_join("nuclei_a", "nuclei_b")
+    return engine.within_join("nuclei_a", "nuclei_b", distance=workload.within_nn)
+
+
+def _comparable(result, with_cache: bool) -> dict:
+    """Everything the two modes must agree on, byte for byte.
+
+    Decode-cache counters are deterministic only on the serial backend:
+    under thread/process fan-out, chunk-to-worker assignment (and with
+    it cross-chunk cache reuse) is scheduling-dependent in the per-pair
+    path too, so those fields are compared serially only — the same
+    exclusion ``tests/test_parallel_query._comparable_counters`` makes.
+    """
+    funnel = result.stats.funnel.as_dict()
+    if not with_cache:
+        for stage in funnel.get("stages", {}).values():
+            for key in ("cache_hits", "cache_misses", "decoded_objects",
+                        "decoded_bytes"):
+                stage.pop(key, None)
+    return {
+        "pairs": [(tid, list(matches)) for tid, matches in result.pairs.items()],
+        "degraded_targets": sorted(result.degraded_targets),
+        "results": result.stats.results,
+        "funnel": funnel,
+        "pairs_evaluated_by_lod": sorted(result.stats.pairs_evaluated_by_lod.items()),
+        "pairs_pruned_by_lod": sorted(result.stats.pairs_pruned_by_lod.items()),
+        "degraded_objects": result.stats.degraded_objects,
+    }
+
+
+def _parity(workload, test_id: str, backends) -> dict:
+    verdicts = {}
+    for backend, overrides in backends.items():
+        per_pair = _run_join(workload, test_id, batched=False, **overrides)
+        batched = _run_join(workload, test_id, batched=True, **overrides)
+        with_cache = backend == "serial"
+        a = _comparable(per_pair, with_cache)
+        b = _comparable(batched, with_cache)
+        mismatched = [key for key in a if a[key] != b[key]]
+        verdicts[backend] = {"identical": not mismatched, "mismatched": mismatched}
+    return verdicts
+
+
+def _time_refine(workload, test_id: str, batched: bool, repeats: int) -> dict:
+    compute, total = [], []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = _run_join(workload, test_id, batched=batched, query_workers=1)
+        total.append(time.perf_counter() - started)
+        compute.append(result.stats.compute_seconds)
+    return {
+        "refine_seconds": statistics.median(compute),
+        "total_seconds": statistics.median(total),
+        "refine_samples": compute,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate mode: exit 2 on parity mismatch, 1 on speedup under --floor",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single timing repeat and the intersection join only",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=5.0,
+        help="minimum acceptable batched-vs-per-pair refine speedup (default 5.0)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (median wins)"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS,
+        help=f"result JSON path (default {RESULTS})",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip writing the result JSON"
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.quick else args.repeats
+    test_ids = ["INT-NN"] if args.quick else ["INT-NN", "WN-NN"]
+    workload = get_workload()
+    print(f"[pipeline] workload: {workload.summary}")
+
+    report = {
+        "scale": workload.scale.name,
+        "repeats": repeats,
+        "floor": args.floor,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workloads": {},
+    }
+    parity_ok = True
+    worst_speedup = float("inf")
+    for test_id in test_ids:
+        per_pair = _time_refine(workload, test_id, batched=False, repeats=repeats)
+        batched = _time_refine(workload, test_id, batched=True, repeats=repeats)
+        speedup = (
+            per_pair["refine_seconds"] / batched["refine_seconds"]
+            if batched["refine_seconds"] > 0
+            else float("inf")
+        )
+        worst_speedup = min(worst_speedup, speedup)
+        parity = _parity(workload, test_id, BACKENDS)
+        parity_ok &= all(v["identical"] for v in parity.values())
+        report["workloads"][test_id] = {
+            "per_pair": per_pair,
+            "batched": batched,
+            "refine_speedup": speedup,
+            "parity": parity,
+        }
+        verdicts = " ".join(
+            f"{backend}={'ok' if v['identical'] else 'MISMATCH:' + ','.join(v['mismatched'])}"
+            for backend, v in parity.items()
+        )
+        print(
+            f"[pipeline] {test_id}: per-pair={per_pair['refine_seconds']:.3f}s "
+            f"batched={batched['refine_seconds']:.3f}s speedup={speedup:.1f}x "
+            f"parity: {verdicts}"
+        )
+
+    if not args.no_write:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[pipeline] wrote {args.output}")
+
+    if not parity_ok:
+        print("[pipeline] FAIL: batched and per-pair runs disagree", file=sys.stderr)
+        return 2
+    if args.check and worst_speedup < args.floor:
+        print(
+            f"[pipeline] WARN: refine speedup {worst_speedup:.1f}x is under the "
+            f"{args.floor:.1f}x floor (machine-relative)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -260,6 +260,7 @@ def compare(baseline: dict, current: dict, threshold: float, min_delta: float):
 
 def _inject_compute_slowdown(factor: float) -> None:
     """Busy-pad the geometry kernels so compute runs ~factor x slower."""
+    from repro.core import batch
     from repro.parallel.executor import GeometryComputer
 
     def slowed(method):
@@ -275,6 +276,11 @@ def _inject_compute_slowdown(factor: float) -> None:
 
     for name in ("intersects", "min_distance", "pairwise_min_distances"):
         setattr(GeometryComputer, name, slowed(getattr(GeometryComputer, name)))
+    # The batched refinement path bypasses the per-pair GeometryComputer
+    # methods; pad its module-level entry points too (refine calls them
+    # through the module namespace, so setattr is enough).
+    for name in ("batched_any_intersect", "batched_min_distances"):
+        setattr(batch, name, slowed(getattr(batch, name)))
 
 
 def selftest(datasets, repeats: int, threshold: float, min_delta: float) -> int:

@@ -29,7 +29,12 @@ the checked-in golden set:
    exceeds evaluated, the confirmed/rejected/degraded split sums to
    settled), per-LOD evaluated/settled equal the ledger exactly, and the
    funnel's total confirmations equal ``stats.results`` — including on a
-   fault-injected run and under the active query backend.
+   fault-injected run and under the active query backend;
+9. the batched gather/segment refinement (``core/batch.py``, the
+   default) and the per-pair dispatch path it replaced
+   (``batched_refine=False``) agree exactly — same result pairs, same
+   per-LOD pairs ledger, same funnel stage counts — on the intersection
+   and within joins under the active query backend.
 
 The join respects ``REPRO_QUERY_WORKERS`` / ``REPRO_QUERY_BACKEND``, so
 CI also runs this gate under the process query backend.
@@ -339,6 +344,52 @@ def check_funnel(datasets) -> None:
     check(degraded > 0, f"faulted join books degraded settlements ({degraded})")
 
 
+def check_batched_parity(datasets) -> None:
+    print("[9/9] batched vs per-pair refinement parity")
+    from repro.core.plan import QuerySpec
+
+    specs = [
+        QuerySpec(kind="intersection", source="vessels", target="nuclei_a"),
+        QuerySpec(kind="within", source="vessels", target="nuclei_a", distance=40.0),
+    ]
+    results = {}
+    for batched in (False, True):
+        engine = ThreeDPro(
+            EngineConfig(metrics=MetricsRegistry(), batched_refine=batched)
+        )
+        for dataset in datasets.values():
+            engine.load_dataset(dataset)
+        results[batched] = [engine.execute(spec) for spec in specs]
+    # Under the process/thread backends (this gate runs under whatever
+    # REPRO_QUERY_* selects), decode-cache counters depend on scheduling;
+    # results and the pairs ledger never may.
+    for spec, per_pair, batched in zip(specs, results[False], results[True]):
+        check(
+            list(batched.pairs.items()) == list(per_pair.pairs.items()),
+            f"{spec.kind}: batched pairs identical to per-pair",
+        )
+        check(
+            dict(batched.stats.pairs_evaluated_by_lod)
+            == dict(per_pair.stats.pairs_evaluated_by_lod)
+            and dict(batched.stats.pairs_pruned_by_lod)
+            == dict(per_pair.stats.pairs_pruned_by_lod),
+            f"{spec.kind}: batched pairs ledger identical to per-pair",
+        )
+        per_stage = {
+            lod: (s.evaluated, s.settled, s.confirmed, s.rejected, s.degraded)
+            for lod, s in per_pair.funnel.stages.items()
+        }
+        batched_stage = {
+            lod: (s.evaluated, s.settled, s.confirmed, s.rejected, s.degraded)
+            for lod, s in batched.funnel.stages.items()
+        }
+        check(
+            batched_stage == per_stage
+            and batched.funnel.candidates == per_pair.funnel.candidates,
+            f"{spec.kind}: batched funnel stages identical to per-pair",
+        )
+
+
 def main() -> int:
     print("building datasets...")
     datasets = build_datasets()
@@ -351,6 +402,7 @@ def main() -> int:
     check_decode_equivalence(datasets)
     check_partial_completeness(datasets, result)
     check_funnel(datasets)
+    check_batched_parity(datasets)
     if _FAILURES:
         print(f"\n{len(_FAILURES)} check(s) FAILED:")
         for failure in _FAILURES:

@@ -86,6 +86,17 @@ def _parse_backend(env_name: str, raw: str) -> str:
     return value
 
 
+def _parse_bool(env_name: str, raw: str) -> bool:
+    value = raw.lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("0", "false", "no", "off"):
+        return False
+    raise EngineConfigError(
+        f"{env_name} must be a boolean (0/1/true/false), got {raw!r}"
+    )
+
+
 #: Every setting that resolves through the shared precedence chain.
 SETTINGS: dict[str, Setting] = {
     s.name: s
@@ -96,6 +107,8 @@ SETTINGS: dict[str, Setting] = {
         ),
         Setting("query_backend", "REPRO_QUERY_BACKEND", "thread",
                 parse=_parse_backend),
+        Setting("batched_refine", "REPRO_BATCHED_REFINE", True,
+                parse=_parse_bool),
         Setting(
             "deadline_ms", "REPRO_DEADLINE_MS", None,
             parse=_parse_int, check=_check_min("deadline_ms", 1),
@@ -209,6 +222,16 @@ class EngineConfig:
     # the on-disk store with its own DecodeCache. None defers to the
     # REPRO_QUERY_BACKEND environment variable, then "thread".
     query_backend: str | None = None
+    # Batched LOD-round refinement: each round gathers every surviving
+    # candidate pair (and, on the serial/worker target loop, every
+    # target in the chunk) into flat face-pair workloads evaluated by a
+    # few fused kernel calls (repro.core.batch), instead of one Python
+    # dispatch per pair. Results are identical either way; this exists
+    # as an escape hatch and as the A/B axis for bench_pipeline. None
+    # defers to REPRO_BATCHED_REFINE, then True. The AABB-tree
+    # acceleration path always runs per pair (tree traversals do not
+    # batch across pairs).
+    batched_refine: bool | None = None
     # FPR may settle a nearest neighbor before its exact distance is
     # known (the result carries an upper bound). Setting this forces a
     # final top-LOD distance evaluation for the reported neighbors -
@@ -270,6 +293,11 @@ class EngineConfig:
                 f"query_backend must be None, 'thread', or 'process', "
                 f"got {self.query_backend!r}"
             )
+        if self.batched_refine not in (None, True, False):
+            raise EngineConfigError(
+                f"batched_refine must be None, True, or False, "
+                f"got {self.batched_refine!r}"
+            )
         if self.deadline_ms is not None and self.deadline_ms < 1:
             raise EngineConfigError("deadline_ms must be None or >= 1")
         if (
@@ -315,3 +343,7 @@ class EngineConfig:
     def resolve_query_backend(self) -> str:
         """The effective parallel backend: ``"thread"`` or ``"process"``."""
         return resolve_setting("query_backend", config=self)
+
+    def resolve_batched_refine(self) -> bool:
+        """Whether refinement rounds run batched (see :mod:`repro.core.batch`)."""
+        return resolve_setting("batched_refine", config=self)

@@ -145,6 +145,10 @@ class QueryExecutor:
         # process backend's workers point it at their chunk's heartbeat
         # file so the parent's hang detector sees liveness per target.
         self.heartbeat = None
+        # Batched LOD-round refinement (core/batch.py): resolved once per
+        # engine; the per-pair path stays selectable for A/B parity runs
+        # (EngineConfig.batched_refine / REPRO_BATCHED_REFINE=0).
+        self.batched_refine = self.config.resolve_batched_refine()
 
     @property
     def tracer(self):
@@ -200,19 +204,11 @@ class QueryExecutor:
             ctx = self._context(plan, stats, deadline=deadline)
             degraded_keys = ctx.degraded_keys
             with root:
-                try:
-                    for tid in tids:
-                        if self.heartbeat is not None:
-                            self.heartbeat()
-                        if deadline is not None:
-                            deadline.check("target_loop")
-                        self._run_target(
-                            plan, ctx, stats, tid, pairs, degraded_targets
-                        )
-                        finished += 1
-                except DeadlineExceededError as exc:
-                    reason = exc.reason
-                    inflight = 1 if exc.in_target else 0
+                finished, inflight, interrupt = self._refine_targets(
+                    plan, ctx, stats, tids, pairs, degraded_targets, deadline
+                )
+                if interrupt is not None:
+                    reason = interrupt.reason
         else:
             chunks = self._chunk_targets(tids, workers)
             # Containment has no target dataset to restrict by target id,
@@ -244,16 +240,16 @@ class QueryExecutor:
                     chunk_degraded,
                     chunk_stats,
                     chunk_finished,
+                    chunk_inflight,
                     chunk_interrupt,
                 ) in thread_outcomes:
                     pairs.update(chunk_pairs)
                     degraded_targets |= chunk_degraded
                     stats.merge(chunk_stats)
                     finished += chunk_finished
+                    inflight += chunk_inflight
                     if chunk_interrupt is not None:
                         reason = reason or chunk_interrupt.reason
-                        if chunk_interrupt.in_target:
-                            inflight += 1
         completeness = self._completeness(
             len(tids), finished, inflight, reason, stats, deadline
         )
@@ -381,6 +377,111 @@ class QueryExecutor:
                 targets_unstarted=completeness.targets_unstarted,
             )
 
+    def _group_eligible(self, plan) -> bool:
+        """Whether this plan's targets can refine as one batched group.
+
+        Group refinement needs the batched kernels (the tree traversals
+        are inherently per-pair) and forgoes per-target progressive
+        emission, so streaming queries stay on the per-target loop.
+        """
+        return (
+            plan.strategy.supports_group_refine
+            and self.batched_refine
+            and not self.config.accel.aabbtree
+            and plan.spec.progress is None
+        )
+
+    def _refine_targets(
+        self, plan, ctx, stats, tids, pairs, degraded_targets, deadline,
+        heartbeat=True, where="target_loop",
+    ):
+        """Drive a target list through filter → refine → accumulate.
+
+        Returns ``(finished, inflight, interrupt)`` — the completeness
+        inputs the serial, thread-chunk, and quarantine callers all
+        share. Group-eligible plans refine every target of the list as
+        one batched group; everything else walks the per-target loop.
+        """
+        if self._group_eligible(plan):
+            return self._run_target_group(
+                plan, ctx, stats, tids, pairs, degraded_targets, deadline,
+                heartbeat=heartbeat, where=where,
+            )
+        finished = 0
+        try:
+            for tid in tids:
+                if heartbeat and self.heartbeat is not None:
+                    self.heartbeat()
+                if deadline is not None:
+                    deadline.check(where)
+                self._run_target(plan, ctx, stats, tid, pairs, degraded_targets)
+                finished += 1
+        except DeadlineExceededError as exc:
+            return finished, (1 if exc.in_target else 0), exc
+        return finished, 0, None
+
+    def _run_target_group(
+        self, plan, ctx, stats, tids, pairs, degraded_targets, deadline,
+        heartbeat=True, where="target_loop",
+    ):
+        """All targets of a chunk through one batched group refinement.
+
+        Filters run per target (in target order), then the strategy's
+        group refinement settles every target's candidates LOD-major
+        through shared kernel batches (see ``refine_*_group``). Commits
+        land in target order, so ``pairs`` insertion order — and every
+        funnel/ledger count — matches the per-target loop exactly.
+        """
+        strategy = plan.strategy
+        items = []
+        try:
+            for tid in tids:
+                if heartbeat and self.heartbeat is not None:
+                    self.heartbeat()
+                if deadline is not None:
+                    deadline.check(where)
+                if strategy.counts_targets:
+                    stats.targets += 1
+                ctx.progress_target = tid
+                with TimedPhase(self.tracer, stats, "filter"):
+                    candidates = strategy.filter(plan, tid)
+                n_candidates = strategy.candidate_count(candidates)
+                stats.candidates += n_candidates
+                stats.funnel.candidates += n_candidates
+                items.append((tid, candidates))
+        except DeadlineExceededError as exc:
+            # Interrupted while filtering: nothing refined and nothing
+            # committed, so every target of this list counts unstarted —
+            # the same shape as an interrupt at a per-target loop check.
+            return 0, 0, exc
+        try:
+            with TimedPhase(self.tracer, stats, "compute", targets=len(items)):
+                states = strategy.group_refine(plan, ctx, items)
+        except DeadlineExceededError as exc:
+            # Anytime semantics, per target: each target's partial is the
+            # pairs it confirmed before the budget ran out (attached by
+            # the group refiner), each final the moment it was confirmed.
+            exc.in_target = True
+            partial = getattr(exc, "partial_by_target", {})
+            touched = getattr(exc, "group_touched", set())
+            finished = getattr(exc, "group_finished", 0)
+            for tid, candidates in items:
+                if tid in touched:
+                    degraded_targets.add(tid)
+                value, count = strategy.group_value(candidates, partial.get(tid, []))
+                if value is not None:
+                    pairs[tid] = value
+                    stats.results += count
+            return finished, max(0, len(items) - finished), exc
+        for (tid, candidates), state in zip(items, states):
+            if state.touched:
+                degraded_targets.add(tid)
+            value, count = strategy.group_value(candidates, state.results)
+            if value is not None:
+                pairs[tid] = value
+                stats.results += count
+        return len(items), 0, None
+
     def _run_target(self, plan, ctx, stats, tid, pairs, degraded_targets) -> None:
         """One target through filter → refine → accumulate."""
         strategy = plan.strategy
@@ -467,23 +568,15 @@ class QueryExecutor:
         ctx = self._context(plan, chunk_stats, deadline=deadline)
         chunk_pairs: dict = {}
         chunk_degraded: set = set()
-        finished = 0
-        interrupted = None
         with self.tracer.adopt(root):
             with self.tracer.span(
                 "worker", targets=len(quarantined.targets), backend="quarantine"
             ):
-                try:
-                    for tid in quarantined.targets:
-                        if deadline is not None:
-                            deadline.check("quarantine_loop")
-                        self._run_target(
-                            plan, ctx, chunk_stats, tid, chunk_pairs, chunk_degraded
-                        )
-                        finished += 1
-                except DeadlineExceededError as exc:
-                    interrupted = exc
-        inflight = 1 if interrupted is not None and interrupted.in_target else 0
+                finished, inflight, interrupted = self._refine_targets(
+                    plan, ctx, chunk_stats, quarantined.targets, chunk_pairs,
+                    chunk_degraded, deadline, heartbeat=False,
+                    where="quarantine_loop",
+                )
         completeness = QueryCompleteness(
             complete=interrupted is None,
             reason=interrupted.reason if interrupted is not None else "",
@@ -568,24 +661,19 @@ class QueryExecutor:
             )
             chunk_pairs: dict = {}
             chunk_degraded: set = set()
-            chunk_finished = 0
-            interrupted = None
             # Deadline expiry is caught *inside* the chunk so completed
             # targets ship back as a partial outcome — it must never look
             # like a task failure the scheduler would retry.
             with self.tracer.adopt(root):
                 with self.tracer.span("worker", targets=len(chunk)):
-                    try:
-                        for tid in chunk:
-                            if deadline is not None:
-                                deadline.check("target_loop")
-                            self._run_target(
-                                plan, ctx, chunk_stats, tid, chunk_pairs, chunk_degraded
-                            )
-                            chunk_finished += 1
-                    except DeadlineExceededError as exc:
-                        interrupted = exc
-            return chunk_pairs, chunk_degraded, chunk_stats, chunk_finished, interrupted
+                    chunk_finished, chunk_inflight, interrupted = self._refine_targets(
+                        plan, ctx, chunk_stats, chunk, chunk_pairs,
+                        chunk_degraded, deadline, heartbeat=False,
+                    )
+            return (
+                chunk_pairs, chunk_degraded, chunk_stats,
+                chunk_finished, chunk_inflight, interrupted,
+            )
 
         # A dedicated scheduler per query: it reuses the face-pair
         # scheduler's retry/backoff/serial-fallback semantics but not its
@@ -625,6 +713,8 @@ class QueryExecutor:
             max_decode_failures=self.config.max_decode_failures,
             tracer=self.tracer,
             progress=plan.spec.progress,
+            batched=self.batched_refine and not self.config.accel.aabbtree,
+            heartbeat=self.heartbeat,
         )
         if degraded_keys is not None:
             ctx.degraded_keys = degraded_keys

@@ -29,8 +29,10 @@ from repro.core.refine import (
     NNCandidate,
     refine_containment,
     refine_intersection,
+    refine_intersection_group,
     refine_nn,
     refine_within,
+    refine_within_group,
 )
 from repro.core.stats import QueryStats
 from repro.geometry.aabb import AABB
@@ -531,6 +533,20 @@ class KindStrategy:
         """
         return None, 0
 
+    #: whether the kind can refine many targets as one batched group
+    #: (``QueryExecutor._run_target_group``). Kinds that opt in provide
+    #: ``group_refine``/``group_value``.
+    supports_group_refine = False
+
+    def group_refine(self, plan: QueryPlan, ctx, items):
+        """Refine ``[(tid, candidates), ...]``; returns per-target states."""
+        raise NotImplementedError
+
+    def group_value(self, candidates, matches):
+        """A target's committed ``(pairs_value | None, n_results)`` from
+        its filter output and group-refined (possibly partial) matches."""
+        raise NotImplementedError
+
 
 def _sorted_partial(exc: DeadlineExceededError):
     """Sorted confirmed-so-far id matches from an interrupted refine."""
@@ -553,6 +569,17 @@ class IntersectionStrategy(KindStrategy):
         return sorted(matches), len(matches)
 
     partial_value = staticmethod(_sorted_partial)
+
+    supports_group_refine = True
+
+    def group_refine(self, plan, ctx, items):
+        return refine_intersection_group(ctx, items)
+
+    def group_value(self, candidates, matches):
+        if not matches:
+            return None, 0
+        value = sorted(set(matches))
+        return value, len(value)
 
 
 class WithinStrategy(KindStrategy):
@@ -591,6 +618,19 @@ class WithinStrategy(KindStrategy):
         return sorted(matches), len(matches)
 
     partial_value = staticmethod(_sorted_partial)
+
+    supports_group_refine = True
+
+    def group_refine(self, plan, ctx, items):
+        return refine_within_group(ctx, items, plan.spec.distance)
+
+    def group_value(self, candidates, matches):
+        definite, _open = candidates
+        merged = set(definite) | set(matches)
+        if not merged:
+            return None, 0
+        value = sorted(merged)
+        return value, len(value)
 
 
 class KnnStrategy(KindStrategy):

@@ -15,6 +15,17 @@ as the progressive-approximation properties allow:
 Under the FR paradigm the same functions run with a single-entry LOD
 schedule (the top LOD), which reduces them to classical refinement.
 
+Batched rounds: with ``RefineContext.batched`` (the default, resolved
+from ``EngineConfig.batched_refine``), each LOD round gathers every
+surviving candidate's face pairs into flat workloads evaluated by a few
+fused kernel calls (:mod:`repro.core.batch`) instead of one Python
+dispatch per pair; :func:`refine_intersection_group` and
+:func:`refine_within_group` extend the same gather across all targets
+of an executor chunk. Pair classifications are per-lane deterministic
+and ``min`` is exact, so results, funnel, and ledger are identical to
+the per-pair path; the AABB-tree path (``use_tree``) always runs per
+pair, since dual-tree traversals do not batch across pairs.
+
 Degraded mode: when an object's stored geometry cannot be decoded even
 at LOD 0 (see :class:`~repro.core.errors.DecodeFailureError`), each
 algorithm falls back to the last rung of the ladder — MBB-only
@@ -36,32 +47,42 @@ Every degraded object is charged against the context's error budget
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import batch
 from repro.core.errors import (
     DeadlineExceededError,
     DecodeFailureError,
     ErrorBudgetExceededError,
 )
 from repro.geometry.aabb import box_maxdist
-from repro.geometry.raycast import point_in_polyhedron
+from repro.geometry.raycast import point_in_polyhedron, points_in_polyhedra
 from repro.obs.trace import DISABLED_TRACER
 from repro.parallel.executor import Device
 
 __all__ = [
     "RefineContext",
     "NNCandidate",
+    "GroupState",
     "refine_intersection",
+    "refine_intersection_group",
     "refine_within",
+    "refine_within_group",
     "refine_nn",
     "refine_containment",
 ]
 
 _ALL_PARTS = None  # candidate part sentinel: evaluate every face
 _NO_TRIANGLES = np.zeros((0, 3, 3))  # stand-in job for undecodable sources
+
+# Per-survivor settle codes used by the gather/settle round helpers;
+# non-negative values are indices into the round's shared job list.
+_DEGRADED = -1  # settle now, classified degraded (decode failed / empty mesh)
+_MISS = -2  # no kernel work this round (e.g. empty partition mask); survives
 
 
 @dataclass
@@ -111,6 +132,20 @@ class RefineContext:
     # them to clients before the query completes.
     progress: object = None
     progress_target: object = None
+    # Batched LOD rounds (repro.core.batch): gather each round's
+    # surviving pairs into fused kernel workloads. The per-pair path
+    # stays available for A/B parity checks and the tree traversals.
+    batched: bool = True
+    # Optional worker-liveness callable (process-backend heartbeat),
+    # invoked alongside the deadline check at every batch flush so hang
+    # detection keeps per-batch granularity under batched rounds.
+    heartbeat: object = None
+    # Memoized per-(side, object, served-LOD) face AABBs for the
+    # intersection containment stage, with hit/miss counters the cache
+    # tests assert on. Contexts are per-chunk, so no locking is needed.
+    aabb_cache_hits: int = 0
+    aabb_cache_misses: int = 0
+    _aabb_cache: dict = field(default_factory=dict)
 
     # -- cooperative cancellation ----------------------------------------------
 
@@ -129,6 +164,12 @@ class RefineContext:
         """Raise :class:`DeadlineExceededError` if the budget is spent."""
         if self.deadline is not None:
             self.deadline.check(where)
+
+    def batch_tick(self) -> None:
+        """Per-flush checkpoint of the batched kernels: liveness + deadline."""
+        if self.heartbeat is not None:
+            self.heartbeat()
+        self.checkpoint("refine_batch")
 
     # -- pairs ledger + funnel (single-writer, agree by construction) -----------
 
@@ -248,6 +289,26 @@ class RefineContext:
         mask = np.isin(groups, np.fromiter(parts, dtype=np.int64))
         return dec.triangles[mask]
 
+    # -- memoized face AABBs (intersection containment stage) -------------------
+
+    def faces_aabb(self, side: str, obj_id: int, dec):
+        """The (min, max) corners of a decoded object's faces, memoized.
+
+        Keyed by the *served* LOD (``dec.lod`` — degraded decodes may
+        serve a lower rung than requested), so every containment-stage
+        visit after the first is a dictionary hit instead of a full
+        reduction over the triangle array.
+        """
+        key = (side, obj_id, dec.lod)
+        box = self._aabb_cache.get(key)
+        if box is not None:
+            self.aabb_cache_hits += 1
+            return box
+        self.aabb_cache_misses += 1
+        box = _faces_aabb(dec)
+        self._aabb_cache[key] = box
+        return box
+
     # -- pair kernels -----------------------------------------------------------
 
     def pair_intersects(self, dec_t, dec_s, sid: int, parts, lod: int) -> bool:
@@ -295,6 +356,34 @@ class RefineContext:
         self.stats.face_pairs_by_lod[lod] += kernel_stats.get("pairs", 0)
         return dist
 
+    def _gather_distance_jobs(self, dec_t, survivors, lod: int, target_id, jobs):
+        """Decode each survivor in order; queue its face pairs as one job.
+
+        Returns ``(entries, inexact)``: per survivor either a fixed
+        distance (MBB fallback for undecodable candidates, ``inf`` for
+        an empty partition mask — exactly the per-pair path's values) or
+        the index of its job in the shared ``jobs`` list, plus the
+        upper-bound-only flags. Decodes happen here, in survivor order,
+        so the provider sees the same request sequence as the per-pair
+        path (and the same fail-fast / fault-injection outcomes).
+        """
+        entries: list[tuple[str, object]] = []
+        inexact: list[bool] = []
+        for sid, parts in survivors:
+            dec_s = self._decode_source_or_none(sid, lod)
+            if dec_s is None:
+                entries.append(("fixed", self.box_upper_bound(target_id, sid)))
+                inexact.append(True)
+                continue
+            inexact.append(bool(dec_s.degraded))
+            tris_s = self.source_faces(dec_s, sid, parts)
+            if len(tris_s) == 0:
+                entries.append(("fixed", math.inf))
+            else:
+                entries.append(("job", len(jobs)))
+                jobs.append((dec_t.triangles, tris_s))
+        return entries, inexact
+
     def batch_min_distances(
         self,
         dec_t,
@@ -314,14 +403,29 @@ class RefineContext:
         other targets decoded earlier, which is what keeps NN exactness
         identical between serial and parallel execution.
 
-        On the GPU device, *exhaustive* evaluations (NN: every pair's
-        exact distance is needed) are fused into saturating batches;
-        early-exit evaluations (within: a threshold settles pairs) run
-        per candidate so the exit can actually fire.
+        Batched contexts gather every candidate's face pairs into the
+        fused wave kernels of :mod:`repro.core.batch` (early exit per
+        candidate at ``stop_below``); otherwise the per-pair kernels
+        run, with the GPU device fusing only exhaustive evaluations.
         """
+        if self.batched and not self.use_tree:
+            jobs: list = []
+            entries, inexact = self._gather_distance_jobs(
+                dec_t, survivors, lod, target_id, jobs
+            )
+            kernel_stats: dict = {}
+            dists = batch.batched_min_distances(
+                self.computer,
+                jobs,
+                stop_below=stop_below,
+                stats=kernel_stats,
+                checkpoint=self.batch_tick,
+            )
+            self.stats.face_pairs_by_lod[lod] += kernel_stats.get("pairs", 0)
+            return _scatter_distances(entries, dists), inexact
         if self.use_tree or self.computer.device is not Device.GPU or stop_below > 0.0:
             out: list[float] = []
-            inexact: list[bool] = []
+            inexact = []
             for sid, parts in survivors:
                 dec_s = self._decode_source_or_none(sid, lod)
                 if dec_s is None:
@@ -348,7 +452,7 @@ class RefineContext:
             tris_s = self.source_faces(dec_s, sid, parts)
             jobs.append((dec_t.triangles, tris_s))
             inexact.append(bool(dec_s.degraded))
-        kernel_stats: dict = {}
+        kernel_stats = {}
         nonempty = [(i, job) for i, job in enumerate(jobs) if len(job[1])]
         dists = self.computer.pairwise_min_distances(
             [job for _i, job in nonempty], stats=kernel_stats
@@ -358,6 +462,44 @@ class RefineContext:
         for (i, _job), dist in zip(nonempty, dists):
             out[i] = dist
         return out, inexact
+
+
+def _scatter_distances(entries, dists) -> list[float]:
+    """Resolve gather entries back to per-survivor distances."""
+    return [
+        dists[payload] if kind == "job" else payload for kind, payload in entries
+    ]
+
+
+class GroupState:
+    """Per-target progress through one batched multi-target refinement."""
+
+    __slots__ = (
+        "tid", "survivors", "results", "done", "touched",
+        "entries", "inexact", "dec_t",
+    )
+
+    def __init__(self, tid: int, survivors):
+        self.tid = tid
+        self.survivors = survivors
+        self.results: list[int] = []
+        self.done = False
+        self.touched = False
+        self.entries = None
+        self.inexact = None
+        self.dec_t = None
+
+
+def _attach_group_partial(exc: DeadlineExceededError, states) -> None:
+    """Hang each state's confirmed-so-far results off the interrupt.
+
+    Every appended result was final the moment it was appended (FPR
+    never revokes a confirmation), so the per-target partials are sound
+    subsets regardless of where in the group the budget ran out.
+    """
+    exc.partial_by_target = {s.tid: list(s.results) for s in states}
+    exc.group_touched = {s.tid for s in states if s.touched}
+    exc.group_finished = sum(1 for s in states if s.done)
 
 
 # -- Algorithm 1: intersection -------------------------------------------------
@@ -383,6 +525,59 @@ def refine_intersection(ctx: RefineContext, target_id: int, candidates: dict) ->
         raise
 
 
+def _gather_intersect_entries(
+    ctx: RefineContext, dec_t, survivors: dict, lod: int, top_lod: int, jobs: list
+) -> list[tuple[int, int]]:
+    """Decode each survivor in order; queue its face pairs as one job.
+
+    Returns per-survivor ``(sid, code)`` settle entries: a job index, or
+    ``_DEGRADED`` (undecodable candidate — or, uniformly with the
+    containment stage's accounting, a decodable-but-empty mesh at the
+    top LOD, which can never be confirmed), or ``_MISS`` (an empty
+    partition mask: no kernel work, survives the round).
+    """
+    entries: list[tuple[int, int]] = []
+    for sid, parts in survivors.items():
+        ctx.checkpoint("intersection_pair")
+        dec_s = ctx._decode_source_or_none(sid, lod)
+        if dec_s is None:
+            entries.append((sid, _DEGRADED))  # unconfirmable candidate: drop
+            continue
+        if dec_s.num_faces == 0 and lod == top_lod:
+            ctx.note_degraded("source", sid)
+            entries.append((sid, _DEGRADED))
+            continue
+        tris_s = ctx.source_faces(dec_s, sid, parts)
+        if len(tris_s) == 0:
+            entries.append((sid, _MISS))
+            continue
+        entries.append((sid, len(jobs)))
+        jobs.append((dec_t.triangles, tris_s))
+    return entries
+
+
+def _settle_intersect_entries(
+    ctx: RefineContext, survivors: dict, entries, hits, results: list[int], lod: int
+) -> int:
+    """Apply one round's batched verdicts, in survivor order."""
+    settled = []
+    confirmed = degraded = 0
+    for sid, code in entries:
+        if code == _DEGRADED:
+            settled.append(sid)
+            degraded += 1
+        elif code == _MISS:
+            continue
+        elif hits[code]:
+            results.append(sid)
+            settled.append(sid)
+            confirmed += 1
+    for sid in settled:
+        del survivors[sid]
+    ctx.ledger_settled(lod, confirmed=confirmed, degraded=degraded)
+    return len(settled)
+
+
 def _refine_intersection(
     ctx: RefineContext, target_id: int, candidates: dict, results: list[int]
 ) -> list[int]:
@@ -399,45 +594,110 @@ def _refine_intersection(
             except DecodeFailureError:
                 return results
             ctx.ledger_evaluated(lod, len(survivors))
-            settled = []
-            confirmed = degraded = 0
             mark = len(results)
-            for sid, parts in survivors.items():
-                ctx.checkpoint("intersection_pair")
-                try:
-                    dec_s = ctx.decode_source(sid, lod)
-                except DecodeFailureError:
-                    settled.append(sid)  # unconfirmable candidate: drop
-                    degraded += 1
-                    continue
-                if ctx.pair_intersects(dec_t, dec_s, sid, parts, lod):
-                    results.append(sid)
-                    settled.append(sid)
-                    confirmed += 1
-            for sid in settled:
-                del survivors[sid]
-            ctx.ledger_settled(lod, confirmed=confirmed, degraded=degraded)
+            if ctx.batched and not ctx.use_tree:
+                jobs: list = []
+                entries = _gather_intersect_entries(
+                    ctx, dec_t, survivors, lod, top_lod, jobs
+                )
+                kernel_stats: dict = {}
+                hits = batch.batched_any_intersect(
+                    ctx.computer, jobs, stats=kernel_stats, checkpoint=ctx.batch_tick
+                )
+                ctx.stats.face_pairs_by_lod[lod] += kernel_stats.get("pairs", 0)
+                n_settled = _settle_intersect_entries(
+                    ctx, survivors, entries, hits, results, lod
+                )
+            else:
+                settled = []
+                confirmed = degraded = 0
+                for sid, parts in survivors.items():
+                    ctx.checkpoint("intersection_pair")
+                    try:
+                        dec_s = ctx.decode_source(sid, lod)
+                    except DecodeFailureError:
+                        settled.append(sid)  # unconfirmable candidate: drop
+                        degraded += 1
+                        continue
+                    if dec_s.num_faces == 0 and lod == top_lod:
+                        # Uniform degraded accounting with the batched
+                        # path and the containment stage: an empty mesh
+                        # can never be confirmed, so settle it here.
+                        ctx.note_degraded("source", sid)
+                        settled.append(sid)
+                        degraded += 1
+                        continue
+                    if ctx.pair_intersects(dec_t, dec_s, sid, parts, lod):
+                        results.append(sid)
+                        settled.append(sid)
+                        confirmed += 1
+                for sid in settled:
+                    del survivors[sid]
+                ctx.ledger_settled(lod, confirmed=confirmed, degraded=degraded)
+                n_settled = len(settled)
             ctx.emit_confirmed(lod, results[mark:])
-            round_span.set(settled=len(settled))
+            round_span.set(settled=n_settled)
 
-    # Containment stage (Algorithm 1 steps 8-12): no face pair intersects,
-    # but one object may contain the other entirely.
     if survivors:
-        try:
-            dec_t = ctx.decode_target(target_id, top_lod)
-        except DecodeFailureError:
-            return results
-        if dec_t.num_faces == 0:
-            # Salvage loading can yield a decodable-but-empty mesh; there
-            # is no bounding box (and no probe vertex) to test, so
-            # containment is unprovable and the remaining candidates are
-            # dropped — the answer stays a correct subset.
-            ctx.note_degraded("target", target_id)
-            ctx.ledger_settled(top_lod, degraded=len(survivors))
-            return results
-        t_box = _faces_aabb(dec_t)
-        confirmed = degraded = 0
-        mark = len(results)
+        _containment_stage(ctx, target_id, survivors, results)
+    return results
+
+
+def _containment_stage(
+    ctx: RefineContext, target_id: int, survivors, results: list[int]
+) -> None:
+    """Algorithm 1 steps 8-12: no face pair intersects, but one object
+    may contain the other entirely."""
+    top_lod = ctx.lods[-1]
+    try:
+        dec_t = ctx.decode_target(target_id, top_lod)
+    except DecodeFailureError:
+        return
+    if dec_t.num_faces == 0:
+        # Salvage loading can yield a decodable-but-empty mesh; there
+        # is no bounding box (and no probe vertex) to test, so
+        # containment is unprovable and the remaining candidates are
+        # dropped — the answer stays a correct subset.
+        ctx.note_degraded("target", target_id)
+        ctx.ledger_settled(top_lod, degraded=len(survivors))
+        return
+    t_box = ctx.faces_aabb("target", target_id, dec_t)
+    confirmed = degraded = 0
+    mark = len(results)
+    if ctx.batched and not ctx.use_tree:
+        probes: list = []
+        entries: list[tuple[int, object]] = []
+        for sid in survivors:
+            ctx.checkpoint("intersection_containment_pair")
+            try:
+                dec_s = ctx.decode_source(sid, top_lod)
+            except DecodeFailureError:
+                entries.append((sid, _DEGRADED))
+                continue
+            if dec_s.num_faces == 0:
+                ctx.note_degraded("source", sid)
+                entries.append((sid, _DEGRADED))
+                continue
+            s_box = ctx.faces_aabb("source", sid, dec_s)
+            wanted = []
+            # Queue both directions eagerly when the boxes allow them;
+            # the per-pair path skips the second probe after a confirm,
+            # but an extra ray cast has no observable effect beyond time.
+            if _box_contains(t_box, s_box):
+                wanted.append(len(probes))
+                probes.append((dec_s.triangles[0, 0], dec_t.triangles))
+            if _box_contains(s_box, t_box):
+                wanted.append(len(probes))
+                probes.append((dec_t.triangles[0, 0], dec_s.triangles))
+            entries.append((sid, wanted))
+        contained = points_in_polyhedra(probes, checkpoint=ctx.batch_tick)
+        for sid, code in entries:
+            if code == _DEGRADED:
+                degraded += 1
+            elif any(contained[i] for i in code):
+                results.append(sid)
+                confirmed += 1
+    else:
         for sid in survivors:
             ctx.checkpoint("intersection_containment_pair")
             try:
@@ -449,7 +709,7 @@ def _refine_intersection(
                 ctx.note_degraded("source", sid)
                 degraded += 1
                 continue
-            s_box = _faces_aabb(dec_s)
+            s_box = ctx.faces_aabb("source", sid, dec_s)
             if _box_contains(t_box, s_box):
                 probe = dec_s.triangles[0, 0]
                 if point_in_polyhedron(probe, dec_t.triangles):
@@ -461,14 +721,99 @@ def _refine_intersection(
                 if point_in_polyhedron(probe, dec_s.triangles):
                     results.append(sid)
                     confirmed += 1
-        ctx.ledger_settled(
-            top_lod,
-            confirmed=confirmed,
-            degraded=degraded,
-            rejected=len(survivors) - confirmed - degraded,
-        )
-        ctx.emit_confirmed(top_lod, results[mark:])
-    return results
+    ctx.ledger_settled(
+        top_lod,
+        confirmed=confirmed,
+        degraded=degraded,
+        rejected=len(survivors) - confirmed - degraded,
+    )
+    ctx.emit_confirmed(top_lod, results[mark:])
+
+
+def refine_intersection_group(ctx: RefineContext, items) -> list[GroupState]:
+    """Refine many targets' intersection candidates as one batched group.
+
+    ``items`` is ``[(target_id, candidates), ...]`` in execution order.
+    Rounds run LOD-major: each round decodes every active target and its
+    survivors (per target, in order — the same provider request sequence
+    as the per-target loop) and pushes one flat workload through the
+    fused kernels, so per-pair classifications, results order, funnel,
+    and ledger all match the per-target path exactly. The containment
+    stage then runs per target, with batched ray casts.
+
+    Only used when no progress hook is attached (per-round streaming
+    emission stays with the per-target loop). A deadline interrupt
+    attaches per-target partials (``exc.partial_by_target``) plus the
+    touched/finished bookkeeping the executor commits from.
+    """
+    states = [GroupState(tid, dict(candidates)) for tid, candidates in items]
+    try:
+        _intersection_group_rounds(ctx, states)
+        for s in states:
+            if s.done:
+                continue
+            ctx.touched_degraded = False
+            try:
+                if s.survivors:
+                    _containment_stage(ctx, s.tid, s.survivors, s.results)
+                s.done = True
+            finally:
+                s.touched |= ctx.touched_degraded
+    except DeadlineExceededError as exc:
+        _attach_group_partial(exc, states)
+        raise
+    return states
+
+
+def _intersection_group_rounds(ctx: RefineContext, states) -> None:
+    top_lod = ctx.lods[-1]
+    for lod in ctx.lods:
+        active = []
+        for s in states:
+            if s.done:
+                continue
+            if not s.survivors:
+                s.done = True  # nothing left for the containment stage either
+                continue
+            active.append(s)
+        if not active:
+            return
+        ctx.checkpoint("intersection_round")
+        with ctx.tracer.span(
+            "refine", query="intersection", lod=lod,
+            survivors=sum(len(s.survivors) for s in active),
+        ) as round_span:
+            jobs: list = []
+            gathered = []
+            for s in active:
+                ctx.touched_degraded = False
+                try:
+                    try:
+                        dec_t = ctx.decode_target(s.tid, lod)
+                    except DecodeFailureError:
+                        # Keep the pairs already confirmed; no further
+                        # rounds and no containment stage for this target.
+                        s.done = True
+                        continue
+                    ctx.ledger_evaluated(lod, len(s.survivors))
+                    s.entries = _gather_intersect_entries(
+                        ctx, dec_t, s.survivors, lod, top_lod, jobs
+                    )
+                    gathered.append(s)
+                finally:
+                    s.touched |= ctx.touched_degraded
+            kernel_stats: dict = {}
+            hits = batch.batched_any_intersect(
+                ctx.computer, jobs, stats=kernel_stats, checkpoint=ctx.batch_tick
+            )
+            ctx.stats.face_pairs_by_lod[lod] += kernel_stats.get("pairs", 0)
+            n_settled = 0
+            for s in gathered:
+                n_settled += _settle_intersect_entries(
+                    ctx, s.survivors, s.entries, hits, s.results, lod
+                )
+                s.entries = None
+            round_span.set(settled=n_settled)
 
 
 def _faces_aabb(dec) -> tuple[np.ndarray, np.ndarray]:
@@ -503,6 +848,43 @@ def refine_within(
     except DeadlineExceededError as exc:
         exc.partial = list(results)
         raise
+
+
+def _classify_within(
+    ctx: RefineContext,
+    survivors: list,
+    results: list[int],
+    dists,
+    inexact,
+    lod: int,
+    top_lod: int,
+    distance: float,
+    target_degraded: bool,
+) -> tuple[list, int]:
+    """Settle one within round from its measured distances.
+
+    Returns ``(remaining_survivors, n_settled)``. Exact distances
+    exclude at the top LOD; a rough distance (degraded decode or MBB
+    fallback) is only an upper bound, so its exclusion is a
+    degraded-mode drop.
+    """
+    remaining = []
+    confirmed = rejected = degraded = 0
+    for (sid, parts), dist, rough in zip(survivors, dists, inexact):
+        if dist <= distance:
+            results.append(sid)
+            confirmed += 1
+        elif lod == top_lod:
+            if rough or target_degraded:
+                degraded += 1
+            else:
+                rejected += 1
+        else:
+            remaining.append((sid, parts))
+    ctx.ledger_settled(
+        lod, confirmed=confirmed, rejected=rejected, degraded=degraded
+    )
+    return remaining, confirmed + rejected + degraded
 
 
 def _refine_within(
@@ -544,30 +926,113 @@ def _refine_within(
             dists, inexact = ctx.batch_min_distances(
                 dec_t, survivors, lod, stop_below=distance, target_id=target_id
             )
-            remaining = []
-            confirmed = rejected = degraded = 0
             mark = len(results)
-            for (sid, parts), dist, rough in zip(survivors, dists, inexact):
-                if dist <= distance:
-                    results.append(sid)
-                    confirmed += 1
-                elif lod == top_lod:
-                    # Exact distances exclude the rest; a rough distance
-                    # (degraded decode or MBB fallback) is only an upper
-                    # bound, so its exclusion is a degraded-mode drop.
-                    if rough or dec_t.degraded:
-                        degraded += 1
-                    else:
-                        rejected += 1
-                else:
-                    remaining.append((sid, parts))
-            ctx.ledger_settled(
-                lod, confirmed=confirmed, rejected=rejected, degraded=degraded
+            survivors, n_settled = _classify_within(
+                ctx, survivors, results, dists, inexact,
+                lod, top_lod, distance, dec_t.degraded,
             )
             ctx.emit_confirmed(lod, results[mark:])
-            round_span.set(settled=confirmed + rejected + degraded)
-            survivors = remaining
+            round_span.set(settled=n_settled)
     return results
+
+
+def refine_within_group(
+    ctx: RefineContext, items, distance: float
+) -> list[GroupState]:
+    """Refine many targets' within candidates as one batched group.
+
+    ``items`` is ``[(target_id, (definite, open_candidates)), ...]`` —
+    the filter's split, exactly as :meth:`WithinStrategy.filter` returns
+    it. The definite matches are booked on the funnel here (as the
+    per-target path does before refining); the executor folds them into
+    each committed value. See :func:`refine_intersection_group` for the
+    round structure and interrupt contract.
+    """
+    states = []
+    for tid, (definite, open_candidates) in items:
+        # The filter's definite matches are confirmed without any
+        # refinement; the funnel books them at the query level so
+        # confirmed_total still reconciles with the result count.
+        ctx.stats.funnel.filter_confirmed += len(definite)
+        states.append(GroupState(tid, list(open_candidates.items())))
+    try:
+        _within_group_rounds(ctx, states, distance)
+    except DeadlineExceededError as exc:
+        _attach_group_partial(exc, states)
+        raise
+    return states
+
+
+def _within_group_rounds(ctx: RefineContext, states, distance: float) -> None:
+    top_lod = ctx.lods[-1]
+    for lod in ctx.lods:
+        active = []
+        for s in states:
+            if s.done:
+                continue
+            if not s.survivors:
+                s.done = True
+                continue
+            active.append(s)
+        if not active:
+            return
+        ctx.checkpoint("within_round")
+        with ctx.tracer.span(
+            "refine", query="within", lod=lod,
+            survivors=sum(len(s.survivors) for s in active),
+        ) as round_span:
+            jobs: list = []
+            gathered = []
+            for s in active:
+                ctx.touched_degraded = False
+                try:
+                    try:
+                        dec_t = ctx.decode_target(s.tid, lod)
+                    except DecodeFailureError:
+                        _within_mbb_fallback(ctx, s, lod, distance)
+                        continue
+                    ctx.ledger_evaluated(lod, len(s.survivors))
+                    s.dec_t = dec_t
+                    s.entries, s.inexact = ctx._gather_distance_jobs(
+                        dec_t, s.survivors, lod, s.tid, jobs
+                    )
+                    gathered.append(s)
+                finally:
+                    s.touched |= ctx.touched_degraded
+            kernel_stats: dict = {}
+            dists = batch.batched_min_distances(
+                ctx.computer, jobs, stop_below=distance,
+                stats=kernel_stats, checkpoint=ctx.batch_tick,
+            )
+            ctx.stats.face_pairs_by_lod[lod] += kernel_stats.get("pairs", 0)
+            n_settled = 0
+            for s in gathered:
+                s.survivors, settled = _classify_within(
+                    ctx, s.survivors, s.results,
+                    _scatter_distances(s.entries, dists), s.inexact,
+                    lod, top_lod, distance, s.dec_t.degraded,
+                )
+                n_settled += settled
+                s.entries = s.inexact = s.dec_t = None
+            round_span.set(settled=n_settled)
+    for s in states:
+        if not s.survivors:
+            s.done = True
+
+
+def _within_mbb_fallback(ctx: RefineContext, s: GroupState, lod: int, distance: float) -> None:
+    """Undecodable target: settle its whole state from box upper bounds."""
+    ctx.ledger_evaluated(lod, len(s.survivors))
+    confirmed = 0
+    for sid, _parts in s.survivors:
+        if ctx.box_upper_bound(s.tid, sid) <= distance:
+            s.results.append(sid)
+            confirmed += 1
+    ctx.ledger_settled(
+        lod, confirmed=confirmed, degraded=len(s.survivors) - confirmed
+    )
+    s.survivors = []
+    s.done = True
 
 
 # -- Algorithm 3: nearest neighbor ----------------------------------------------
@@ -666,10 +1131,16 @@ def refine_nn(
 
 
 def _kth_smallest(values, k: int) -> float:
-    ordered = sorted(values)
-    if not ordered:
+    """The k-th smallest value (ties counted), the max when ``k > len``.
+
+    ``heapq.nsmallest`` is O(n log k) against the old full sort's
+    O(n log n) — this runs once per NN round per target, over every
+    surviving MAXDIST.
+    """
+    smallest = heapq.nsmallest(k, values)
+    if not smallest:
         return math.inf
-    return ordered[min(k, len(ordered)) - 1]
+    return smallest[-1]
 
 
 # -- point containment (Section 4.1 remark) --------------------------------------
@@ -717,18 +1188,40 @@ def _refine_containment(
             remaining = []
             confirmed = degraded = 0
             mark = len(matches)
-            for sid in survivors:
-                ctx.checkpoint("containment_pair")
-                try:
-                    dec = ctx.decode_source(sid, lod)
-                except DecodeFailureError:
-                    degraded += 1  # unverifiable candidate: drop
-                    continue
-                if point_in_polyhedron(point, dec.triangles):
-                    matches.append(sid)  # inside a subset => inside
-                    confirmed += 1
-                elif lod < top:
-                    remaining.append(sid)
+            if ctx.batched:
+                probes: list = []
+                entries: list[tuple[int, int]] = []
+                for sid in survivors:
+                    ctx.checkpoint("containment_pair")
+                    try:
+                        dec = ctx.decode_source(sid, lod)
+                    except DecodeFailureError:
+                        entries.append((sid, _DEGRADED))
+                        continue
+                    entries.append((sid, len(probes)))
+                    probes.append((point, dec.triangles))
+                contained = points_in_polyhedra(probes, checkpoint=ctx.batch_tick)
+                for sid, code in entries:
+                    if code == _DEGRADED:
+                        degraded += 1  # unverifiable candidate: drop
+                    elif contained[code]:
+                        matches.append(sid)  # inside a subset => inside
+                        confirmed += 1
+                    elif lod < top:
+                        remaining.append(sid)
+            else:
+                for sid in survivors:
+                    ctx.checkpoint("containment_pair")
+                    try:
+                        dec = ctx.decode_source(sid, lod)
+                    except DecodeFailureError:
+                        degraded += 1  # unverifiable candidate: drop
+                        continue
+                    if point_in_polyhedron(point, dec.triangles):
+                        matches.append(sid)  # inside a subset => inside
+                        confirmed += 1
+                    elif lod < top:
+                        remaining.append(sid)
             ctx.ledger_settled(
                 lod,
                 confirmed=confirmed,

@@ -12,7 +12,12 @@ import numpy as np
 
 from repro.geometry._fast import cross3
 
-__all__ = ["ray_triangle_intersect", "ray_triangles_hits", "point_in_polyhedron"]
+__all__ = [
+    "ray_triangle_intersect",
+    "ray_triangles_hits",
+    "point_in_polyhedron",
+    "points_in_polyhedra",
+]
 
 _EPS = 1e-12
 
@@ -59,6 +64,44 @@ def ray_triangle_intersect(origin, direction, tri) -> float | None:
     return t
 
 
+def _hit_fields(
+    origins: np.ndarray, direction: np.ndarray, tris: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-face Möller-Trumbore lane fields for one cast direction.
+
+    ``origins`` is ``(n, 3)`` — one ray origin per face lane, which is
+    what lets many probes against many soups run as one concatenated
+    batch. Returns ``(inside, suspect)``: forward crossings, and lanes
+    whose parity is numerically unreliable (grazing hits, or parallel
+    triangles whose plane contains the origin).
+    """
+    edge1 = tris[:, 1] - tris[:, 0]
+    edge2 = tris[:, 2] - tris[:, 0]
+    pvec = cross3(direction[None, :], edge2)
+    det = (edge1 * pvec).sum(axis=1)
+    parallel = np.abs(det) < _EPS
+    safe_det = np.where(parallel, 1.0, det)
+    inv_det = 1.0 / safe_det
+
+    tvec = origins - tris[:, 0]
+    u = (tvec * pvec).sum(axis=1) * inv_det
+    qvec = cross3(tvec, edge1)
+    v = (direction[None, :] * qvec).sum(axis=1) * inv_det
+    t = (edge2 * qvec).sum(axis=1) * inv_det
+
+    inside = (~parallel) & (u >= 0.0) & (v >= 0.0) & (u + v <= 1.0) & (t >= 0.0)
+
+    margin = 1e-9
+    grazing = inside & (
+        (u < margin) | (v < margin) | (u + v > 1.0 - margin) | (t < margin)
+    )
+    # A parallel triangle whose plane contains the origin is also suspect.
+    coplanar_parallel = parallel & (
+        np.abs((tvec * cross3(edge1, edge2)).sum(axis=1)) < _EPS
+    )
+    return inside, grazing | coplanar_parallel
+
+
 def ray_triangles_hits(
     origin: np.ndarray, direction: np.ndarray, tris: np.ndarray
 ) -> tuple[int, bool]:
@@ -75,31 +118,8 @@ def ray_triangles_hits(
     if tris.ndim != 3 or tris.shape[1:] != (3, 3):
         raise ValueError("expected an (n, 3, 3) triangle array")
 
-    edge1 = tris[:, 1] - tris[:, 0]
-    edge2 = tris[:, 2] - tris[:, 0]
-    pvec = cross3(direction[None, :], edge2)
-    det = (edge1 * pvec).sum(axis=1)
-    parallel = np.abs(det) < _EPS
-    safe_det = np.where(parallel, 1.0, det)
-    inv_det = 1.0 / safe_det
-
-    tvec = origin[None, :] - tris[:, 0]
-    u = (tvec * pvec).sum(axis=1) * inv_det
-    qvec = cross3(tvec, edge1)
-    v = (direction[None, :] * qvec).sum(axis=1) * inv_det
-    t = (edge2 * qvec).sum(axis=1) * inv_det
-
-    inside = (~parallel) & (u >= 0.0) & (v >= 0.0) & (u + v <= 1.0) & (t >= 0.0)
-    count = int(inside.sum())
-
-    margin = 1e-9
-    grazing = inside & (
-        (u < margin) | (v < margin) | (u + v > 1.0 - margin) | (t < margin)
-    )
-    # A parallel triangle whose plane contains the origin is also suspect.
-    coplanar_parallel = parallel & (np.abs((tvec * cross3(edge1, edge2)).sum(axis=1)) < _EPS)
-    reliable = not bool(grazing.any() or coplanar_parallel.any())
-    return count, reliable
+    inside, suspect = _hit_fields(origin[None, :], direction, tris)
+    return int(inside.sum()), not bool(suspect.any())
 
 
 def point_in_polyhedron(point, tris: np.ndarray) -> bool:
@@ -118,3 +138,58 @@ def point_in_polyhedron(point, tris: np.ndarray) -> bool:
             return count % 2 == 1
     # All directions grazed something; fall back to the last parity.
     return count % 2 == 1
+
+
+def points_in_polyhedra(probes, checkpoint=None) -> list[bool]:
+    """Batched :func:`point_in_polyhedron` over many (point, tris) probes.
+
+    Each cast direction becomes one concatenated lane batch: every
+    still-unreliable probe contributes all its faces (with the probe
+    point repeated per lane), and per-probe parity/reliability fall out
+    of ``reduceat`` segment reductions over the probe offsets. The lane
+    math is :func:`_hit_fields` — the same used by the scalar path — so
+    every decision is identical to calling ``point_in_polyhedron`` per
+    probe, including the retry-then-last-parity fallback. A probe with
+    an empty soup has zero crossings (reliably), i.e. ``False``.
+
+    ``checkpoint`` (when given) runs after each direction's batch — the
+    deadline granularity of the batched containment stage.
+    """
+    decided: list[bool | None] = [None] * len(probes)
+    pending = []
+    for i, (point, tris) in enumerate(probes):
+        tris = np.asarray(tris, dtype=np.float64)
+        if len(tris) == 0:
+            decided[i] = False
+            continue
+        pending.append((i, np.asarray(point, dtype=np.float64), tris))
+
+    for direction in _RAY_DIRECTIONS:
+        if not pending:
+            break
+        direction = np.asarray(direction, dtype=np.float64)
+        all_tris = np.concatenate([tris for _i, _p, tris in pending])
+        all_origins = np.concatenate(
+            [np.broadcast_to(point, (len(tris), 3)) for _i, point, tris in pending]
+        )
+        inside, suspect = _hit_fields(all_origins, direction, all_tris)
+        lengths = [len(tris) for _i, _p, tris in pending]
+        starts = np.zeros(len(lengths), dtype=np.intp)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        counts = np.add.reduceat(inside, starts)
+        unreliable = np.logical_or.reduceat(suspect, starts)
+        if checkpoint is not None:
+            checkpoint()
+        still = []
+        for (i, point, tris), count, shaky in zip(pending, counts, unreliable):
+            # Record the parity either way: a reliable cast decides the
+            # probe; an unreliable one keeps retrying, and if every
+            # direction grazes, the scalar path's fallback is the *last*
+            # cast's parity — which this running update preserves.
+            decided[i] = int(count) % 2 == 1
+            if shaky:
+                still.append((i, point, tris))
+        pending = still
+
+    return [bool(v) for v in decided]
+

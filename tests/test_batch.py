@@ -1,0 +1,432 @@
+"""Batched refinement: the gather/segment layer and its engine parity.
+
+Two layers of properties:
+
+* ``repro.core.batch`` in isolation — the wave-batched kernels must
+  agree with a plain per-job loop over the fused geometry kernels
+  (exactly for intersection; up to early exit for distances), lane
+  screening must be invisible, and the flush checkpoint must fire.
+* the engine end to end — ``batched_refine=True`` (the default) must
+  be byte-identical to ``batched_refine=False`` on every query kind,
+  across backends, under injected decode faults, under deadlines
+  (sound subsets), and through the streaming progress hook.
+
+Satellites ride along: the ``_kth_smallest`` heap rewrite, the memoized
+containment-stage AABBs, and uniform degraded accounting.
+"""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, QuerySpec, ThreeDPro
+from repro.core.batch import (
+    _lane_box_gap_sq,
+    _screened_distance,
+    _screened_intersect,
+    batched_any_intersect,
+    batched_min_distances,
+)
+from repro.core.refine import RefineContext, _kth_smallest
+from repro.core.stats import QueryStats
+from repro.faults import FaultInjector
+from repro.geometry.distance import tri_tri_distance_batch
+from repro.geometry.tritri import tri_tri_intersect_batch
+from repro.parallel import Device, GeometryComputer
+
+
+def _soup(rng, n, center, spread=1.0):
+    """n random triangles scattered around ``center``."""
+    base = rng.uniform(-spread, spread, size=(n, 1, 3)) + np.asarray(center)
+    return base + rng.uniform(-0.4, 0.4, size=(n, 3, 3))
+
+
+def _jobs(rng):
+    """A mixed bag: interpenetrating, near-miss, far-apart, and empty sides."""
+    empty = np.zeros((0, 3, 3))
+    return [
+        (_soup(rng, 7, (0, 0, 0)), _soup(rng, 9, (0.2, 0, 0))),     # overlapping
+        (_soup(rng, 13, (0, 0, 0)), _soup(rng, 5, (10, 0, 0))),     # far apart
+        (_soup(rng, 60, (0, 0, 0)), _soup(rng, 60, (2.5, 0, 0))),   # near miss, multi-wave
+        (empty, _soup(rng, 4, (0, 0, 0))),                          # empty side
+        (_soup(rng, 1, (5, 5, 5)), _soup(rng, 1, (5.1, 5, 5))),     # single pair
+    ]
+
+
+@pytest.fixture(scope="module")
+def computer():
+    # Small blocks so even the small soups above take several waves.
+    return GeometryComputer(Device.CPU, cpu_block=8, gpu_block=64)
+
+
+class TestBatchedKernels:
+    """batched_* vs a per-job loop over the same fused kernels."""
+
+    def test_any_intersect_matches_per_job_loop(self, computer):
+        rng = np.random.default_rng(3)
+        jobs = _jobs(rng)
+        expected = [computer.intersects(a, b) for a, b in jobs]
+        assert batched_any_intersect(computer, jobs) == expected
+
+    def test_min_distances_exhaustive_are_exact(self, computer):
+        rng = np.random.default_rng(4)
+        jobs = _jobs(rng)
+        got = batched_min_distances(computer, jobs)
+        for (a, b), value in zip(jobs, got):
+            if len(a) == 0 or len(b) == 0:
+                assert value == math.inf
+                continue
+            lanes_a = np.repeat(a, len(b), axis=0)
+            lanes_b = np.tile(b, (len(a), 1, 1))
+            exact = float(tri_tri_distance_batch(lanes_a, lanes_b).min())
+            assert value == pytest.approx(exact, abs=0.0)
+
+    def test_min_distances_early_exit_is_sound(self, computer):
+        rng = np.random.default_rng(5)
+        jobs = _jobs(rng)
+        threshold = 3.0
+        exhaustive = batched_min_distances(computer, jobs)
+        exited = batched_min_distances(computer, jobs, stop_below=threshold)
+        for exact, value in zip(exhaustive, exited):
+            if exact <= threshold:
+                # Settled: any witness at or under the threshold is valid
+                # and must itself be a realizable pair distance.
+                assert value <= threshold
+                assert value >= exact
+            else:
+                # Non-settling jobs exhaust their cross product: exact.
+                assert value == exact
+
+    def test_stats_count_every_buffered_pair(self, computer):
+        rng = np.random.default_rng(6)
+        jobs = [(_soup(rng, 11, (0, 0, 0)), _soup(rng, 7, (9, 0, 0)))]
+        stats = {}
+        batched_min_distances(computer, jobs, stats=stats)
+        assert stats["pairs"] == 11 * 7
+
+    def test_checkpoint_fires_per_flush(self, computer):
+        rng = np.random.default_rng(7)
+        jobs = [(_soup(rng, 40, (0, 0, 0)), _soup(rng, 40, (8, 0, 0)))]
+        ticks = []
+        batched_min_distances(computer, jobs, checkpoint=lambda: ticks.append(1))
+        # 1600 lanes through a 64-lane buffer: many flushes, each ticked.
+        assert len(ticks) >= 1600 // 64
+
+    def test_empty_job_list(self, computer):
+        assert batched_any_intersect(computer, []) == []
+        assert batched_min_distances(computer, []) == []
+
+
+class TestLaneScreening:
+    """Screening must be invisible: same verdicts, same segment minima."""
+
+    def _buffer(self, rng):
+        chunks_a, chunks_b, starts, filled = [], [], [], 0
+        for n, off in [(6, 0.1), (9, 4.0), (3, 0.0), (12, 30.0)]:
+            starts.append(filled)
+            chunks_a.append(_soup(rng, n, (0, 0, 0)))
+            chunks_b.append(_soup(rng, n, (off, 0, 0)))
+            filled += n
+        return (
+            np.concatenate(chunks_a),
+            np.concatenate(chunks_b),
+            np.asarray(starts, dtype=np.intp),
+        )
+
+    def test_gap_lower_bounds_every_lane(self):
+        rng = np.random.default_rng(8)
+        tris_a, tris_b, _ = self._buffer(rng)
+        exact = tri_tri_distance_batch(tris_a, tris_b)
+        lb = np.sqrt(_lane_box_gap_sq(tris_a, tris_b))
+        assert (lb <= exact + 1e-12).all()
+
+    def test_screened_intersect_matches_unscreened(self):
+        rng = np.random.default_rng(9)
+        tris_a, tris_b, starts = self._buffer(rng)
+        screened = _screened_intersect(tris_a, tris_b, starts)
+        assert np.array_equal(screened, tri_tri_intersect_batch(tris_a, tris_b))
+
+    def test_screened_distance_preserves_segment_minima(self):
+        rng = np.random.default_rng(10)
+        tris_a, tris_b, starts = self._buffer(rng)
+        screened = np.minimum.reduceat(
+            _screened_distance(tris_a, tris_b, starts), starts
+        )
+        exact = np.minimum.reduceat(
+            tri_tri_distance_batch(tris_a, tris_b, check_intersection=False), starts
+        )
+        assert np.array_equal(screened, exact)
+
+
+class TestKthSmallestProperties:
+    def test_matches_sorted_reference(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            n = int(rng.integers(1, 12))
+            values = list(rng.choice([0.5, 1.0, 1.5, 2.0, 7.0], size=n))
+            k = int(rng.integers(1, 15))
+            assert _kth_smallest(values, k) == sorted(values)[min(k, n) - 1]
+
+    def test_k_one_is_min(self):
+        assert _kth_smallest([4.0, 2.0, 9.0], 1) == 2.0
+
+    def test_k_beyond_length_is_max(self):
+        assert _kth_smallest([4.0, 2.0], 99) == 4.0
+
+    def test_ties(self):
+        assert _kth_smallest([3.0, 3.0, 3.0, 1.0], 3) == 3.0
+
+    def test_empty_is_inf(self):
+        assert _kth_smallest([], 2) == math.inf
+
+    def test_does_not_mutate_input(self):
+        values = [5.0, 1.0, 3.0]
+        _kth_smallest(values, 2)
+        assert values == [5.0, 1.0, 3.0]
+
+
+class _Dec:
+    def __init__(self, triangles, lod=0):
+        self.triangles = np.asarray(triangles, dtype=float).reshape(-1, 3, 3)
+        self.lod = lod
+
+
+class TestFacesAABBMemo:
+    """Satellite: the containment stage's face AABBs are computed once
+    per (side, object, served LOD) and dictionary-hits thereafter."""
+
+    def _ctx(self):
+        return RefineContext(
+            computer=GeometryComputer(Device.CPU),
+            stats=QueryStats(),
+            target_provider=None,
+            source_provider=None,
+            lods=(0,),
+        )
+
+    def test_second_lookup_is_a_hit(self):
+        ctx = self._ctx()
+        dec = _Dec(np.arange(18, dtype=float).reshape(2, 3, 3), lod=3)
+        first = ctx.faces_aabb("target", 7, dec)
+        assert (ctx.aabb_cache_misses, ctx.aabb_cache_hits) == (1, 0)
+        second = ctx.faces_aabb("target", 7, dec)
+        assert (ctx.aabb_cache_misses, ctx.aabb_cache_hits) == (1, 1)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+        assert np.array_equal(first[0], dec.triangles.min(axis=(0, 1)))
+        assert np.array_equal(first[1], dec.triangles.max(axis=(0, 1)))
+
+    def test_keyed_by_side_object_and_served_lod(self):
+        ctx = self._ctx()
+        tris = np.arange(9, dtype=float).reshape(1, 3, 3)
+        ctx.faces_aabb("target", 1, _Dec(tris, lod=2))
+        ctx.faces_aabb("source", 1, _Dec(tris, lod=2))   # other side: miss
+        ctx.faces_aabb("target", 2, _Dec(tris, lod=2))   # other object: miss
+        ctx.faces_aabb("target", 1, _Dec(tris, lod=1))   # degraded serve: miss
+        ctx.faces_aabb("target", 1, _Dec(tris, lod=2))   # repeat: hit
+        assert (ctx.aabb_cache_misses, ctx.aabb_cache_hits) == (4, 1)
+
+    def test_intersection_join_populates_the_memo(self, encoder):
+        # End to end: sources nested inside a target survive every SAT
+        # round (surfaces disjoint) and land in the containment stage,
+        # where the repeated target-AABB lookups must hit the memo.
+        from repro.compression import PPVPEncoder
+        from repro.core.refine import RefineContext as Ctx
+        from repro.mesh import icosphere
+        from repro.storage import Dataset
+
+        # Two targets sharing the same nested sources: the second
+        # target's containment stage must hit the memoized source boxes
+        # (the context, and with it the memo, is per-chunk).
+        outer = [
+            icosphere(1, radius=10.0),
+            icosphere(1, radius=10.0, center=(0.5, 0, 0)),
+        ]
+        inner = [
+            icosphere(1, radius=1.0, center=(2.0, 0, 0)),
+            icosphere(1, radius=1.0, center=(-2.0, 0, 0)),
+            icosphere(1, radius=1.0, center=(0, 2.0, 0)),
+        ]
+        nested = {
+            "outer": Dataset.from_polyhedra("outer", outer, encoder),
+            "inner": Dataset.from_polyhedra("inner", inner, encoder),
+        }
+        seen = []
+        original = Ctx.faces_aabb
+
+        def spy(self, side, obj_id, dec):
+            box = original(self, side, obj_id, dec)
+            seen.append((self.aabb_cache_hits, self.aabb_cache_misses))
+            return box
+
+        Ctx.faces_aabb = spy
+        try:
+            engine = _build(nested, query_workers=1)
+            result = engine.intersection_join("outer", "inner")
+        finally:
+            Ctx.faces_aabb = original
+        assert list(result.pairs.values()) == [[0, 1, 2], [0, 1, 2]]
+        assert seen, "containment stage never consulted the AABB memo"
+        hits, misses = seen[-1]
+        assert hits > 0, "no repeated lookup ever hit the memo"
+
+
+def _build(datasets, **config_kwargs):
+    engine = ThreeDPro(EngineConfig(paradigm="fpr", **config_kwargs))
+    for dataset in datasets.values():
+        engine.load_dataset(dataset)
+    return engine
+
+
+def _comparable(result, with_cache):
+    """Everything the two refinement modes must agree on.
+
+    Cache counters are deterministic only single-worker: chunk-to-worker
+    assignment (and with it cross-chunk cache reuse) is scheduling-
+    dependent under thread/process fan-out in *both* modes, the same
+    exclusion ``test_parallel_query._comparable_counters`` makes.
+    """
+    funnel = result.stats.funnel.as_dict()
+    if not with_cache:
+        for stage in funnel.get("stages", {}).values():
+            for key in ("cache_hits", "cache_misses", "decoded_objects",
+                        "decoded_bytes"):
+                stage.pop(key, None)
+    return {
+        "pairs": list(result.pairs.items()),
+        "matches": result.matches,
+        "degraded_targets": result.degraded_targets,
+        "funnel": funnel,
+        "targets": result.stats.targets,
+        "candidates": result.stats.candidates,
+        "results": result.stats.results,
+        "degraded_objects": result.stats.degraded_objects,
+        # face_pairs_by_lod is deliberately absent: the two modes walk
+        # the same candidate pairs but with different early-exit block
+        # granularity, so raw face-pair lane counts differ. Backend
+        # invariance of that counter *within* a mode is covered by
+        # test_parallel_query._comparable_counters.
+        "pairs_evaluated_by_lod": sorted(result.stats.pairs_evaluated_by_lod.items()),
+        "pairs_pruned_by_lod": sorted(result.stats.pairs_pruned_by_lod.items()),
+    }
+
+
+PARITY_SPECS = [
+    QuerySpec(kind="intersection", source="nuclei_b", target="nuclei_a"),
+    QuerySpec(kind="within", source="nuclei_b", target="nuclei_a", distance=1.0),
+    QuerySpec(kind="nn", source="vessels", target="nuclei_a"),
+    QuerySpec(kind="knn", source="vessels", target="nuclei_a", k=2),
+]
+
+PARITY_IDS = [spec.normalized().label for spec in PARITY_SPECS]
+
+BACKENDS = [
+    pytest.param({"query_workers": 1}, id="serial"),
+    pytest.param({"query_workers": 4, "query_backend": "thread"}, id="thread"),
+]
+
+
+class TestBatchedMatchesPerPair:
+    """The tentpole property: batched refinement is invisible."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("spec", PARITY_SPECS, ids=PARITY_IDS)
+    def test_clean_runs_identical(self, datasets, spec, backend):
+        per_pair = _build(datasets, batched_refine=False, **backend).execute(spec)
+        batched = _build(datasets, batched_refine=True, **backend).execute(spec)
+        with_cache = backend.get("query_workers") == 1
+        assert _comparable(batched, with_cache) == _comparable(per_pair, with_cache)
+        for result in (per_pair, batched):
+            assert result.funnel.violations(result.stats, strict=True) == []
+
+    @pytest.mark.parametrize("spec", PARITY_SPECS[:2], ids=PARITY_IDS[:2])
+    def test_process_backend_identical(self, datasets, spec):
+        backend = {"query_workers": 2, "query_backend": "process"}
+        per_pair = _build(datasets, batched_refine=False, **backend).execute(spec)
+        batched = _build(datasets, batched_refine=True, **backend).execute(spec)
+        assert _comparable(batched, False) == _comparable(per_pair, False)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("spec", PARITY_SPECS[:2], ids=PARITY_IDS[:2])
+    def test_faulted_runs_identical(self, datasets, spec, backend):
+        def faulted(batched):
+            injector = FaultInjector(seed=11, decode_error_rate=0.3)
+            engine = _build(
+                datasets, batched_refine=batched, fault_injector=injector, **backend
+            )
+            result = engine.execute(spec)
+            assert injector.counts.get("decode", 0) > 0, "no faults fired"
+            return result
+
+        per_pair, batched = faulted(False), faulted(True)
+        with_cache = backend.get("query_workers") == 1
+        assert _comparable(batched, with_cache) == _comparable(per_pair, with_cache)
+        for result in (per_pair, batched):
+            assert result.funnel.violations(result.stats, strict=True) == []
+
+    def test_containment_identical(self, datasets, small_scene):
+        point = tuple(small_scene.nuclei_a[0].vertices.mean(axis=0))
+        spec = QuerySpec(kind="containment", source="nuclei_a", point=point)
+        per_pair = _build(datasets, batched_refine=False).execute(spec)
+        batched = _build(datasets, batched_refine=True).execute(spec)
+        assert _comparable(batched, True) == _comparable(per_pair, True)
+
+    @pytest.mark.parametrize("spec", PARITY_SPECS[:2], ids=PARITY_IDS[:2])
+    def test_deadline_partials_are_sound_subsets(self, datasets, spec):
+        reference = _build(datasets, batched_refine=False).execute(spec)
+        partial = _build(datasets, batched_refine=True).execute(
+            replace(spec, deadline_ms=1)
+        )
+        comp = partial.completeness
+        assert comp is not None
+        assert comp.targets_total == (
+            comp.targets_finished + comp.targets_inflight + comp.targets_unstarted
+        )
+        assert set(partial.pairs) <= set(reference.pairs)
+        for tid, matches in partial.pairs.items():
+            assert matches == reference.pairs[tid]
+        assert partial.funnel.violations(partial.stats, strict=False) == []
+
+    @pytest.mark.parametrize("spec", PARITY_SPECS[:2], ids=PARITY_IDS[:2])
+    def test_streamed_frames_identical(self, datasets, spec):
+        def frames(batched):
+            collected = []
+            engine = _build(datasets, batched_refine=batched)
+            engine.execute(
+                replace(spec, progress=lambda tid, lod, m: collected.append(
+                    (tid, lod, list(m))
+                ))
+            )
+            return collected
+
+        assert frames(True) == frames(False)
+
+
+class TestDegradedAccountingUniform:
+    """Satellite: source-decode failures settle identically whether they
+    surface as a DecodeFailureError or as a zero-face degraded serve —
+    and identically across the batched and per-pair paths."""
+
+    @pytest.mark.parametrize("rate", [0.3, 0.9])
+    def test_source_faults_reconcile(self, datasets, rate):
+        spec = QuerySpec(kind="intersection", source="nuclei_b", target="nuclei_a")
+        results = {}
+        for batched in (False, True):
+            engine = _build(
+                datasets,
+                batched_refine=batched,
+                fault_injector=FaultInjector(seed=11, decode_error_rate=rate),
+            )
+            results[batched] = engine.execute(spec)
+        per_pair, batched = results[False], results[True]
+        assert batched.stats.degraded_objects == per_pair.stats.degraded_objects
+        assert batched.degraded_targets == per_pair.degraded_targets
+        assert list(batched.pairs.items()) == list(per_pair.pairs.items())
+        for result in (per_pair, batched):
+            assert result.funnel.violations(result.stats, strict=True) == []
+            degraded = sum(s.degraded for s in result.funnel.stages.values())
+            if rate == 0.9:
+                assert result.stats.degraded_objects > 0
+                assert degraded > 0
