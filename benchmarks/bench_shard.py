@@ -1,0 +1,451 @@
+#!/usr/bin/env python
+"""Shard store vs spill transport: per-worker memory ceiling and cold open.
+
+The v3 shard layout exists so process workers stop paying for private
+dataset copies: workers ``mmap`` the same read-only shard files and the
+kernel page cache is shared, so a worker's unique memory (USS) grows
+only with the objects *it* materializes.  This benchmark measures that
+claim directly and records it in ``results/shard.json``:
+
+* **per-worker USS growth** across a process-backend within join, for
+  the shard store (manifest-handle transport, lazy mmap loads) vs the
+  legacy pickle-spill transport (every worker unpickles the full
+  dataset).  USS is read from ``/proc/<pid>/smaps_rollup``
+  (``Private_Clean + Private_Dirty``) — pages shared with the parent or
+  siblings are excluded, which is exactly the per-copy cost we care
+  about;
+* **cold-open latency**: ``load_dataset`` + engine registration from a
+  cold store, where the shard path builds lazy proxies from the index
+  instead of deserializing every blob;
+* **parity**: pairs, per-LOD pairs ledger, and funnel stages must be
+  identical across serial/thread/process backends over the shard store
+  and equal to the legacy-store serial reference.
+
+Exit codes (mirroring ``scripts/bench_regress.py``):
+
+* ``0`` — measurements recorded; thresholds honoured (or ``--check``
+  not requested);
+* ``1`` — ``--check`` and the shard arm's worker USS growth is not
+  under ``--uss-ceiling`` (default 15%) of the *measured* per-copy
+  dataset cost — the spill arm's own growth, which is what one private
+  dataset copy actually costs resident (pickled bytes undercount the
+  unpickled footprint several-fold; both are recorded).  A soft signal
+  on shared CI runners.  For datasets too small for the ratio to mean
+  anything (``--quick``), the check degrades to "shard workers grow no
+  more than spill workers";
+* ``2`` — parity mismatch or harness failure: the shard store returned
+  different answers, which is never acceptable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py --scale large
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SCHEMA = "repro.bench.shard/1"
+DEFAULT_USS_CEILING = 0.15
+# Below this transport size, per-worker fixed overheads (allocator
+# arenas, engine state) dwarf the dataset and the absolute ratio is
+# noise; --check falls back to "shard grows no more than spill".
+MIN_BYTES_FOR_RATIO = 5_000_000
+
+
+def _warm_worker(seconds: float) -> int:
+    """Imported by spawned pool workers to pre-pay import costs.
+
+    Importing the engine stack here keeps module bytes out of the
+    measured "growth" delta; the sleep holds the worker busy so one
+    warm task lands on every worker of the pool.
+    """
+    import repro.core.engine  # noqa: F401
+    import repro.parallel.procpool  # noqa: F401
+    import repro.storage.store  # noqa: F401
+
+    time.sleep(seconds)
+    return os.getpid()
+
+
+def _uss_bytes(pid: int) -> int | None:
+    """Unique set size of ``pid``: private clean+dirty pages, in bytes."""
+    try:
+        text = Path(f"/proc/{pid}/smaps_rollup").read_text()
+    except OSError:
+        return None
+    total_kb = 0
+    for line in text.splitlines():
+        if line.startswith(("Private_Clean:", "Private_Dirty:")):
+            total_kb += int(line.split()[1])
+    return total_kb * 1024
+
+
+def _pool_pids() -> list[int]:
+    from repro.parallel import procpool
+
+    pool = procpool._POOL
+    if pool is None:
+        return []
+    return sorted((pool._processes or {}).keys())
+
+
+def _worker_uss() -> dict[int, int]:
+    return {
+        pid: uss for pid in _pool_pids() if (uss := _uss_bytes(pid)) is not None
+    }
+
+
+def _result_fingerprint(result) -> dict:
+    return {
+        "pairs": list(result.pairs.items()),
+        "evaluated_by_lod": dict(result.stats.pairs_evaluated_by_lod),
+        "pruned_by_lod": dict(result.stats.pairs_pruned_by_lod),
+        "funnel": {
+            lod: (s.evaluated, s.settled, s.confirmed, s.rejected, s.degraded)
+            for lod, s in result.funnel.stages.items()
+        },
+        "candidates": result.funnel.candidates,
+    }
+
+
+def _make_engine(datasets, *, backend: str, workers: int, storage: str):
+    from repro.core import EngineConfig, ThreeDPro
+    from repro.obs.metrics import MetricsRegistry
+
+    engine = ThreeDPro(
+        EngineConfig(
+            metrics=MetricsRegistry(),
+            # workers=1 resolves to the serial path regardless of backend.
+            query_backend=None if backend == "serial" else backend,
+            query_workers=workers,
+            storage_backend=storage,
+        )
+    )
+    for dataset in datasets.values():
+        engine.load_dataset(dataset)
+    return engine
+
+
+def _save_stores(workload, root: Path) -> dict[str, dict[str, Path]]:
+    """Write every workload dataset under both layouts; return the dirs."""
+    from repro.storage.store import save_dataset
+
+    dirs: dict[str, dict[str, Path]] = {"shard": {}, "legacy": {}}
+    for layout in ("shard", "legacy"):
+        for name, dataset in workload.datasets.items():
+            directory = root / layout / name
+            save_dataset(dataset, directory, layout=layout)
+            dirs[layout][name] = directory
+    return dirs
+
+
+def _load_stores(dirs: dict[str, Path]):
+    from repro.storage.store import load_dataset
+
+    return {name: load_dataset(path) for name, path in dirs.items()}
+
+
+def _cold_open(dirs: dict[str, Path], repeats: int) -> float:
+    """Median seconds to open + register every dataset from its store."""
+    from repro.storage.store import load_dataset
+
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        datasets = {name: load_dataset(path) for name, path in dirs.items()}
+        engine = _make_engine(
+            datasets, backend="serial", workers=1, storage="legacy"
+        )
+        times.append(time.perf_counter() - start)
+        del engine, datasets
+    return statistics.median(times)
+
+
+def _measure_arm(engine, spec, workers: int, warm_seconds: float = 0.4) -> dict:
+    """Per-worker USS growth across one process-backend query.
+
+    The pool is recreated for each arm so no pages from the previous
+    arm linger; baseline is read after a warm round that imports the
+    engine stack in every worker.
+    """
+    from repro.parallel import procpool
+
+    procpool.shutdown()
+    pool = procpool._ensure_pool(workers)
+    warm = [pool.submit(_warm_worker, warm_seconds) for _ in range(workers)]
+    warmed = {f.result() for f in warm}
+    baseline = _worker_uss()
+
+    result = engine.execute(spec)
+
+    after = _worker_uss()
+    growths = [
+        after[pid] - baseline[pid] for pid in after if pid in baseline
+    ]
+    return {
+        "result": result,
+        "workers_measured": len(growths),
+        "workers_warmed": len(warmed),
+        "uss_baseline_bytes": {str(p): b for p, b in baseline.items()},
+        "uss_after_bytes": {str(p): b for p, b in after.items()},
+        "uss_growth_max_bytes": max(growths, default=0),
+        "uss_growth_mean_bytes": (
+            int(statistics.mean(growths)) if growths else 0
+        ),
+    }
+
+
+def run(args) -> int:
+    os.environ["REPRO_BENCH_SCALE"] = args.scale
+    from repro.bench.workloads import get_workload
+    from repro.core.plan import QuerySpec
+    from repro.parallel import procpool
+
+    print(f"building workload (scale={args.scale})...", flush=True)
+    t0 = time.perf_counter()
+    workload = get_workload()
+    build_seconds = time.perf_counter() - t0
+    print(f"  built in {build_seconds:.1f}s: {workload.summary}", flush=True)
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="bench-shard-") as tmp:
+        root = Path(tmp)
+        dirs = _save_stores(workload, root)
+
+        store_bytes = {
+            layout: sum(
+                p.stat().st_size
+                for name in dirs[layout]
+                for p in dirs[layout][name].iterdir()
+            )
+            for layout in dirs
+        }
+        # A *regional* join — the access pattern cuboid sharding exists
+        # for: restrict the query to the first ~10% of targets (a
+        # cuboid-contiguous prefix, i.e. one spatial corner of the
+        # grid), so a worker touches only the shards its chunk owns
+        # while the spill transport still pays for the whole dataset.
+        # nuclei_b objects sit paired next to nuclei_a ones, so every
+        # queried target still refines real candidate pairs.
+        n_targets = max(8, len(workload.datasets["nuclei_a"]) // 10)
+        spec = QuerySpec(
+            kind="within",
+            source="nuclei_b",
+            target="nuclei_a",
+            distance=0.3 * workload.within_nn,
+            target_ids=tuple(range(n_targets)),
+        )
+        joined = ("nuclei_a", "nuclei_b")
+        # Bytes a pickle-spill worker must materialize privately for the
+        # joined datasets — the denominator of the memory-ceiling claim.
+        transport_bytes = sum(
+            len(pickle.dumps(workload.datasets[name], pickle.HIGHEST_PROTOCOL))
+            for name in joined
+        )
+
+        # -- parity: shard store across backends vs legacy serial ------
+        print("parity: shard serial/thread/process vs legacy serial", flush=True)
+
+        def joined_stores(layout):
+            loaded = _load_stores(dirs[layout])
+            return {name: loaded[name] for name in joined}
+
+        legacy_engine = _make_engine(
+            joined_stores("legacy"), backend="serial", workers=1,
+            storage="legacy",
+        )
+        reference = _result_fingerprint(legacy_engine.execute(spec))
+        n_result_pairs = sum(len(v) for _, v in reference["pairs"])
+        print(f"  reference: {n_result_pairs} matched pairs", flush=True)
+        del legacy_engine
+        parity = {}
+        for backend, workers in (
+            ("serial", 1), ("thread", args.workers), ("process", args.workers)
+        ):
+            engine = _make_engine(
+                joined_stores("shard"), backend=backend,
+                workers=workers, storage="shard",
+            )
+            got = _result_fingerprint(engine.execute(spec))
+            ok = got == reference
+            parity[backend] = ok
+            print(f"  {backend}: {'ok' if ok else 'MISMATCH'}", flush=True)
+            if not ok:
+                failures.append(
+                    f"shard/{backend} result differs from legacy serial"
+                )
+            del engine
+
+        # -- cold open --------------------------------------------------
+        print("cold-open latency...", flush=True)
+        cold_open = {
+            layout: _cold_open(dirs[layout], args.repeats)
+            for layout in ("shard", "legacy")
+        }
+        print(
+            f"  shard {cold_open['shard'] * 1e3:.1f}ms  "
+            f"legacy {cold_open['legacy'] * 1e3:.1f}ms",
+            flush=True,
+        )
+
+        # -- per-worker USS: shard manifest handles vs pickle spill -----
+        # The spill arm queries the in-memory datasets (no source_dir),
+        # which is exactly the path that pickles the full dataset per
+        # worker; the shard arm queries the store-backed datasets whose
+        # manifest handle workers mmap lazily.
+        print(f"memory ceiling ({args.workers} process workers)...", flush=True)
+        arms = {}
+        for arm, datasets, storage in (
+            ("shard", joined_stores("shard"), "shard"),
+            ("spill", {name: workload.datasets[name] for name in joined}, "legacy"),
+        ):
+            engine = _make_engine(
+                datasets, backend="process", workers=args.workers,
+                storage=storage,
+            )
+            measured = _measure_arm(engine, spec, args.workers)
+            measured.pop("result")
+            arms[arm] = measured
+            print(
+                f"  {arm}: max growth "
+                f"{measured['uss_growth_max_bytes'] / 1e6:.1f}MB over "
+                f"{measured['workers_measured']} workers",
+                flush=True,
+            )
+            del engine
+        procpool.shutdown()
+
+        # The measured cost of one private dataset copy is the spill
+        # arm's own growth; "growth as a fraction of dataset size" uses
+        # it as the denominator (pickled bytes undercount the unpickled
+        # resident footprint several-fold — recorded for reference).
+        dataset_cost = arms["spill"]["uss_growth_max_bytes"]
+        shard_ratio = (
+            arms["shard"]["uss_growth_max_bytes"] / dataset_cost
+            if dataset_cost > 0
+            else 1.0
+        )
+        print(
+            f"  shard growth is {shard_ratio:.2%} of the spill arm's "
+            f"full-copy cost",
+            flush=True,
+        )
+
+    report = {
+        "schema": SCHEMA,
+        "scale": args.scale,
+        "workers": args.workers,
+        "workload": workload.summary,
+        "query": {
+            "kind": spec.kind, "source": spec.source, "target": spec.target,
+            "distance": spec.distance, "targets_queried": n_targets,
+            "result_pairs": n_result_pairs,
+        },
+        "build_seconds": round(build_seconds, 3),
+        "store_bytes": store_bytes,
+        "transport_bytes": transport_bytes,
+        "cold_open_seconds": {k: round(v, 6) for k, v in cold_open.items()},
+        "parity": parity,
+        "uss": {
+            arm: {
+                "growth_max_bytes": arms[arm]["uss_growth_max_bytes"],
+                "growth_mean_bytes": arms[arm]["uss_growth_mean_bytes"],
+                "workers_measured": arms[arm]["workers_measured"],
+            }
+            for arm in arms
+        },
+        "uss_growth_vs_spill_copy": round(shard_ratio, 4),
+        "uss_growth_vs_pickled_bytes": {
+            arm: (
+                round(arms[arm]["uss_growth_max_bytes"] / transport_bytes, 4)
+                if transport_bytes
+                else None
+            )
+            for arm in arms
+        },
+        "uss_ceiling": args.uss_ceiling,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}", flush=True)
+
+    if failures:
+        print(f"\n{len(failures)} hard failure(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 2
+    if args.check:
+        if report["transport_bytes"] >= MIN_BYTES_FOR_RATIO:
+            if shard_ratio >= args.uss_ceiling:
+                print(
+                    f"\nceiling breached: shard worker USS growth is "
+                    f"{shard_ratio:.2%} of the full-copy cost "
+                    f"(ceiling {args.uss_ceiling:.0%})"
+                )
+                return 1
+        elif shard_ratio > 1.0:
+            print(
+                f"\nsmall-dataset check breached: shard workers grew "
+                f"{shard_ratio:.2%} of what spill workers did"
+            )
+            return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "large"),
+        help="workload scale (default: REPRO_BENCH_SCALE or 'large')",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="force the tiny scale (CI smoke; numbers are not meaningful)",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="cold-open timing repeats"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the shard USS ceiling is breached (parity "
+        "mismatches always exit 2)",
+    )
+    parser.add_argument(
+        "--uss-ceiling", type=float, default=DEFAULT_USS_CEILING,
+        help="max shard worker USS growth as a fraction of the measured "
+        "full-copy (spill) cost",
+    )
+    parser.add_argument(
+        "--out", default=str(ROOT / "results" / "shard.json"),
+        help="report path (default results/shard.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.scale = "tiny"
+    try:
+        return run(args)
+    except Exception as exc:  # noqa: BLE001 - CI wants a clean exit code
+        print(f"bench_shard failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        import traceback
+
+        traceback.print_exc()
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

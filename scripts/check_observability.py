@@ -34,7 +34,12 @@ the checked-in golden set:
    default) and the per-pair dispatch path it replaced
    (``batched_refine=False``) agree exactly — same result pairs, same
    per-LOD pairs ledger, same funnel stage counts — on the intersection
-   and within joins under the active query backend.
+   and within joins under the active query backend;
+10. the v3 shard store (``REPRO_STORAGE_BACKEND=shard``: mmap-backed
+   lazy datasets, manifest-handle worker transport) answers byte-for-
+   byte identically to the legacy container store — same pairs, pairs
+   ledger, and funnel — on the intersection and within joins under the
+   active query backend.
 
 The join respects ``REPRO_QUERY_WORKERS`` / ``REPRO_QUERY_BACKEND``, so
 CI also runs this gate under the process query backend.
@@ -345,7 +350,7 @@ def check_funnel(datasets) -> None:
 
 
 def check_batched_parity(datasets) -> None:
-    print("[9/9] batched vs per-pair refinement parity")
+    print("[9/10] batched vs per-pair refinement parity")
     from repro.core.plan import QuerySpec
 
     specs = [
@@ -390,6 +395,58 @@ def check_batched_parity(datasets) -> None:
         )
 
 
+def check_shard_parity(datasets) -> None:
+    print("[10/10] shard vs legacy storage parity")
+    import tempfile
+
+    from repro.core.plan import QuerySpec
+    from repro.storage.store import load_dataset, save_dataset
+
+    specs = [
+        QuerySpec(kind="intersection", source="vessels", target="nuclei_a"),
+        QuerySpec(kind="within", source="vessels", target="nuclei_a", distance=40.0),
+    ]
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="shard-gate-") as tmp:
+        for layout in ("legacy", "shard"):
+            engine = ThreeDPro(
+                EngineConfig(metrics=MetricsRegistry(), storage_backend=layout)
+            )
+            for name, dataset in datasets.items():
+                directory = Path(tmp) / layout / name
+                save_dataset(dataset, directory, layout=layout)
+                engine.load_dataset(load_dataset(directory))
+            results[layout] = [engine.execute(spec) for spec in specs]
+        # Both engines answer from disk-backed stores holding identical
+        # blobs, so every observable must match exactly — the shard
+        # path's lazy mmap materialization may not change one bit.
+        for spec, legacy, shard in zip(specs, results["legacy"], results["shard"]):
+            check(
+                list(shard.pairs.items()) == list(legacy.pairs.items()),
+                f"{spec.kind}: shard pairs identical to legacy store",
+            )
+            check(
+                dict(shard.stats.pairs_evaluated_by_lod)
+                == dict(legacy.stats.pairs_evaluated_by_lod)
+                and dict(shard.stats.pairs_pruned_by_lod)
+                == dict(legacy.stats.pairs_pruned_by_lod),
+                f"{spec.kind}: shard pairs ledger identical to legacy store",
+            )
+            legacy_stage = {
+                lod: (s.evaluated, s.settled, s.confirmed, s.rejected, s.degraded)
+                for lod, s in legacy.funnel.stages.items()
+            }
+            shard_stage = {
+                lod: (s.evaluated, s.settled, s.confirmed, s.rejected, s.degraded)
+                for lod, s in shard.funnel.stages.items()
+            }
+            check(
+                shard_stage == legacy_stage
+                and shard.funnel.candidates == legacy.funnel.candidates,
+                f"{spec.kind}: shard funnel stages identical to legacy store",
+            )
+
+
 def main() -> int:
     print("building datasets...")
     datasets = build_datasets()
@@ -403,6 +460,7 @@ def main() -> int:
     check_partial_completeness(datasets, result)
     check_funnel(datasets)
     check_batched_parity(datasets)
+    check_shard_parity(datasets)
     if _FAILURES:
         print(f"\n{len(_FAILURES)} check(s) FAILED:")
         for failure in _FAILURES:

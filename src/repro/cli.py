@@ -4,6 +4,10 @@ Commands:
 
 * ``generate`` — synthesize a tissue scene and persist its datasets;
 * ``compress`` — ingest OFF/STL mesh files into a compressed dataset;
+* ``store``    — dataset directory maintenance; ``store migrate``
+  converts between the legacy v2 container layout and the v3
+  memory-mapped shard layout in place (blobs, ids, and grid preserved
+  byte-for-byte);
 * ``inspect``  — summarize a dataset directory (objects, LODs, bytes);
 * ``decode``   — export one object at one LOD to OFF or STL;
 * ``query``    — run a join between two dataset directories, or — with
@@ -32,7 +36,7 @@ from repro.core.engine import ThreeDPro
 from repro.core.errors import StorageError
 from repro.core.lod_select import choose_lod_list, profile_pruning
 from repro.core.plan import QuerySpec
-from repro.storage.store import Dataset, load_dataset, save_dataset
+from repro.storage.store import Dataset, load_dataset, migrate_dataset, save_dataset
 
 __all__ = ["main", "build_parser"]
 
@@ -60,12 +64,34 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--region", type=float, default=120.0)
     gen.add_argument("--subdivisions", type=int, default=1)
 
+    backend_help = (
+        "on-disk layout for saved datasets: 'shard' (v3 memory-mapped "
+        "shard files, page-cache shared across worker processes) or "
+        "'legacy' (v2 cuboid containers) (default: REPRO_STORAGE_BACKEND "
+        "env or legacy)"
+    )
+    gen.add_argument("--storage-backend", choices=["shard", "legacy"],
+                     default=None, help=backend_help)
+
     comp = sub.add_parser("compress", help="ingest OFF/STL meshes into a dataset")
     comp.add_argument("meshes", type=Path, nargs="+", help="input .off/.stl files")
     comp.add_argument("--output", "-o", type=Path, required=True)
     comp.add_argument("--name", default="dataset")
     comp.add_argument("--max-lods", type=int, default=6)
     comp.add_argument("--quant-bits", type=int, default=16)
+    comp.add_argument("--storage-backend", choices=["shard", "legacy"],
+                      default=None, help=backend_help)
+
+    store = sub.add_parser("store", help="dataset directory maintenance")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    mig = store_sub.add_parser(
+        "migrate",
+        help="convert a dataset directory between storage layouts in place",
+    )
+    mig.add_argument("dataset", type=Path, nargs="+",
+                     help="dataset directories to migrate")
+    mig.add_argument("--to", choices=["shard", "legacy"], default="shard",
+                     help="target layout (default: shard)")
 
     salvage_help = (
         "load damaged dataset directories best-effort instead of failing "
@@ -239,9 +265,11 @@ def _cmd_generate(args) -> int:
         if not meshes:
             continue
         dataset = Dataset.from_polyhedra(name, meshes, encoder)
-        summary = save_dataset(dataset, args.output / name)
+        summary = save_dataset(
+            dataset, args.output / name, layout=args.storage_backend
+        )
         print(f"{name}: {len(dataset)} objects, {summary['total_bytes']} bytes "
-              f"-> {args.output / name}")
+              f"[{summary['layout']}] -> {args.output / name}")
     return 0
 
 
@@ -249,16 +277,38 @@ def _cmd_compress(args) -> int:
     encoder = PPVPEncoder(max_lods=args.max_lods)
     meshes = [_load_mesh(path) for path in args.meshes]
     dataset = Dataset.from_polyhedra(args.name, meshes, encoder)
-    summary = save_dataset(dataset, args.output, quant_bits=args.quant_bits)
+    summary = save_dataset(
+        dataset, args.output, quant_bits=args.quant_bits,
+        layout=args.storage_backend,
+    )
     flat = sum(m.num_vertices * 24 + m.num_faces * 12 for m in meshes)
     print(f"compressed {len(meshes)} meshes: {flat} flat bytes -> "
           f"{summary['total_bytes']} ({flat / max(summary['total_bytes'], 1):.2f}x)")
     return 0
 
 
+def _cmd_store(args) -> int:
+    status = 0
+    for path in args.dataset:
+        try:
+            summary = migrate_dataset(path, to=args.to)
+        except (StorageError, OSError, ValueError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        if not summary["migrated"]:
+            print(f"{path}: already {summary['layout']}, nothing to do")
+        else:
+            print(f"{path}: migrated to {summary['layout']} "
+                  f"({len(summary['files'])} files, "
+                  f"{summary['total_bytes']} bytes)")
+    return status
+
+
 def _cmd_inspect(args) -> int:
     dataset = _load_dataset_cli(args.dataset, args.salvage)
-    print(f"dataset {dataset.name!r}: {len(dataset)} objects")
+    print(f"dataset {dataset.name!r}: {len(dataset)} objects "
+          f"[{dataset.storage} storage]")
     report = dataset.load_report
     if report is not None and not report.ok:
         print(f"  load report: {report.summary()}")
@@ -536,6 +586,7 @@ def _cmd_obs(args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "compress": _cmd_compress,
+    "store": _cmd_store,
     "inspect": _cmd_inspect,
     "decode": _cmd_decode,
     "query": _cmd_query,

@@ -86,6 +86,15 @@ def _parse_backend(env_name: str, raw: str) -> str:
     return value
 
 
+def _parse_storage_backend(env_name: str, raw: str) -> str:
+    value = raw.lower()
+    if value not in ("shard", "legacy"):
+        raise EngineConfigError(
+            f"{env_name} must be 'shard' or 'legacy', got {raw!r}"
+        )
+    return value
+
+
 def _parse_bool(env_name: str, raw: str) -> bool:
     value = raw.lower()
     if value in ("1", "true", "yes", "on"):
@@ -109,6 +118,13 @@ SETTINGS: dict[str, Setting] = {
                 parse=_parse_backend),
         Setting("batched_refine", "REPRO_BATCHED_REFINE", True,
                 parse=_parse_bool),
+        # Persistent-store layout and process-backend transport:
+        # "shard" = v3 memory-mapped cuboid shard files (workers share
+        # read-only pages), "legacy" = v2 cuboid containers with
+        # pickle-spill transport. Reading auto-detects either format;
+        # this selects what *new* saves and spills produce.
+        Setting("storage_backend", "REPRO_STORAGE_BACKEND", "legacy",
+                parse=_parse_storage_backend),
         Setting(
             "deadline_ms", "REPRO_DEADLINE_MS", None,
             parse=_parse_int, check=_check_min("deadline_ms", 1),
@@ -232,6 +248,14 @@ class EngineConfig:
     # acceleration path always runs per pair (tree traversals do not
     # batch across pairs).
     batched_refine: bool | None = None
+    # Persistent-store layout + process-backend dataset transport:
+    # "shard" saves v3 memory-mapped cuboid shard stores and ships
+    # in-memory datasets to workers as shard spills (workers mmap the
+    # shards read-only and share OS page cache); "legacy" keeps the v2
+    # cuboid containers and whole-dataset pickle-spill. Loading always
+    # auto-detects the on-disk format regardless of this setting. None
+    # defers to REPRO_STORAGE_BACKEND, then "legacy".
+    storage_backend: str | None = None
     # FPR may settle a nearest neighbor before its exact distance is
     # known (the result carries an upper bound). Setting this forces a
     # final top-LOD distance evaluation for the reported neighbors -
@@ -293,6 +317,11 @@ class EngineConfig:
                 f"query_backend must be None, 'thread', or 'process', "
                 f"got {self.query_backend!r}"
             )
+        if self.storage_backend not in (None, "shard", "legacy"):
+            raise EngineConfigError(
+                f"storage_backend must be None, 'shard', or 'legacy', "
+                f"got {self.storage_backend!r}"
+            )
         if self.batched_refine not in (None, True, False):
             raise EngineConfigError(
                 f"batched_refine must be None, True, or False, "
@@ -347,3 +376,7 @@ class EngineConfig:
     def resolve_batched_refine(self) -> bool:
         """Whether refinement rounds run batched (see :mod:`repro.core.batch`)."""
         return resolve_setting("batched_refine", config=self)
+
+    def resolve_storage_backend(self) -> str:
+        """The effective store layout / transport: ``"shard"`` or ``"legacy"``."""
+        return resolve_setting("storage_backend", config=self)

@@ -150,6 +150,10 @@ class ThreeDPro:
         self.load_dataset(dataset)
         return dataset
 
+    def dataset(self, name: str) -> Dataset:
+        """The loaded dataset registered under ``name``."""
+        return self._get(name).dataset
+
     def _get(self, name: str) -> _LoadedDataset:
         loaded = self._datasets.get(name)
         if loaded is None:

@@ -14,6 +14,8 @@ __all__ = [
     "DatasetNotLoadedError",
     "StorageError",
     "CuboidFormatError",
+    "ShardFormatError",
+    "ShardLifetimeError",
     "BlobChecksumError",
     "DatasetFormatError",
     "DecodeFailureError",
@@ -52,6 +54,17 @@ class StorageError(EngineError):
 
 class CuboidFormatError(StorageError, ValueError):
     """Raised for malformed or corrupted cuboid container files."""
+
+
+class ShardFormatError(StorageError, ValueError):
+    """Raised for malformed or corrupted v3 shard files (bad magic,
+    unsupported version/codec, unparseable or checksum-failing index)."""
+
+
+class ShardLifetimeError(StorageError):
+    """Raised when a :class:`~repro.storage.shardfile.ShardReader` is
+    closed while exported ``memoryview`` blob slices are still alive —
+    the mapping cannot be unmapped under live buffers."""
 
 
 class BlobChecksumError(StorageError, ValueError):

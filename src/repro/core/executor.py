@@ -210,7 +210,8 @@ class QueryExecutor:
                 if interrupt is not None:
                     reason = interrupt.reason
         else:
-            chunks = self._chunk_targets(tids, workers)
+            chunk_size = -(-len(tids) // (workers * _CHUNKS_PER_WORKER))
+            chunks = plan.strategy.target_chunks(plan, tids, chunk_size)
             # Containment has no target dataset to restrict by target id,
             # so it always runs on the thread backend.
             use_process = (
@@ -517,7 +518,13 @@ class QueryExecutor:
 
     @staticmethod
     def _chunk_targets(tids, workers: int) -> list:
-        """Contiguous chunks of the cuboid-ordered target list."""
+        """Contiguous equal-size chunks of the cuboid-ordered target list.
+
+        The legacy chunk shape; the executor now routes through
+        :meth:`~repro.core.plan.KindStrategy.target_chunks`, which
+        additionally aligns cuts to cuboid boundaries for shard-backed
+        targets. Kept as the reference slicing used by tests.
+        """
         chunk_size = -(-len(tids) // (workers * _CHUNKS_PER_WORKER))
         return [tids[i : i + chunk_size] for i in range(0, len(tids), chunk_size)]
 

@@ -510,6 +510,58 @@ class KindStrategy:
         keep = set(restrict)
         return [tid for tid in ordered if tid in keep]
 
+    def target_chunks(self, plan: QueryPlan, tids, chunk_size: int) -> list:
+        """Contiguous chunks of ``tids`` for scatter-gather fan-out.
+
+        Legacy datasets get plain equal-size slices — the historical
+        shape, which chunk-keyed chaos injection depends on. When the
+        target dataset is shard-backed, cuts are aligned to cuboid
+        boundaries instead (``tids`` is already in flattened-cuboid
+        order, so boundary-aligned cuts stay contiguous and the
+        chunk-order merge is unchanged): each chunk then maps to whole
+        shards, so a process worker faults in only the shard files its
+        chunk actually owns. Cuboids larger than ``chunk_size`` are
+        split rather than ballooning one chunk.
+        """
+        chunk_size = max(1, chunk_size)
+        target = getattr(plan, "target", None)
+        dataset = getattr(target, "dataset", None)
+        if dataset is None or getattr(dataset, "shard_source", None) is None:
+            return [
+                tids[i : i + chunk_size] for i in range(0, len(tids), chunk_size)
+            ]
+        # Contiguous per-cuboid runs of the (possibly restricted) tids.
+        owner = {
+            tid: index
+            for index, batch in enumerate(dataset.cuboid_batches())
+            for tid in batch
+        }
+        runs: list[tuple[int | None, list[int]]] = []
+        for tid in tids:
+            cuboid = owner.get(tid)
+            if runs and runs[-1][0] == cuboid:
+                runs[-1][1].append(tid)
+            else:
+                runs.append((cuboid, [tid]))
+        chunks: list[list[int]] = []
+        current: list[int] = []
+        for _, run in runs:
+            while len(run) > chunk_size:
+                if current:
+                    chunks.append(current)
+                    current = []
+                chunks.append(run[:chunk_size])
+                run = run[chunk_size:]
+            if not run:
+                continue
+            if current and len(current) + len(run) > chunk_size:
+                chunks.append(current)
+                current = []
+            current.extend(run)
+        if current:
+            chunks.append(current)
+        return chunks
+
     def compute_attrs(self, tid: int) -> dict:
         return {"target": tid}
 

@@ -10,17 +10,36 @@ pool of **worker processes**, each owning a full engine — its own
 
 Dataset transport
     A dataset loaded from disk (``Dataset.source_dir`` set) is reopened
-    by each worker with salvage-mode :func:`~repro.storage.store.load_dataset`
-    — deterministic, so a clean store loads identically to strict mode
-    and a damaged store reproduces the parent's salvage outcome. An
-    in-memory dataset is *spilled* once to a pickle file (exact
-    round-trip; the serialized store format re-quantizes positions and
-    would perturb results) and unpickled by workers. Compiled
+    by each worker from its directory — what crosses the process
+    boundary is a tiny :class:`DatasetManifest` handle (name + path +
+    load mode), never object bytes. A v3 shard store the parent loaded
+    cleanly is strict-loaded *lazily* (``verify="lazy"``): each worker
+    memory-maps the shards and faults in only the blobs its chunks
+    decode, and every worker on the machine shares those pages through
+    the OS page cache — resident memory stays O(dataset), not
+    O(workers × dataset). Legacy v2 stores (and any store whose parent
+    load was not clean) reload in salvage mode — deterministic, so a
+    clean store loads identically to strict mode and a damaged store
+    reproduces the parent's salvage outcome.
+
+    An in-memory dataset is *spilled* once. Under
+    ``REPRO_STORAGE_BACKEND=shard`` the spill is a pickle-codec v3
+    shard store (:func:`~repro.storage.store.spill_dataset`: exact
+    object round-trip, mmap-shared, lazily unpickled per touched
+    object); under the legacy backend it is a single pickle file the
+    workers unpickle whole. Either spill round-trips objects exactly —
+    the serialized store format re-quantizes positions and would
+    perturb results. Compiled
     :class:`~repro.compression.lodtable.LODTable` columnar decode
     tables are immutable and pickle with their objects, so any table
     the parent already built ships in the spill; workers compile the
     rest lazily on first decode (store-reopened datasets always
     compile worker-side).
+
+    Spill directories are self-identifying (``owner.pid``): pool
+    startup sweeps stale ``repro-procpool-*`` directories — spills and
+    heartbeat files orphaned by a killed parent — whose owning process
+    is gone.
 
 Result transport
     Each worker ships back a picklable :class:`ChunkOutcome`: pairs,
@@ -134,11 +153,18 @@ class ProcessBackendUnavailable(RuntimeError):
 
 @dataclass(frozen=True)
 class DatasetManifest:
-    """How a worker obtains one dataset: reload from the store, or unpickle."""
+    """How a worker obtains one dataset: reload from the store, or unpickle.
+
+    ``mode`` selects the worker's load: ``"strict"`` (lazy shard load,
+    ``verify="lazy"`` so only touched blobs are CRC-checked and
+    deserialized) for stores the parent loaded cleanly, ``"salvage"``
+    otherwise. Irrelevant for ``kind="spill"`` pickle files.
+    """
 
     name: str
     kind: str  # "store" | "spill"
     path: str
+    mode: str = "salvage"  # "strict" | "salvage"
 
 
 @dataclass(frozen=True)
@@ -186,10 +212,10 @@ _POOL: ProcessPoolExecutor | None = None
 _POOL_WORKERS = 0
 _POOL_LOCK = threading.Lock()
 _SPILL_DIR: str | None = None
-# id(dataset) -> spill path; entries are removed by a weakref.finalize
-# when the dataset is collected, so a recycled id can never alias a
-# stale spill file.
-_SPILLS: dict[int, str] = {}
+# (id(dataset), storage backend) -> spill path; entries are removed by
+# a weakref.finalize when the dataset is collected, so a recycled id can
+# never alias a stale spill file.
+_SPILLS: dict[tuple[int, str], str] = {}
 
 
 def _ensure_importable() -> None:
@@ -273,24 +299,99 @@ def _kill_pool() -> None:
             pass
 
 
+_SPILL_PREFIX = "repro-procpool-"
+#: Unowned spill dirs (no readable owner.pid) are reaped only once this
+#: old, so a sweep can never race a parent that is mid-mkdtemp.
+_SPILL_ORPHAN_AGE_SECONDS = 3600.0
+
+
+def _sweep_stale_spills(tmp_root: str, own: str | None = None) -> int:
+    """Remove ``repro-procpool-*`` dirs whose owning process is gone.
+
+    Abnormal parent exits (SIGKILL, OOM) orphan spill files and
+    heartbeat files until reboot; each new parent sweeps them at pool
+    startup. A directory is reclaimed when its ``owner.pid`` names a
+    dead process; dirs without a readable pidfile are reclaimed only
+    after :data:`_SPILL_ORPHAN_AGE_SECONDS`. Returns the count removed.
+    """
+    removed = 0
+    try:
+        names = os.listdir(tmp_root)
+    except OSError:
+        return 0
+    own = os.path.abspath(own) if own is not None else None
+    for name in names:
+        if not name.startswith(_SPILL_PREFIX):
+            continue
+        path = os.path.join(tmp_root, name)
+        if own is not None and os.path.abspath(path) == own:
+            continue
+        if not os.path.isdir(path):
+            continue
+        try:
+            with open(os.path.join(path, "owner.pid")) as fh:
+                pid = int(fh.read().strip())
+        except (OSError, ValueError):
+            try:
+                age = time.time() - os.path.getmtime(path)
+            except OSError:
+                continue
+            if age < _SPILL_ORPHAN_AGE_SECONDS:
+                continue
+        else:
+            try:
+                os.kill(pid, 0)
+                continue  # owner still running
+            except ProcessLookupError:
+                pass  # owner is dead: reclaim
+            except OSError:
+                continue  # EPERM etc.: someone else's live process
+        shutil.rmtree(path, ignore_errors=True)
+        removed += 1
+    if removed:
+        log_event(_LOG, "stale_spills_swept", tmp_root=tmp_root, removed=removed)
+    return removed
+
+
 def _spill_dir() -> str:
     global _SPILL_DIR
     if _SPILL_DIR is None:
-        _SPILL_DIR = tempfile.mkdtemp(prefix="repro-procpool-")
+        _SPILL_DIR = tempfile.mkdtemp(prefix=_SPILL_PREFIX)
+        with open(os.path.join(_SPILL_DIR, "owner.pid"), "w") as fh:
+            fh.write(str(os.getpid()))
+        _sweep_stale_spills(os.path.dirname(_SPILL_DIR), own=_SPILL_DIR)
     return _SPILL_DIR
 
 
-def _manifest_for(dataset) -> DatasetManifest:
+def _manifest_for(dataset, backend: str = "legacy") -> DatasetManifest:
     if dataset.source_dir is not None:
-        return DatasetManifest(dataset.name, "store", dataset.source_dir)
-    path = _SPILLS.get(id(dataset))
+        # Shard stores the parent loaded cleanly strict-load lazily in
+        # the workers; anything else (legacy v2, damaged stores)
+        # reloads in deterministic salvage mode.
+        report = dataset.load_report
+        clean = report is None or report.ok
+        mode = "strict" if (dataset.shard_source is not None and clean) else "salvage"
+        return DatasetManifest(dataset.name, "store", dataset.source_dir, mode)
+    key = (id(dataset), backend)
+    path = _SPILLS.get(key)
     if path is None:
-        path = os.path.join(_spill_dir(), f"spill-{uuid.uuid4().hex}.pkl")
-        with open(path, "wb") as fh:
-            pickle.dump(dataset, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        _SPILLS[id(dataset)] = path
-        weakref.finalize(dataset, _SPILLS.pop, id(dataset), None)
-    return DatasetManifest(dataset.name, "spill", path)
+        if backend == "shard":
+            from repro.storage.store import spill_dataset
+
+            path = os.path.join(_spill_dir(), f"spill-{uuid.uuid4().hex}")
+            spill_dataset(dataset, path)
+            kind, mode = "store", "strict"
+        else:
+            path = os.path.join(_spill_dir(), f"spill-{uuid.uuid4().hex}.pkl")
+            with open(path, "wb") as fh:
+                pickle.dump(dataset, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            kind, mode = "spill", "salvage"
+        _SPILLS[key] = path
+        weakref.finalize(dataset, _SPILLS.pop, key, None)
+    else:
+        kind = "spill" if path.endswith(".pkl") else "store"
+        mode = "salvage" if kind == "spill" else "strict"
+    return DatasetManifest(dataset.name, kind, path, mode)
 
 
 def _worker_config(config):
@@ -333,14 +434,16 @@ def execute_chunks(engine, plan, chunks: list, deadline=None) -> list:
     affected chunks. Worker-side query errors (``EngineError``)
     propagate as themselves.
     """
+    from repro.core.config import resolve_setting
     from repro.core.errors import EngineError
 
     try:
         config = _worker_config(engine.config)
+        backend = resolve_setting("storage_backend", config=engine.config)
         records = {plan.target.dataset.name: plan.target.dataset}
         records[plan.source.dataset.name] = plan.source.dataset
         manifests = tuple(
-            _manifest_for(records[name]) for name in sorted(records)
+            _manifest_for(records[name], backend) for name in sorted(records)
         )
         blob = pickle.dumps((config, manifests), protocol=pickle.HIGHEST_PROTOCOL)
         import hashlib
@@ -536,7 +639,13 @@ def _load_manifest(manifest: DatasetManifest):
         if manifest.kind == "store":
             from repro.storage.store import load_dataset
 
-            dataset = load_dataset(manifest.path, mode="salvage")
+            if manifest.mode == "strict":
+                # Lazy shard load: mmap the shards, CRC-check and
+                # unpickle/deserialize only the blobs this worker's
+                # chunks actually touch.
+                dataset = load_dataset(manifest.path, mode="strict", verify="lazy")
+            else:
+                dataset = load_dataset(manifest.path, mode="salvage")
         else:
             with open(manifest.path, "rb") as fh:
                 dataset = pickle.load(fh)

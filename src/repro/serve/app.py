@@ -69,7 +69,17 @@ class QueryService:
         return {"ok": True, "datasets": len(self.engine.dataset_names)}
 
     def datasets(self) -> dict:
-        return {"datasets": self.engine.dataset_names}
+        # ``storage`` reports where each dataset's objects live ("shard"
+        # datasets are memory-mapped and lazily materialized; "legacy"
+        # and "memory" are fully resident) so operators can see which
+        # loaded datasets share pages across process workers.
+        return {
+            "datasets": self.engine.dataset_names,
+            "storage": {
+                name: self.engine.dataset(name).storage
+                for name in self.engine.dataset_names
+            },
+        }
 
     def metrics_text(self) -> str:
         return self.metrics.to_prometheus()

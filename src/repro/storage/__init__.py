@@ -5,6 +5,11 @@ one file per cuboid, and loaded into memory for querying. Decoded
 geometry is recycled through a byte-budgeted LRU cache keyed by
 ``(object, LOD)``, so spatially batched queries almost never decode the
 same representation twice (Table 2).
+
+Two on-disk layouts are supported: legacy v2 cuboid containers
+(:mod:`repro.storage.fileformat`, loaded eagerly) and v3 memory-mapped
+shard files (:mod:`repro.storage.shardfile`, loaded lazily and shared
+read-only across worker processes through the OS page cache).
 """
 
 from repro.storage.cache import DecodeCache, DecodedLOD, DecodedObjectProvider
@@ -15,7 +20,23 @@ from repro.storage.fileformat import (
     salvage_cuboid_file,
     write_cuboid_file,
 )
-from repro.storage.store import Dataset, LoadReport, load_dataset, save_dataset
+from repro.storage.shardfile import (
+    SHARD_FORMAT_VERSION,
+    ShardEntry,
+    ShardReader,
+    salvage_shard_file,
+    write_shard_file,
+)
+from repro.storage.store import (
+    Dataset,
+    LoadReport,
+    ShardBackedObject,
+    ShardSet,
+    load_dataset,
+    migrate_dataset,
+    save_dataset,
+    spill_dataset,
+)
 
 __all__ = [
     "DecodeCache",
@@ -26,8 +47,17 @@ __all__ = [
     "read_cuboid_file",
     "salvage_cuboid_file",
     "write_cuboid_file",
+    "SHARD_FORMAT_VERSION",
+    "ShardEntry",
+    "ShardReader",
+    "salvage_shard_file",
+    "write_shard_file",
     "Dataset",
     "LoadReport",
+    "ShardBackedObject",
+    "ShardSet",
     "load_dataset",
+    "migrate_dataset",
     "save_dataset",
+    "spill_dataset",
 ]

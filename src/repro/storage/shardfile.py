@@ -1,0 +1,356 @@
+"""Memory-mapped cuboid shard files (store format v3).
+
+One shard file per cuboid, holding every member object's compressed
+blob plus an *index-resident* copy of the planning metadata the engine
+needs before any decode (AABB, max LOD, per-LOD face counts). The
+payload region is written append-only — blobs first, index last — so a
+shard streams to disk in one pass and the index is always the final
+thing fsynced::
+
+    offset  contents
+    ------  -----------------------------------------------------------
+    0       magic ``3DPS``
+    4       format version (3)
+    5       codec byte (0 = serialized ``3DPR`` blobs, 1 = pickle)
+    6       payload: blobs, concatenated back to back
+    I       index: uvarint entry count, then per entry
+              uvarint object_id
+              uvarint absolute payload offset
+              uvarint blob length
+              uvarint CRC32(blob)
+              6 x f64  AABB (low.xyz, high.xyz)
+              uvarint max_lod
+              uvarint face-count count (== max_lod + 1), then that many
+              uvarint per-LOD face counts
+    end-12  trailer: u64 index offset ``I``, u32 CRC32(index region)
+
+There is deliberately *no* whole-file checksum: verifying one would
+force a full sequential read at open, defeating the point of ``mmap``.
+Integrity is still never skipped — the index CRC is verified at open
+(the index is tiny), and every blob's CRC is verified against its index
+entry either eagerly (:meth:`ShardReader.verify_all`, the strict-load
+scan) or lazily at first access (:meth:`ShardReader.blob` with
+``verify=True``, the worker path that must fault in only the pages a
+query touches).
+
+:meth:`ShardReader.blob` returns a zero-copy :class:`memoryview` slice
+of the shared file mapping; all readers of one shard — every worker
+process on the machine — share the same physical pages through the OS
+page cache. Closing a reader while exported slices are alive raises
+:class:`~repro.core.errors.ShardLifetimeError` (a clean Python error,
+never a dangling pointer: ``mmap`` refuses to unmap exported buffers).
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.compression.varint import read_uvarint, write_uvarint
+from repro.core.errors import (
+    BlobChecksumError,
+    ShardFormatError,
+    ShardLifetimeError,
+)
+from repro.storage.fileformat import BlobFault
+
+__all__ = [
+    "SHARD_FORMAT_VERSION",
+    "SHARD_CODECS",
+    "ShardEntry",
+    "ShardReader",
+    "write_shard_file",
+    "salvage_shard_file",
+]
+
+_MAGIC = b"3DPS"
+SHARD_FORMAT_VERSION = 3
+_TRAILER = struct.Struct("<QI")
+_AABB = struct.Struct("<6d")
+
+#: codec byte -> name. "3dpr" entries hold the same serialized blobs a
+#: v2 cuboid container would (deserialize_object decodes them); "pickle"
+#: entries hold pickled CompressedObjects — the exact-round-trip codec
+#: the process backend spills in-memory datasets with.
+SHARD_CODECS = {0: "3dpr", 1: "pickle"}
+_CODEC_IDS = {name: byte for byte, name in SHARD_CODECS.items()}
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One object's index entry: where its blob lives, plus the planning
+    metadata (MBB, LOD ladder shape) queries need before any decode."""
+
+    object_id: int
+    offset: int
+    length: int
+    crc: int
+    aabb_low: tuple[float, float, float]
+    aabb_high: tuple[float, float, float]
+    max_lod: int
+    face_counts: tuple[int, ...]  # face count at each LOD, ascending
+
+
+def write_shard_file(path, blobs, object_ids, metas, codec: str = "3dpr") -> int:
+    """Write one cuboid's blobs + index; returns bytes written.
+
+    ``metas`` aligns with ``blobs``/``object_ids``: one
+    ``(aabb_low, aabb_high, max_lod, face_counts)`` tuple per object.
+    """
+    if not (len(blobs) == len(object_ids) == len(metas)):
+        raise ValueError("blobs, object_ids, and metas must align")
+    codec_id = _CODEC_IDS.get(codec)
+    if codec_id is None:
+        raise ValueError(f"codec must be one of {sorted(_CODEC_IDS)}, got {codec!r}")
+    out = bytearray()
+    out += _MAGIC
+    out.append(SHARD_FORMAT_VERSION)
+    out.append(codec_id)
+    offsets = []
+    for blob in blobs:
+        offsets.append(len(out))
+        out += blob
+    index_offset = len(out)
+    index = bytearray()
+    write_uvarint(index, len(blobs))
+    for obj_id, blob, offset, meta in zip(object_ids, blobs, offsets, metas):
+        low, high, max_lod, face_counts = meta
+        write_uvarint(index, obj_id)
+        write_uvarint(index, offset)
+        write_uvarint(index, len(blob))
+        write_uvarint(index, zlib.crc32(blob))
+        index += _AABB.pack(*low, *high)
+        write_uvarint(index, max_lod)
+        write_uvarint(index, len(face_counts))
+        for count in face_counts:
+            write_uvarint(index, count)
+    out += index
+    out += _TRAILER.pack(index_offset, zlib.crc32(bytes(index)))
+    data = bytes(out)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def _parse_index(data, path, count_limit) -> list[ShardEntry]:
+    """Parse index entries from ``data`` (the index region bytes)."""
+    try:
+        count, offset = read_uvarint(data, 0)
+        if count > count_limit:
+            raise ShardFormatError(f"{path}: implausible object count {count}")
+        entries = []
+        for _ in range(count):
+            obj_id, offset = read_uvarint(data, offset)
+            blob_offset, offset = read_uvarint(data, offset)
+            length, offset = read_uvarint(data, offset)
+            crc, offset = read_uvarint(data, offset)
+            coords = _AABB.unpack_from(data, offset)
+            offset += _AABB.size
+            max_lod, offset = read_uvarint(data, offset)
+            n_counts, offset = read_uvarint(data, offset)
+            if n_counts != max_lod + 1:
+                raise ShardFormatError(
+                    f"{path}: object {obj_id} carries {n_counts} face counts "
+                    f"for {max_lod + 1} LODs"
+                )
+            counts = []
+            for _ in range(n_counts):
+                value, offset = read_uvarint(data, offset)
+                counts.append(value)
+            entries.append(
+                ShardEntry(
+                    object_id=obj_id,
+                    offset=blob_offset,
+                    length=length,
+                    crc=crc,
+                    aabb_low=coords[:3],
+                    aabb_high=coords[3:],
+                    max_lod=max_lod,
+                    face_counts=tuple(counts),
+                )
+            )
+        if offset != len(data):
+            raise ShardFormatError(f"{path}: {len(data) - offset} trailing index bytes")
+        return entries
+    except ShardFormatError:
+        raise
+    except (EOFError, ValueError, struct.error) as exc:
+        raise ShardFormatError(f"{path}: truncated index ({exc})") from exc
+
+
+class ShardReader:
+    """Zero-copy reads over one memory-mapped shard file.
+
+    ``strict=True`` (default) raises :class:`ShardFormatError` when the
+    index CRC does not match; ``strict=False`` keeps going and exposes
+    the mismatch on :attr:`index_ok` — the salvage path's analog of a
+    v2 container-checksum fault (the per-blob CRCs then gate each blob
+    individually, exactly the v2 granularity).
+    """
+
+    def __init__(self, path, strict: bool = True):
+        self.path = str(path)
+        self.index_ok = True
+        self._file = open(path, "rb")
+        try:
+            try:
+                self._mm = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError as exc:  # zero-length file cannot map
+                raise ShardFormatError(f"{path}: empty shard file") from exc
+            size = len(self._mm)
+            if size < 6 + _TRAILER.size or self._mm[:4] != _MAGIC:
+                raise ShardFormatError(f"{path}: bad magic")
+            version = self._mm[4]
+            if version != SHARD_FORMAT_VERSION:
+                raise ShardFormatError(f"{path}: unsupported shard version {version}")
+            self.codec = SHARD_CODECS.get(self._mm[5])
+            if self.codec is None:
+                raise ShardFormatError(f"{path}: unknown codec byte {self._mm[5]}")
+            index_offset, index_crc = _TRAILER.unpack(self._mm[size - _TRAILER.size:])
+            if not 6 <= index_offset <= size - _TRAILER.size:
+                raise ShardFormatError(
+                    f"{path}: index offset {index_offset} outside file"
+                )
+            index_bytes = bytes(self._mm[index_offset : size - _TRAILER.size])
+            if zlib.crc32(index_bytes) != index_crc:
+                if strict:
+                    raise ShardFormatError(f"{path}: index checksum mismatch")
+                self.index_ok = False
+            self._payload_end = index_offset
+            self.entries: dict[int, ShardEntry] = {
+                entry.object_id: entry
+                for entry in _parse_index(index_bytes, path, count_limit=size)
+            }
+        except BaseException:
+            self._release()
+            raise
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def object_ids(self) -> list[int]:
+        """Member object ids in payload (write) order."""
+        return sorted(self.entries, key=lambda oid: self.entries[oid].offset)
+
+    def blob(self, object_id: int, verify: bool = True) -> memoryview:
+        """A zero-copy ``memoryview`` of one object's blob.
+
+        The slice references the shared file mapping directly — no bytes
+        are copied and the backing pages are shared with every other
+        reader of this shard on the machine. With ``verify`` the blob's
+        CRC32 is checked against its index entry first (this faults in
+        exactly the blob's pages, nothing else).
+        """
+        if self.closed:
+            raise ValueError(f"{self.path}: reader is closed")
+        entry = self.entries.get(object_id)
+        if entry is None:
+            raise KeyError(f"{self.path}: no object {object_id}")
+        end = entry.offset + entry.length
+        if end > self._payload_end:
+            raise ShardFormatError(
+                f"{self.path}: truncated blob for object {object_id}"
+            )
+        view = memoryview(self._mm)[entry.offset : end]
+        if verify and zlib.crc32(view) != entry.crc:
+            view.release()
+            raise BlobChecksumError(
+                f"{self.path}: checksum mismatch for object {object_id}"
+            )
+        return view
+
+    def verify_all(self) -> list[BlobFault]:
+        """CRC-check every blob (one sequential pass); returns the faults.
+
+        The strict loader's eager integrity scan: any on-disk corruption
+        of payload bytes is caught at load time, while deserialization
+        stays deferred. Returns a :class:`BlobFault` per failing blob,
+        raw bytes attached when addressable (for object-level salvage).
+        """
+        faults = []
+        for obj_id in self.object_ids():
+            entry = self.entries[obj_id]
+            end = entry.offset + entry.length
+            if end > self._payload_end:
+                faults.append(BlobFault(obj_id, "truncated blob"))
+                continue
+            view = memoryview(self._mm)[entry.offset : end]
+            try:
+                if zlib.crc32(view) != entry.crc:
+                    faults.append(
+                        BlobFault(obj_id, "blob checksum mismatch", bytes(view))
+                    )
+            finally:
+                view.release()
+        return faults
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        mm = getattr(self, "_mm", None)
+        return mm is None or mm.closed
+
+    def close(self) -> None:
+        """Unmap and close. Raises :class:`ShardLifetimeError` (and stays
+        open) while exported blob slices are alive — the mapping cannot
+        be torn down under live buffers without leaving them dangling."""
+        mm = getattr(self, "_mm", None)
+        if mm is not None and not mm.closed:
+            try:
+                mm.close()
+            except BufferError as exc:
+                raise ShardLifetimeError(
+                    f"{self.path}: cannot close shard reader while exported "
+                    f"memoryview blob slices are alive; release them first"
+                ) from exc
+        self._release()
+
+    def _release(self) -> None:
+        file = getattr(self, "_file", None)
+        if file is not None and not file.closed:
+            file.close()
+
+    def __enter__(self) -> "ShardReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC ordering dependent
+        try:
+            self._release()
+        except Exception:
+            pass
+
+
+def salvage_shard_file(path) -> tuple[list[tuple[int, bytes]], list[BlobFault], bool]:
+    """Best-effort read of a possibly-corrupt shard file.
+
+    Mirrors :func:`repro.storage.fileformat.salvage_cuboid_file`
+    exactly — ``(pairs, faults, container_ok)`` with per-blob CRC
+    granularity — so the salvage loader treats v2 containers and v3
+    shards through one code path. ``container_ok`` is the index CRC
+    here. Raises :class:`ShardFormatError` only when the file is
+    unsalvageable (bad magic/version/codec or an unparseable index).
+    """
+    reader = ShardReader(path, strict=False)
+    try:
+        pairs: list[tuple[int, bytes]] = []
+        faults = reader.verify_all()
+        faulted = {fault.object_id for fault in faults}
+        for obj_id in reader.object_ids():
+            if obj_id in faulted:
+                continue
+            view = reader.blob(obj_id, verify=False)
+            try:
+                pairs.append((obj_id, bytes(view)))
+            finally:
+                view.release()
+        return pairs, faults, reader.index_ok
+    finally:
+        reader.close()

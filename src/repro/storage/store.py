@@ -3,24 +3,48 @@
 A :class:`Dataset` is the unit the query engine loads: a named list of
 compressed objects, their MBBs (read straight off the compressed
 headers), and the cuboid grid that batches them. ``save_dataset`` /
-``load_dataset`` persist a dataset as one cuboid container file per
-non-empty cuboid plus a tiny manifest.
+``load_dataset`` persist a dataset in one of two layouts, selected
+through the shared :func:`~repro.core.config.resolve_setting` chain
+(``REPRO_STORAGE_BACKEND``):
+
+* ``legacy`` — one v2 cuboid container file per non-empty cuboid
+  (:mod:`repro.storage.fileformat`), loaded eagerly;
+* ``shard`` — one v3 memory-mapped shard file per non-empty cuboid
+  (:mod:`repro.storage.shardfile`) whose index carries the planning
+  metadata (AABB, LOD ladder, per-LOD face counts). Loading is *lazy*:
+  objects come back as :class:`ShardBackedObject` proxies that answer
+  every pre-decode question from the index and materialize their blob —
+  a zero-copy ``memoryview`` over the shared mapping — only when a
+  query actually decodes them. All readers of one shard share physical
+  pages through the OS page cache, which is what lets every process
+  worker open the same dataset for ~zero private memory.
+
+Loading auto-detects the on-disk format (v1/v2 containers and v3
+shards all load); :func:`migrate_dataset` converts a directory between
+layouts in place, preserving blobs, ids, and the grid byte-for-byte.
 
 Loading runs in one of two modes:
 
 * ``strict`` (default) — any corruption or inconsistency raises; the
-  dataset you get is exactly the dataset that was saved.
-* ``salvage`` — unreadable container files are quarantined, failing
-  blobs are skipped or partially recovered (their intact lower LODs
-  kept, see :func:`~repro.compression.serialize.salvage_object_blob`),
-  surviving objects are renumbered contiguously, and the whole outcome
-  is reported in a structured :class:`LoadReport`.
+  dataset you get is exactly the dataset that was saved. For shards the
+  index CRC is verified at open and every blob CRC in one eager scan
+  (``verify="lazy"`` defers the per-blob check to first access — the
+  process-worker path that must fault in only the pages its chunk
+  touches); deserialization itself stays deferred either way.
+* ``salvage`` — unreadable files are quarantined, failing blobs are
+  skipped or partially recovered (their intact lower LODs kept, see
+  :func:`~repro.compression.serialize.salvage_object_blob`), surviving
+  objects are renumbered contiguously, and the whole outcome is
+  reported in a structured :class:`LoadReport` — the *same* report
+  structure and per-blob CRC granularity for both layouts.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import pickle
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -30,7 +54,11 @@ from repro.compression.serialize import (
     salvage_object_blob,
     serialize_object,
 )
-from repro.core.errors import CuboidFormatError, DatasetFormatError
+from repro.core.errors import (
+    BlobChecksumError,
+    CuboidFormatError,
+    DatasetFormatError,
+)
 from repro.geometry.aabb import AABB
 from repro.obs import metrics as obs_metrics
 from repro.obs.logs import get_logger, log_event
@@ -40,11 +68,26 @@ from repro.storage.fileformat import (
     salvage_cuboid_file,
     write_cuboid_file,
 )
+from repro.storage.shardfile import (
+    ShardReader,
+    salvage_shard_file,
+    write_shard_file,
+)
 
-__all__ = ["Dataset", "LoadReport", "save_dataset", "load_dataset"]
+__all__ = [
+    "Dataset",
+    "LoadReport",
+    "ShardBackedObject",
+    "ShardSet",
+    "save_dataset",
+    "spill_dataset",
+    "load_dataset",
+    "migrate_dataset",
+]
 
 _MANIFEST = "manifest.json"
 _MODES = ("strict", "salvage")
+_LAYOUTS = ("shard", "legacy")
 
 _LOG = get_logger("storage.store")
 
@@ -148,6 +191,136 @@ class LoadReport:
         }
 
 
+# -- lazy shard access ---------------------------------------------------------
+
+
+class ShardSet:
+    """The open shard handles behind one lazily-loaded dataset.
+
+    Readers are opened on demand and cached; materialization (blob →
+    :class:`CompressedObject`) is serialized by one lock so concurrent
+    thread-backend chunks deserialize each object at most once. The
+    blob's ``memoryview`` is released as soon as the bytes are copied
+    out, so no long-lived reference ever pins the mapping (readers stay
+    closeable) and decoded geometry owns its own memory.
+
+    Pickling ships only the directory path and codec — the far side
+    reopens its own readers (and its own mmaps) lazily.
+    """
+
+    def __init__(self, directory, codec: str = "3dpr"):
+        self.directory = str(directory)
+        self.codec = codec
+        self._readers: dict[str, ShardReader] = {}
+        self._lock = threading.Lock()
+
+    def reader(self, filename: str) -> ShardReader:
+        with self._lock:
+            reader = self._readers.get(filename)
+            if reader is None or reader.closed:
+                reader = ShardReader(Path(self.directory) / filename)
+                self._readers[filename] = reader
+            return reader
+
+    def materialize(self, filename: str, object_id: int) -> CompressedObject:
+        """Deserialize one object from its shard (CRC-verified slice)."""
+        reader = self.reader(filename)
+        with self._lock:
+            view = reader.blob(object_id)
+            try:
+                blob = bytes(view)
+            finally:
+                view.release()
+        if self.codec == "pickle":
+            return pickle.loads(blob)
+        return deserialize_object(blob)
+
+    def close(self) -> None:
+        """Close every open reader (raises if exported slices are alive)."""
+        with self._lock:
+            for reader in self._readers.values():
+                if not reader.closed:
+                    reader.close()
+            self._readers.clear()
+
+    def __getstate__(self) -> dict:
+        return {"directory": self.directory, "codec": self.codec}
+
+    def __setstate__(self, state) -> None:
+        self.directory = state["directory"]
+        self.codec = state["codec"]
+        self._readers = {}
+        self._lock = threading.Lock()
+
+
+def _unwrap(obj):
+    """Pickle helper for :class:`ShardBackedObject.__reduce__`."""
+    return obj
+
+
+class ShardBackedObject:
+    """A compressed object that has not left its shard yet.
+
+    Answers the planning questions (``aabb``, ``max_lod``, ``lods``,
+    ``face_count_at_lod``) straight from the shard index — exactly the
+    attributes engine load, R-tree build, LOD scheduling, and MBB
+    filtering touch — and delegates everything else (``decode``,
+    ``lod_table``, ``positions``, ...) to the real
+    :class:`CompressedObject`, deserialized on first touch. Pickling
+    materializes, so a proxy never outlives its mapping across a
+    process boundary.
+    """
+
+    def __init__(self, shards: ShardSet, filename: str, entry):
+        self.__dict__.update(
+            _shards=shards,
+            _filename=filename,
+            _entry=entry,
+            aabb=AABB(entry.aabb_low, entry.aabb_high),
+            max_lod=entry.max_lod,
+            lods=range(entry.max_lod + 1),
+        )
+
+    @property
+    def materialized(self) -> bool:
+        return "_real" in self.__dict__
+
+    def face_count_at_lod(self, lod: int) -> int:
+        entry = self._entry
+        if lod < 0 or lod > entry.max_lod:
+            raise ValueError(f"lod must be in [0, {entry.max_lod}], got {lod}")
+        return entry.face_counts[lod]
+
+    def _materialize(self) -> CompressedObject:
+        real = self.__dict__.get("_real")
+        if real is None:
+            real = self._shards.materialize(self._filename, self._entry.object_id)
+            self.__dict__["_real"] = real
+        return real
+
+    def __getattr__(self, name):
+        d = object.__getattribute__(self, "__dict__")
+        if "_entry" not in d:  # half-built instance: don't recurse
+            raise AttributeError(name)
+        value = getattr(self._materialize(), name)
+        if name == "lod_table":
+            # Mirror the compiled table into the proxy's __dict__ so the
+            # decode provider's "already compiled?" check (and its
+            # table-build metrics) behave exactly as on a real object.
+            d["lod_table"] = value
+        return value
+
+    def __reduce__(self):
+        return (_unwrap, (self._materialize(),))
+
+    def __repr__(self) -> str:
+        state = "materialized" if self.materialized else "lazy"
+        return (
+            f"ShardBackedObject(object_id={self._entry.object_id}, "
+            f"shard={self._filename!r}, {state})"
+        )
+
+
 @dataclass
 class Dataset:
     """A named collection of compressed 3D objects."""
@@ -162,9 +335,16 @@ class Dataset:
     load_report: LoadReport | None = field(default=None, repr=False, compare=False)
     # Directory this dataset was loaded from (set by load_dataset, None
     # for in-memory datasets). Worker processes of the process query
-    # backend reopen the dataset from here — always in salvage mode, so
-    # a store the parent salvage-loaded reproduces byte-identically.
+    # backend reopen the dataset from here — legacy stores always in
+    # salvage mode (deterministic either way), shard stores lazily in
+    # strict mode when the parent's load was clean.
     source_dir: str | None = field(default=None, repr=False, compare=False)
+    # The open shard handles when this dataset was loaded from a v3
+    # store (None for legacy stores and in-memory datasets). Pickles as
+    # a path handle; readers reopen on the far side.
+    shard_source: ShardSet | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def from_polyhedra(
@@ -184,6 +364,15 @@ class Dataset:
     @property
     def boxes(self) -> list[AABB]:
         return [obj.aabb for obj in self.objects]
+
+    @property
+    def storage(self) -> str:
+        """Where the objects live: ``shard``, ``legacy``, or ``memory``."""
+        if self.shard_source is not None:
+            return "shard"
+        if self.source_dir is not None:
+            return "legacy"
+        return "memory"
 
     @property
     def grid(self) -> CuboidGrid:
@@ -206,6 +395,14 @@ class Dataset:
             for obj in self.objects
         )
 
+    def materialized_count(self) -> int:
+        """How many objects are resident (all of them for legacy loads)."""
+        return sum(
+            1
+            for obj in self.objects
+            if not isinstance(obj, ShardBackedObject) or obj.materialized
+        )
+
     def precompile_lod_tables(self) -> int:
         """Compile every object's columnar decode table now; returns count built.
 
@@ -213,7 +410,8 @@ class Dataset:
         deserialized in salvage mode, whose valid round prefix compiles
         to a truncated table). Bulk loaders can call this to front-load
         that cost at load time — e.g. before the process backend spills
-        an in-memory dataset, so workers receive compiled tables.
+        an in-memory dataset, so workers receive compiled tables. On a
+        lazily-loaded shard dataset this materializes every object.
         """
         built = 0
         for obj in self.objects:
@@ -223,40 +421,70 @@ class Dataset:
         return built
 
 
+# -- saving --------------------------------------------------------------------
+
+
+def _object_meta(obj) -> tuple:
+    """The index-resident planning metadata for one object."""
+    box = obj.aabb
+    return (
+        tuple(float(c) for c in box.low),
+        tuple(float(c) for c in box.high),
+        obj.max_lod,
+        tuple(obj.face_count_at_lod(lod) for lod in obj.lods),
+    )
+
+
 def save_dataset(
     dataset: Dataset,
     directory,
     quant_bits: int = 16,
     backend: str = "huffman",
     fault_injector=None,
+    layout: str | None = None,
 ) -> dict:
-    """Persist a dataset: one cuboid file per non-empty cuboid + manifest.
+    """Persist a dataset: one cuboid/shard file per non-empty cuboid + manifest.
 
-    ``fault_injector`` (a :class:`repro.faults.FaultInjector`) may flip
-    bits in serialized blobs before they hit disk — the deterministic
-    corruption source the chaos tests load back in salvage mode.
+    ``layout`` picks the on-disk format (``"shard"`` or ``"legacy"``)
+    and resolves through the shared setting chain when ``None``
+    (``REPRO_STORAGE_BACKEND``, default legacy). ``fault_injector``
+    (a :class:`repro.faults.FaultInjector`) may flip bits in serialized
+    blobs before they hit disk — the deterministic corruption source the
+    chaos tests load back in salvage mode; corruption keys are
+    ``"{cuboid}:{object}"`` under either layout.
 
-    Returns a summary dict with total bytes and per-cuboid sizes.
+    Returns a summary dict with total bytes and per-file sizes.
     """
+    from repro.core.config import resolve_setting
+
+    layout = resolve_setting("storage_backend", override=layout)
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     batches = dataset.grid.assign(dataset.boxes) if len(dataset) else {}
 
     files = {}
+    shards = {}
     total = 0
     for cuboid_id in sorted(batches):
         object_ids = batches[cuboid_id]
+        objects = [dataset.objects[i] for i in object_ids]
         blobs = [
-            serialize_object(dataset.objects[i], quant_bits=quant_bits, backend=backend)
-            for i in object_ids
+            serialize_object(obj, quant_bits=quant_bits, backend=backend)
+            for obj in objects
         ]
         if fault_injector is not None:
             blobs = [
                 fault_injector.corrupt_blob(blob, key=f"{cuboid_id}:{obj_id}")
                 for obj_id, blob in zip(object_ids, blobs)
             ]
-        filename = f"cuboid_{cuboid_id:06d}.3dpc"
-        size = write_cuboid_file(directory / filename, blobs, object_ids)
+        if layout == "shard":
+            filename = f"shard_{cuboid_id:06d}.3dps"
+            metas = [_object_meta(obj) for obj in objects]
+            size = write_shard_file(directory / filename, blobs, object_ids, metas)
+            shards[filename] = {"cuboid": cuboid_id, "objects": list(object_ids)}
+        else:
+            filename = f"cuboid_{cuboid_id:06d}.3dpc"
+            size = write_cuboid_file(directory / filename, blobs, object_ids)
         files[filename] = size
         total += size
 
@@ -270,20 +498,96 @@ def save_dataset(
         "quant_bits": quant_bits,
         "backend": backend,
     }
+    if layout == "shard":
+        manifest["format_version"] = 3
+        manifest["codec"] = "3dpr"
+        manifest["shards"] = shards
+        manifest["objects"] = {
+            str(obj_id): meta["cuboid"]
+            for filename, meta in sorted(shards.items())
+            for obj_id in meta["objects"]
+        }
     (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
-    return {"total_bytes": total, "files": files}
+    return {"total_bytes": total, "files": files, "layout": layout}
 
 
-def load_dataset(directory, mode: str = "strict") -> Dataset:
+def spill_dataset(dataset: Dataset, directory) -> dict:
+    """Spill an in-memory dataset to a pickle-codec v3 shard store.
+
+    The process backend's shard transport for datasets that never
+    touched disk: objects are pickled *exactly* (no re-serialization,
+    which would re-quantize positions and perturb results) into one
+    shard per cuboid, and the manifest carries ``degraded_ids`` so
+    salvage-born datasets keep their degraded marks. Workers
+    strict-load the directory lazily and unpickle only the objects
+    their chunk actually decodes.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    batches = dataset.grid.assign(dataset.boxes) if len(dataset) else {}
+
+    files = {}
+    shards = {}
+    total = 0
+    for cuboid_id in sorted(batches):
+        object_ids = batches[cuboid_id]
+        objects = [dataset.objects[i] for i in object_ids]
+        blobs = [
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL) for obj in objects
+        ]
+        metas = [_object_meta(obj) for obj in objects]
+        filename = f"shard_{cuboid_id:06d}.3dps"
+        size = write_shard_file(
+            directory / filename, blobs, object_ids, metas, codec="pickle"
+        )
+        shards[filename] = {"cuboid": cuboid_id, "objects": list(object_ids)}
+        files[filename] = size
+        total += size
+
+    manifest = {
+        "format_version": 3,
+        "codec": "pickle",
+        "name": dataset.name,
+        "num_objects": len(dataset),
+        "grid_shape": list(dataset.grid_shape),
+        "grid_low": list(dataset.grid.bounds.low) if len(dataset) else [0.0, 0.0, 0.0],
+        "grid_high": list(dataset.grid.bounds.high) if len(dataset) else [1.0, 1.0, 1.0],
+        "files": sorted(files),
+        "shards": shards,
+        "objects": {
+            str(obj_id): meta["cuboid"]
+            for filename, meta in sorted(shards.items())
+            for obj_id in meta["objects"]
+        },
+        "degraded_ids": sorted(dataset.degraded_ids),
+        "quant_bits": None,
+        "backend": "pickle",
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return {"total_bytes": total, "files": files, "layout": "shard"}
+
+
+# -- loading -------------------------------------------------------------------
+
+
+def load_dataset(directory, mode: str = "strict", verify: str = "eager") -> Dataset:
     """Load a dataset saved by :func:`save_dataset` back into memory.
 
-    ``mode="strict"`` raises on any corruption or inconsistency;
-    ``mode="salvage"`` loads whatever survives and reports the rest.
-    Either way the returned dataset carries a :class:`LoadReport` on its
+    The on-disk format is auto-detected: v1/v2 cuboid containers load
+    eagerly, v3 shard stores load lazily (objects materialize from the
+    shared mapping on first decode). ``mode="strict"`` raises on any
+    corruption or inconsistency; ``mode="salvage"`` loads whatever
+    survives and reports the rest. ``verify`` applies to strict shard
+    loads only: ``"eager"`` (default) CRC-scans every blob at load,
+    ``"lazy"`` defers each blob's CRC check to its first access so a
+    worker faults in only the shards its chunk touches. Either way the
+    returned dataset carries a :class:`LoadReport` on its
     ``load_report`` attribute.
     """
     if mode not in _MODES:
         raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    if verify not in ("eager", "lazy"):
+        raise ValueError(f"verify must be 'eager' or 'lazy', got {verify!r}")
     directory = Path(directory)
     manifest = json.loads((directory / _MANIFEST).read_text())
     report = LoadReport(
@@ -292,6 +596,9 @@ def load_dataset(directory, mode: str = "strict") -> Dataset:
         objects_expected=manifest["num_objects"],
         files_total=len(manifest["files"]),
     )
+    version = int(manifest.get("format_version", 2))
+    if version >= 3:
+        return _load_shard_dataset(directory, manifest, mode, verify, report)
 
     if mode == "strict":
         slots: dict[int, CompressedObject] = {}
@@ -299,59 +606,12 @@ def load_dataset(directory, mode: str = "strict") -> Dataset:
             for obj_id, blob in read_cuboid_file(directory / filename):
                 slots[obj_id] = deserialize_object(blob)
             report.files_loaded += 1
-        if len(slots) != manifest["num_objects"]:
-            raise DatasetFormatError(
-                f"manifest promises {manifest['num_objects']} objects, "
-                f"found {len(slots)}"
-            )
-        missing = sorted(set(range(len(slots))) - set(slots))
-        if missing:
-            raise DatasetFormatError(
-                f"object ids are not contiguous: ids {sorted(slots)[:8]}... "
-                f"leave gaps at {missing[:8]} (of {len(missing)}); "
-                f"re-save the dataset or load with mode='salvage' to renumber"
-            )
-        objects = [slots[i] for i in range(len(slots))]
+        objects = _check_strict_slots(slots, manifest)
         degraded_ids: frozenset = frozenset()
     else:
-        slots = {}
-        degraded_original: dict[int, tuple[str, str]] = {}
-        for filename in manifest["files"]:
-            path = directory / filename
-            try:
-                pairs, faults, container_ok = salvage_cuboid_file(path)
-            except (CuboidFormatError, OSError, EOFError, ValueError) as exc:
-                report.quarantined_files.append((filename, str(exc)))
-                continue
-            report.files_loaded += 1
-            if not container_ok:
-                report.container_faults.append(filename)
-            for obj_id, blob in pairs:
-                try:
-                    slots[obj_id] = deserialize_object(blob)
-                except Exception as exc:
-                    _salvage_blob(
-                        slots, degraded_original, report, obj_id, blob, filename, exc
-                    )
-            for fault in faults:
-                if fault.object_id is None or fault.blob is None:
-                    report.skipped_blobs.append(
-                        (fault.object_id if fault.object_id is not None else -1,
-                         filename, fault.reason)
-                    )
-                    continue
-                _salvage_blob(
-                    slots, degraded_original, report,
-                    fault.object_id, fault.blob, filename, fault.reason,
-                )
-        ordered = sorted(slots)
-        report.id_map = {orig: new for new, orig in enumerate(ordered)}
-        objects = [slots[orig] for orig in ordered]
-        degraded_ids = frozenset(
-            report.id_map[orig] for orig in degraded_original if orig in report.id_map
+        objects, degraded_ids = _load_salvage(
+            directory, manifest, report, salvage_cuboid_file, deserialize_object
         )
-        for orig, (filename, detail) in sorted(degraded_original.items()):
-            report.degraded_objects.append((report.id_map[orig], filename, detail))
 
     report.objects_loaded = len(objects)
     if mode == "salvage":
@@ -364,11 +624,121 @@ def load_dataset(directory, mode: str = "strict") -> Dataset:
         load_report=report,
         source_dir=str(directory),
     )
-    dataset._grid = CuboidGrid(
+    dataset._grid = _manifest_grid(manifest)
+    return dataset
+
+
+def _manifest_grid(manifest) -> CuboidGrid:
+    return CuboidGrid(
         AABB(tuple(manifest["grid_low"]), tuple(manifest["grid_high"])),
         tuple(manifest["grid_shape"]),
     )
+
+
+def _check_strict_slots(slots, manifest) -> list:
+    if len(slots) != manifest["num_objects"]:
+        raise DatasetFormatError(
+            f"manifest promises {manifest['num_objects']} objects, "
+            f"found {len(slots)}"
+        )
+    missing = sorted(set(range(len(slots))) - set(slots))
+    if missing:
+        raise DatasetFormatError(
+            f"object ids are not contiguous: ids {sorted(slots)[:8]}... "
+            f"leave gaps at {missing[:8]} (of {len(missing)}); "
+            f"re-save the dataset or load with mode='salvage' to renumber"
+        )
+    return [slots[i] for i in range(len(slots))]
+
+
+def _load_shard_dataset(directory, manifest, mode, verify, report) -> Dataset:
+    codec = manifest.get("codec", "3dpr")
+    shards = ShardSet(directory, codec=codec)
+    if mode == "strict":
+        slots: dict[int, object] = {}
+        for filename in manifest["files"]:
+            reader = shards.reader(filename)
+            if verify == "eager":
+                faults = reader.verify_all()
+                if faults:
+                    first = faults[0]
+                    raise BlobChecksumError(
+                        f"{directory / filename}: {first.reason} for object "
+                        f"{first.object_id}"
+                    )
+            for obj_id, entry in reader.entries.items():
+                slots[obj_id] = ShardBackedObject(shards, filename, entry)
+            report.files_loaded += 1
+        objects = _check_strict_slots(slots, manifest)
+        degraded_ids = frozenset(manifest.get("degraded_ids", ()))
+    else:
+        decode = (
+            pickle.loads if codec == "pickle" else deserialize_object
+        )
+        objects, degraded_ids = _load_salvage(
+            directory, manifest, report, salvage_shard_file, decode
+        )
+
+    report.objects_loaded = len(objects)
+    if mode == "salvage":
+        _publish_load_report(report)
+    dataset = Dataset(
+        manifest["name"],
+        objects,
+        grid_shape=tuple(manifest["grid_shape"]),
+        degraded_ids=degraded_ids,
+        load_report=report,
+        source_dir=str(directory),
+        shard_source=shards,
+    )
+    dataset._grid = _manifest_grid(manifest)
     return dataset
+
+
+def _load_salvage(directory, manifest, report, salvage_file, decode) -> tuple:
+    """The shared salvage loop: one code path for v2 containers and v3
+    shards — ``salvage_file`` returns the same ``(pairs, faults,
+    container_ok)`` triple for either, so the report structure and the
+    per-blob CRC granularity are identical across layouts."""
+    slots: dict[int, CompressedObject] = {}
+    degraded_original: dict[int, tuple[str, str]] = {}
+    for filename in manifest["files"]:
+        path = directory / filename
+        try:
+            pairs, faults, container_ok = salvage_file(path)
+        except (CuboidFormatError, OSError, EOFError, ValueError) as exc:
+            report.quarantined_files.append((filename, str(exc)))
+            continue
+        report.files_loaded += 1
+        if not container_ok:
+            report.container_faults.append(filename)
+        for obj_id, blob in pairs:
+            try:
+                slots[obj_id] = decode(blob)
+            except Exception as exc:
+                _salvage_blob(
+                    slots, degraded_original, report, obj_id, blob, filename, exc
+                )
+        for fault in faults:
+            if fault.object_id is None or fault.blob is None:
+                report.skipped_blobs.append(
+                    (fault.object_id if fault.object_id is not None else -1,
+                     filename, fault.reason)
+                )
+                continue
+            _salvage_blob(
+                slots, degraded_original, report,
+                fault.object_id, fault.blob, filename, fault.reason,
+            )
+    ordered = sorted(slots)
+    report.id_map = {orig: new for new, orig in enumerate(ordered)}
+    objects = [slots[orig] for orig in ordered]
+    degraded_ids = frozenset(
+        report.id_map[orig] for orig in degraded_original if orig in report.id_map
+    )
+    for orig, (filename, detail) in sorted(degraded_original.items()):
+        report.degraded_objects.append((report.id_map[orig], filename, detail))
+    return objects, degraded_ids
 
 
 def _salvage_blob(slots, degraded_original, report, obj_id, blob, filename, cause) -> None:
@@ -384,3 +754,90 @@ def _salvage_blob(slots, degraded_original, report, obj_id, blob, filename, caus
         f"(max LOD {obj.max_lod}); cause: {cause}"
     )
     degraded_original[obj_id] = (filename, detail)
+
+
+# -- migration -----------------------------------------------------------------
+
+
+def migrate_dataset(directory, to: str = "shard") -> dict:
+    """Convert a dataset directory between layouts, in place.
+
+    Blobs are carried over *byte-for-byte* (shard-bound blobs are
+    deserialized once to compute the index metadata, but what lands in
+    the new files is the original bytes), object ids and the grid are
+    copied from the old manifest, and the old data files are deleted
+    only after the new files and manifest are fully written. Strict by
+    design: a corrupt store refuses to migrate (salvage it into a clean
+    save first). Returns a summary dict; ``migrated`` is False when the
+    directory is already in the requested layout.
+    """
+    if to not in _LAYOUTS:
+        raise ValueError(f"to must be one of {_LAYOUTS}, got {to!r}")
+    directory = Path(directory)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+    version = int(manifest.get("format_version", 2))
+    current = "shard" if version >= 3 else "legacy"
+    if current == to:
+        return {"migrated": False, "layout": to, "files": list(manifest["files"])}
+
+    old_files = list(manifest["files"])
+    files = {}
+    total = 0
+    if to == "shard":
+        shards = {}
+        for filename in old_files:
+            cuboid_id = int(Path(filename).stem.split("_")[-1])
+            pairs = read_cuboid_file(directory / filename)
+            object_ids = [obj_id for obj_id, _ in pairs]
+            blobs = [blob for _, blob in pairs]
+            metas = [_object_meta(deserialize_object(blob)) for blob in blobs]
+            shard_name = f"shard_{cuboid_id:06d}.3dps"
+            size = write_shard_file(directory / shard_name, blobs, object_ids, metas)
+            shards[shard_name] = {"cuboid": cuboid_id, "objects": object_ids}
+            files[shard_name] = size
+            total += size
+        manifest["format_version"] = 3
+        manifest["codec"] = "3dpr"
+        manifest["shards"] = shards
+        manifest["objects"] = {
+            str(obj_id): meta["cuboid"]
+            for name, meta in sorted(shards.items())
+            for obj_id in meta["objects"]
+        }
+    else:
+        if manifest.get("codec", "3dpr") != "3dpr":
+            raise DatasetFormatError(
+                f"{directory}: only 3dpr-codec shard stores can migrate to "
+                f"the legacy layout (this store is "
+                f"{manifest.get('codec')!r}-coded)"
+            )
+        for filename in old_files:
+            cuboid_id = manifest["shards"][filename]["cuboid"]
+            reader = ShardReader(directory / filename)
+            try:
+                object_ids = reader.object_ids()
+                blobs = []
+                for obj_id in object_ids:
+                    view = reader.blob(obj_id)
+                    try:
+                        blobs.append(bytes(view))
+                    finally:
+                        view.release()
+            finally:
+                reader.close()
+            legacy_name = f"cuboid_{cuboid_id:06d}.3dpc"
+            size = write_cuboid_file(directory / legacy_name, blobs, object_ids)
+            files[legacy_name] = size
+            total += size
+        for key in ("format_version", "codec", "shards", "objects", "degraded_ids"):
+            manifest.pop(key, None)
+
+    manifest["files"] = sorted(files)
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    for filename in old_files:
+        (directory / filename).unlink(missing_ok=True)
+    log_event(
+        _LOG, "store_migrated", directory=str(directory), to=to,
+        files=len(files), total_bytes=total,
+    )
+    return {"migrated": True, "layout": to, "files": files, "total_bytes": total}

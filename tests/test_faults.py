@@ -233,7 +233,9 @@ def tiny_dataset_dir(tmp_path):
         "tiny", spheres, PPVPEncoder(max_lods=3), grid_shape=(1, 1, 1)
     )
     directory = tmp_path / "tiny"
-    save_dataset(ds, directory)
+    # This fixture's tests rewrite v2 container bytes directly; pin the
+    # layout so a REPRO_STORAGE_BACKEND=shard run exercises what they test.
+    save_dataset(ds, directory, layout="legacy")
     return directory
 
 
@@ -297,7 +299,8 @@ class TestSalvageEndToEnd:
         victim = min(tid for tid, sids in ref.pairs.items() if sids)
 
         directory = tmp_path / "nuclei_a"
-        save_dataset(datasets["nuclei_a"], directory)
+        # Byte-level container surgery below is v2-specific; pin the layout.
+        save_dataset(datasets["nuclei_a"], directory, layout="legacy")
 
         manifest = json.loads((directory / "manifest.json").read_text())
         for filename in manifest["files"]:

@@ -1,0 +1,470 @@
+"""Tests for the v3 sharded store: format, lifetime, migration, transport.
+
+Covers the shard file format round-trip and its corruption taxonomy,
+mmap lifetime safety (no segfaults, clean errors), lazy shard-backed
+datasets, v1/v2/v3 cross-version loading, ``migrate_dataset`` identity,
+salvage-report parity with v2 containers, cuboid-aligned chunking, and
+the stale-spill sweep in the process pool.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.compression import PPVPEncoder
+from repro.core.errors import (
+    BlobChecksumError,
+    DatasetFormatError,
+    ShardFormatError,
+    ShardLifetimeError,
+)
+from repro.mesh import icosphere
+from repro.storage import (
+    Dataset,
+    ShardBackedObject,
+    ShardReader,
+    load_dataset,
+    migrate_dataset,
+    read_cuboid_file,
+    salvage_shard_file,
+    save_dataset,
+    spill_dataset,
+    write_cuboid_file,
+    write_shard_file,
+)
+
+ENCODER = PPVPEncoder(max_lods=4)
+
+
+def make_dataset(n=6, name="spheres"):
+    meshes = [icosphere(1, center=(i * 4.0, 0, 0)) for i in range(n)]
+    return Dataset.from_polyhedra(name, meshes, ENCODER)
+
+
+def _meta(obj):
+    box = obj.aabb
+    return (
+        tuple(float(c) for c in box.low),
+        tuple(float(c) for c in box.high),
+        obj.max_lod,
+        tuple(obj.face_count_at_lod(lod) for lod in obj.lods),
+    )
+
+
+@pytest.fixture()
+def shard_path(tmp_path):
+    """One shard with three real compressed objects."""
+    dataset = make_dataset(3)
+    from repro.compression.serialize import serialize_object
+
+    blobs = [serialize_object(obj) for obj in dataset.objects]
+    path = tmp_path / "one.3dps"
+    write_shard_file(path, blobs, [0, 1, 2], [_meta(o) for o in dataset.objects])
+    return path, blobs
+
+
+class TestShardFile:
+    def test_roundtrip(self, shard_path):
+        path, blobs = shard_path
+        with ShardReader(path) as reader:
+            assert reader.object_ids() == [0, 1, 2]
+            assert reader.codec == "3dpr"
+            for obj_id, blob in enumerate(blobs):
+                view = reader.blob(obj_id)
+                assert bytes(view) == blob
+                view.release()
+
+    def test_zero_copy_view(self, shard_path):
+        path, blobs = shard_path
+        with ShardReader(path) as reader:
+            view = reader.blob(1)
+            assert isinstance(view, memoryview)
+            assert view.readonly
+            assert view.nbytes == len(blobs[1])
+            view.release()
+
+    def test_index_carries_planning_metadata(self, shard_path):
+        path, _ = shard_path
+        with ShardReader(path) as reader:
+            entry = reader.entries[0]
+            assert entry.aabb_low < entry.aabb_high
+            assert entry.max_lod == ENCODER.max_lods - 1
+            assert len(entry.face_counts) == entry.max_lod + 1
+
+    def test_blob_crc_flip_raises(self, shard_path):
+        path, _ = shard_path
+        with ShardReader(path) as probe:
+            entry = probe.entries[1]
+        data = bytearray(path.read_bytes())
+        data[entry.offset + entry.length // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with ShardReader(path) as reader:
+            with pytest.raises(BlobChecksumError):
+                reader.blob(1)
+            # Unaffected blobs still verify; verify_all isolates the fault.
+            reader.blob(0).release()
+            faults = reader.verify_all()
+            assert [f.object_id for f in faults] == [1]
+            assert faults[0].blob is not None
+
+    def test_index_corruption_raises_on_open(self, shard_path):
+        path, _ = shard_path
+        data = bytearray(path.read_bytes())
+        data[-6] ^= 0xFF  # inside the index CRC trailer
+        path.write_bytes(bytes(data))
+        with pytest.raises(ShardFormatError):
+            ShardReader(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.3dps"
+        path.write_bytes(b"XXXX" + b"\x00" * 32)
+        with pytest.raises(ShardFormatError):
+            ShardReader(path)
+
+    def test_truncated_file(self, shard_path):
+        path, _ = shard_path
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(ShardFormatError):
+            ShardReader(path)
+
+    def test_mismatched_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_shard_file(tmp_path / "x.3dps", [b"a"], [1, 2], [])
+
+    def test_salvage_clean_file(self, shard_path):
+        path, blobs = shard_path
+        pairs, faults, container_ok = salvage_shard_file(path)
+        assert pairs == list(enumerate(blobs))
+        assert faults == []
+        assert container_ok
+
+    def test_salvage_isolates_corrupt_blob(self, shard_path):
+        path, blobs = shard_path
+        with ShardReader(path) as probe:
+            entry = probe.entries[0]
+        data = bytearray(path.read_bytes())
+        data[entry.offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        pairs, faults, container_ok = salvage_shard_file(path)
+        assert [obj_id for obj_id, _ in pairs] == [1, 2]
+        assert [f.object_id for f in faults] == [0]
+        assert container_ok  # the index itself is intact
+
+
+class TestMmapLifetime:
+    def test_close_with_live_view_raises_cleanly(self, shard_path):
+        path, blobs = shard_path
+        reader = ShardReader(path)
+        view = reader.blob(0)
+        with pytest.raises(ShardLifetimeError):
+            reader.close()
+        # The reader survives the refused close and still serves reads.
+        assert not reader.closed
+        assert bytes(view) == blobs[0]
+        view.release()
+        reader.close()
+        assert reader.closed
+
+    def test_blob_after_close_raises(self, shard_path):
+        path, _ = shard_path
+        reader = ShardReader(path)
+        reader.close()
+        with pytest.raises(ValueError):
+            reader.blob(0)
+
+
+class TestCrossVersionLoading:
+    """v1 (no checksums), v2 (containers), and v3 (shards) all load."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_dataset(8)
+
+    def _store(self, dataset, tmp_path, version):
+        directory = tmp_path / f"v{version}"
+        if version == 3:
+            save_dataset(dataset, directory, layout="shard")
+            return directory
+        save_dataset(dataset, directory, layout="legacy")
+        if version == 1:
+            import json
+
+            manifest = json.loads((directory / "manifest.json").read_text())
+            for filename in manifest["files"]:
+                pairs = read_cuboid_file(directory / filename)
+                write_cuboid_file(
+                    directory / filename,
+                    [blob for _, blob in pairs],
+                    [obj_id for obj_id, _ in pairs],
+                    version=1,
+                )
+        return directory
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_loads_equal(self, dataset, tmp_path, version):
+        reference = load_dataset(self._store(dataset, tmp_path, 2))
+        loaded = load_dataset(self._store(dataset, tmp_path, version))
+        assert loaded.name == dataset.name
+        assert len(loaded) == len(reference)
+        assert loaded.boxes == reference.boxes
+        assert [o.max_lod for o in loaded.objects] == [
+            o.max_lod for o in reference.objects
+        ]
+        assert loaded.cuboid_batches() == reference.cuboid_batches()
+        top = reference.objects[0].max_lod
+        assert (
+            loaded.objects[0].decode(top).canonical_face_set()
+            == reference.objects[0].decode(top).canonical_face_set()
+        )
+
+
+class TestLazyShardDataset:
+    def test_load_is_lazy(self, tmp_path):
+        save_dataset(make_dataset(6), tmp_path / "s", layout="shard")
+        loaded = load_dataset(tmp_path / "s")
+        assert loaded.storage == "shard"
+        assert loaded.materialized_count() == 0
+        # Planning attributes come from the index, not the blobs.
+        obj = loaded.objects[0]
+        assert isinstance(obj, ShardBackedObject)
+        _ = obj.aabb, obj.max_lod, obj.face_count_at_lod(obj.max_lod)
+        assert loaded.materialized_count() == 0
+        obj.decode(obj.max_lod)
+        assert loaded.materialized_count() == 1
+
+    def test_lazy_verify_defers_crc(self, tmp_path):
+        directory = tmp_path / "s"
+        meshes = [icosphere(1, center=(i * 3.0, 0, 0)) for i in range(3)]
+        one_cuboid = Dataset.from_polyhedra("three", meshes, ENCODER, grid_shape=(1, 1, 1))
+        save_dataset(one_cuboid, directory, layout="shard")
+        shard = next(directory.glob("*.3dps"))
+        with ShardReader(shard) as probe:
+            entry = probe.entries[1]
+        data = bytearray(shard.read_bytes())
+        data[entry.offset] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        with pytest.raises(BlobChecksumError):
+            load_dataset(directory)  # eager verify catches it at load
+        lazy = load_dataset(directory, verify="lazy")
+        lazy.objects[0].decode(0)  # clean blob fine
+        with pytest.raises(BlobChecksumError):
+            lazy.objects[1].decode(0)  # corrupt blob caught at access
+
+    def test_proxy_pickles_as_real_object(self, tmp_path):
+        save_dataset(make_dataset(3, name="three"), tmp_path / "s", layout="shard")
+        loaded = load_dataset(tmp_path / "s")
+        clone = pickle.loads(pickle.dumps(loaded.objects[2]))
+        assert not isinstance(clone, ShardBackedObject)
+        assert clone.aabb == loaded.objects[2].aabb
+
+    def test_strict_count_mismatch(self, tmp_path):
+        import json
+
+        directory = tmp_path / "s"
+        save_dataset(make_dataset(3, name="three"), directory, layout="shard")
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["num_objects"] += 1
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(DatasetFormatError):
+            load_dataset(directory)
+
+
+class TestMigrate:
+    def test_legacy_to_shard_identity(self, tmp_path):
+        dataset = make_dataset(8)
+        directory = tmp_path / "store"
+        save_dataset(dataset, directory, layout="legacy")
+        before = {}
+        for path in directory.glob("*.3dpc"):
+            before.update(dict(read_cuboid_file(path)))
+        grid_before = load_dataset(directory).cuboid_batches()
+
+        summary = migrate_dataset(directory, to="shard")
+        assert summary["migrated"]
+        assert not list(directory.glob("*.3dpc"))
+        after = {}
+        for path in directory.glob("*.3dps"):
+            with ShardReader(path) as reader:
+                for obj_id in reader.object_ids():
+                    view = reader.blob(obj_id)
+                    after[obj_id] = bytes(view)
+                    view.release()
+        assert after == before  # same blobs, same ids
+        assert load_dataset(directory).cuboid_batches() == grid_before
+
+    def test_round_trip_back_to_legacy(self, tmp_path):
+        dataset = make_dataset(8)
+        directory = tmp_path / "store"
+        save_dataset(dataset, directory, layout="legacy")
+        original = {}
+        for path in directory.glob("*.3dpc"):
+            original[path.name] = dict(read_cuboid_file(path))
+        migrate_dataset(directory, to="shard")
+        migrate_dataset(directory, to="legacy")
+        restored = {}
+        for path in directory.glob("*.3dpc"):
+            restored[path.name] = dict(read_cuboid_file(path))
+        assert restored == original
+        assert load_dataset(directory).storage == "legacy"
+
+    def test_migrate_is_idempotent(self, tmp_path):
+        directory = tmp_path / "store"
+        save_dataset(make_dataset(3, name="three"), directory, layout="shard")
+        summary = migrate_dataset(directory, to="shard")
+        assert not summary["migrated"]
+
+    def test_pickle_codec_refuses_legacy(self, tmp_path):
+        directory = tmp_path / "spill"
+        spill_dataset(make_dataset(3, name="three"), directory)
+        with pytest.raises(DatasetFormatError):
+            migrate_dataset(directory, to="legacy")
+
+
+class TestSpillStore:
+    def test_round_trip_exact(self, tmp_path):
+        dataset = make_dataset(5)
+        object.__setattr__(dataset, "degraded_ids", frozenset({2}))
+        spill_dataset(dataset, tmp_path / "spill")
+        loaded = load_dataset(tmp_path / "spill", verify="lazy")
+        assert loaded.storage == "shard"
+        assert loaded.degraded_ids == frozenset({2})
+        import numpy as np
+
+        for ours, theirs in zip(loaded.objects, dataset.objects):
+            real = ours._materialize()
+            # Pickle transport is exact — no requantization on the way.
+            assert np.array_equal(real.positions, theirs.positions)
+            assert real.num_rounds == theirs.num_rounds
+            assert real.aabb == theirs.aabb
+
+
+class TestSalvageParity:
+    """Shard salvage mirrors v2 container salvage report-for-report."""
+
+    def _corrupt_one_blob(self, directory):
+        """Flip a byte inside object 1's blob, whatever the layout."""
+        shard = next(iter(sorted(directory.glob("*.3dps"))), None)
+        if shard is not None:
+            with ShardReader(shard) as probe:
+                entry = probe.entries[1]
+            data = bytearray(shard.read_bytes())
+            data[entry.offset + 2] ^= 0xFF
+            shard.write_bytes(bytes(data))
+            return
+        container = sorted(directory.glob("*.3dpc"))[0]
+        blob = dict(read_cuboid_file(container))[1]
+        data = container.read_bytes()
+        offset = data.find(blob)
+        assert offset > 0
+        data = bytearray(data)
+        data[offset + 2] ^= 0xFF
+        container.write_bytes(bytes(data))
+
+    def test_reports_match_across_layouts(self, tmp_path):
+        # One cuboid so object ids match filenames one-to-one.
+        meshes = [icosphere(1, center=(i * 3.0, 0, 0)) for i in range(4)]
+        dataset = Dataset.from_polyhedra("cells", meshes, ENCODER, grid_shape=(1, 1, 1))
+        reports = {}
+        for layout in ("legacy", "shard"):
+            directory = tmp_path / layout
+            save_dataset(dataset, directory, layout=layout)
+            self._corrupt_one_blob(directory)
+            with pytest.raises(Exception):
+                load_dataset(directory)  # strict refuses either layout
+            loaded = load_dataset(directory, mode="salvage")
+            reports[layout] = (loaded, loaded.load_report)
+        legacy, legacy_report = reports["legacy"]
+        shard, shard_report = reports["shard"]
+        assert len(shard) == len(legacy)
+        assert shard_report.mode == legacy_report.mode == "salvage"
+        assert shard_report.objects_expected == legacy_report.objects_expected
+        assert shard_report.objects_loaded == legacy_report.objects_loaded
+        # Per-blob granularity: same object ids lost/degraded for the
+        # same reasons (filenames differ by layout, compare id+reason).
+        strip = lambda triples: [(i, reason) for i, _, reason in triples]  # noqa: E731
+        assert strip(shard_report.skipped_blobs) == strip(legacy_report.skipped_blobs)
+        assert strip(shard_report.degraded_objects) == strip(
+            legacy_report.degraded_objects
+        )
+        assert shard_report.id_map == legacy_report.id_map
+        assert shard.degraded_ids == legacy.degraded_ids
+
+
+class TestCuboidAlignedChunks:
+    def _chunks(self, directory, chunk_size):
+        from repro.core.plan import STRATEGIES
+
+        class _Plan:
+            pass
+
+        class _Loaded:
+            pass
+
+        plan = _Plan()
+        loaded = _Loaded()
+        loaded.dataset = load_dataset(directory)
+        plan.target = loaded
+        tids = list(range(len(loaded.dataset)))
+        return (
+            STRATEGIES["within"].target_chunks(plan, tids, chunk_size),
+            loaded.dataset,
+        )
+
+    def test_shard_chunks_respect_cuboid_boundaries(self, tmp_path):
+        save_dataset(make_dataset(24), tmp_path / "s", layout="shard")
+        chunks, dataset = self._chunks(tmp_path / "s", chunk_size=7)
+        owner = {
+            tid: index
+            for index, batch in enumerate(dataset.cuboid_batches())
+            for tid in batch
+        }
+        assert sorted(t for c in chunks for t in c) == list(range(24))
+        assert all(len(chunk) <= 7 for chunk in chunks)
+        for chunk in chunks:
+            cuboids = [owner[t] for t in chunk]
+            # A chunk never straddles a cuboid boundary mid-cuboid:
+            # each cuboid appears in one contiguous stretch.
+            assert cuboids == sorted(cuboids)
+
+    def test_legacy_chunks_keep_equal_slices(self, tmp_path):
+        save_dataset(make_dataset(10), tmp_path / "l", layout="legacy")
+        chunks, _ = self._chunks(tmp_path / "l", chunk_size=4)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert chunks[0] == [0, 1, 2, 3]
+
+
+class TestStaleSpillSweep:
+    def _make_spill(self, root, name, pid=None, age=None):
+        directory = root / name
+        directory.mkdir(parents=True)
+        if pid is not None:
+            (directory / "owner.pid").write_text(str(pid))
+        if age is not None:
+            stamp = time.time() - age
+            os.utime(directory, (stamp, stamp))
+        return directory
+
+    def test_sweep(self, tmp_path):
+        from repro.parallel.procpool import _SPILL_PREFIX, _sweep_stale_spills
+
+        dead = subprocess.Popen([sys.executable, "-c", "pass"])
+        dead.wait()
+        gone = self._make_spill(tmp_path, f"{_SPILL_PREFIX}dead", pid=dead.pid)
+        live = self._make_spill(tmp_path, f"{_SPILL_PREFIX}live", pid=os.getpid())
+        own = self._make_spill(tmp_path, f"{_SPILL_PREFIX}own", pid=dead.pid)
+        fresh = self._make_spill(tmp_path, f"{_SPILL_PREFIX}fresh")
+        old = self._make_spill(tmp_path, f"{_SPILL_PREFIX}old", age=7200)
+        other = self._make_spill(tmp_path, "unrelated", pid=dead.pid)
+
+        removed = _sweep_stale_spills(str(tmp_path), own=str(own))
+        assert removed == 2
+        assert not gone.exists()  # dead owner reaped
+        assert not old.exists()  # pidless and past the orphan age
+        assert live.exists()  # owner still running
+        assert own.exists()  # never sweep our own directory
+        assert fresh.exists()  # pidless but too young to judge
+        assert other.exists()  # non-prefixed dirs are not ours
